@@ -1,0 +1,64 @@
+/** Shared helpers for the figure/table benches. */
+
+#ifndef CRONUS_BENCH_BENCH_UTIL_HH
+#define CRONUS_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/cronus_backend.hh"
+#include "baseline/hix_tz.hh"
+#include "baseline/monolithic_tz.hh"
+#include "baseline/native.hh"
+
+namespace cronus::bench
+{
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n================================================="
+                "=============\n%s\n"
+                "================================================="
+                "=============\n",
+                title.c_str());
+}
+
+inline std::unique_ptr<baseline::ComputeBackend>
+makeBackend(const std::string &which,
+            const std::vector<std::string> &kernels)
+{
+    Logger::instance().setQuiet(true);
+    if (which == "Linux") {
+        baseline::NativeConfig c;
+        c.gpuKernels = kernels;
+        return std::make_unique<baseline::NativeBackend>(c);
+    }
+    if (which == "TrustZone") {
+        baseline::MonolithicConfig c;
+        c.gpuKernels = kernels;
+        return std::make_unique<baseline::MonolithicTzBackend>(c);
+    }
+    if (which == "HIX-TrustZone") {
+        baseline::HixConfig c;
+        c.gpuKernels = kernels;
+        return std::make_unique<baseline::HixTzBackend>(c);
+    }
+    baseline::CronusBackendConfig c;
+    c.gpuKernels = kernels;
+    return std::make_unique<baseline::CronusBackend>(c);
+}
+
+inline const std::vector<std::string> &
+allSystems()
+{
+    static const std::vector<std::string> systems = {
+        "Linux", "TrustZone", "HIX-TrustZone", "CRONUS"};
+    return systems;
+}
+
+} // namespace cronus::bench
+
+#endif // CRONUS_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 8: DNN training time across systems.
+ *
+ * LeNet-2/MNIST, ResNet50/CIFAR-10, VGG16/CIFAR-10,
+ * DenseNet/ImageNet trained with a PyTorch-like loop; per-iteration
+ * time reported for Linux, TrustZone, HIX-TrustZone and CRONUS.
+ */
+
+#include "bench_util.hh"
+#include "workloads/dnn.hh"
+
+using namespace cronus;
+using namespace cronus::bench;
+using namespace cronus::workloads;
+
+int
+main()
+{
+    registerDnnKernels();
+    header("Figure 8: DNN training time per iteration (ms)");
+
+    TrainConfig config;
+    config.batchSize = 32;
+    config.iterations = 6;
+
+    struct Job
+    {
+        ModelSpec model;
+        DatasetSpec dataset;
+    };
+    const std::vector<Job> jobs = {
+        {lenet2(), mnist()},
+        {resnet50(), cifar10()},
+        {vgg16(), cifar10()},
+        {densenet121(), imagenet()},
+    };
+
+    std::printf("%-10s %-9s", "model", "dataset");
+    for (const auto &system : allSystems())
+        std::printf(" %14s", system.c_str());
+    std::printf("\n");
+
+    for (const auto &job : jobs) {
+        std::printf("%-10s %-9s", job.model.name.c_str(),
+                    job.dataset.name.c_str());
+        double native_iter = 0.0;
+        for (const auto &system : allSystems()) {
+            auto backend = makeBackend(system, dnnKernelNames());
+            auto result = trainModel(*backend, job.model,
+                                     job.dataset, config);
+            if (!result.isOk()) {
+                std::printf(" %14s", "ERROR");
+                continue;
+            }
+            double ms = result.value().perIterationNs / 1e6;
+            if (system == "Linux")
+                native_iter = ms;
+            std::printf(" %9.2f", ms);
+            std::printf("(%3.0f%%)",
+                        native_iter > 0
+                            ? 100.0 * ms / native_iter
+                            : 0.0);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(percentages are relative to Linux/native)\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 10a: vta-bench throughput (GEMM ops/s) on the NPU.
+ *
+ * CRONUS ~= monolithic TrustZone ~= native (the NPU does the work;
+ * the TEE layers add little). HIX is GPU-only and cannot run it.
+ */
+
+#include "bench_util.hh"
+#include "workloads/vta_bench.hh"
+
+using namespace cronus;
+using namespace cronus::bench;
+using namespace cronus::workloads;
+
+int
+main()
+{
+    header("Figure 10a: vta-bench NPU throughput");
+
+    VtaBenchConfig config;
+    config.gemmDim = 16;
+    config.opsPerBatch = 8;
+    config.batches = 16;
+
+    std::printf("%-15s %16s %10s\n", "system", "GEMM ops/s",
+                "verified");
+    double native_tput = 0.0;
+    for (const auto &system : allSystems()) {
+        auto backend = makeBackend(system, {});
+        auto result = runVtaBench(*backend, config);
+        if (!result.isOk()) {
+            std::printf("%-15s %16s\n", system.c_str(),
+                        system == "HIX-TrustZone"
+                            ? "n/a (GPU only)"
+                            : "ERROR");
+            continue;
+        }
+        if (system == "Linux")
+            native_tput = result.value().gemmOpsPerSecond;
+        std::printf("%-15s %16.0f %10s   (%.1f%% of native)\n",
+                    system.c_str(),
+                    result.value().gemmOpsPerSecond,
+                    result.value().verified ? "yes" : "NO",
+                    100.0 * result.value().gemmOpsPerSecond /
+                        native_tput);
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 10b: DNN inference latency on the NPU simulator and CPU.
+ *
+ * TVM-compiled ResNet18 / ResNet50 / YoloV3 on the VTA-style NPU
+ * (Linux, TrustZone, CRONUS) plus the scalar-CPU fallback.
+ */
+
+#include "bench_util.hh"
+#include "workloads/tvm.hh"
+
+using namespace cronus;
+using namespace cronus::bench;
+using namespace cronus::workloads;
+
+int
+main()
+{
+    header("Figure 10b: inference latency (ms)");
+
+    const std::vector<TvmModel> models = {
+        tvmResnet18(), tvmResnet50(), tvmYolov3()};
+    const std::vector<std::string> npu_systems = {
+        "Linux", "TrustZone", "CRONUS"};
+
+    std::printf("%-10s", "model");
+    for (const auto &system : npu_systems)
+        std::printf(" %13s", ("npu/" + system).c_str());
+    std::printf(" %13s\n", "cpu");
+
+    for (const auto &model : models) {
+        std::printf("%-10s", model.name.c_str());
+        for (const auto &system : npu_systems) {
+            auto backend = makeBackend(system, {});
+            auto result = runInferenceNpu(*backend, model);
+            if (!result.isOk() || !result.value().verified) {
+                std::printf(" %13s", "ERROR");
+                continue;
+            }
+            std::printf(" %13.2f",
+                        result.value().latencyNs / 1e6);
+        }
+        auto cpu_backend = makeBackend("Linux", {});
+        auto cpu = runInferenceCpu(*cpu_backend, model);
+        std::printf(" %13.2f\n", cpu.value().latencyNs / 1e6);
+    }
+    std::printf("\n(NPU latencies nearly identical across systems; "
+                "CPU is the slow fallback)\n");
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Substrate microbenchmarks (wall-clock, google-benchmark).
+ *
+ * Real-time throughput of the from-scratch primitives everything
+ * else is built on: SHA-256, HMAC, AES-CTR, Schnorr, U256 modexp,
+ * page-table translation, sRPC framing. These are host-time
+ * numbers, unlike the virtual-time figure benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.hh"
+#include "crypto/keys.hh"
+#include "crypto/sha256.hh"
+#include "hw/page_table.hh"
+
+using namespace cronus;
+
+namespace
+{
+
+void
+BM_Sha256(benchmark::State &state)
+{
+    Bytes data(state.range(0), 0xab);
+    for (auto _ : state) {
+        auto digest = crypto::sha256(data);
+        benchmark::DoNotOptimize(digest);
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void
+BM_HmacSha256(benchmark::State &state)
+{
+    Bytes key(32, 0x11);
+    Bytes data(state.range(0), 0xab);
+    for (auto _ : state) {
+        auto mac = crypto::hmacSha256(key, data);
+        benchmark::DoNotOptimize(mac);
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(4096);
+
+void
+BM_AesCtr(benchmark::State &state)
+{
+    crypto::AesKey key{};
+    crypto::Aes128 aes(key);
+    Bytes data(state.range(0), 0x5c);
+    uint64_t nonce = 0;
+    for (auto _ : state) {
+        auto ct = aes.ctr(data, ++nonce);
+        benchmark::DoNotOptimize(ct);
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(4096)->Arg(65536);
+
+void
+BM_SealOpen(benchmark::State &state)
+{
+    Bytes secret(32, 0x07);
+    Bytes data(state.range(0), 0x3c);
+    uint64_t nonce = 0;
+    for (auto _ : state) {
+        Bytes sealed = crypto::sealMessage(secret, ++nonce, data);
+        auto opened = crypto::openMessage(secret, sealed);
+        benchmark::DoNotOptimize(opened);
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_SealOpen)->Arg(1024)->Arg(16384);
+
+void
+BM_SchnorrSign(benchmark::State &state)
+{
+    crypto::KeyPair kp = crypto::deriveKeyPair(toBytes("bench"));
+    Bytes msg(64, 0x99);
+    for (auto _ : state) {
+        auto sig = crypto::sign(kp.priv, msg);
+        benchmark::DoNotOptimize(sig);
+    }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void
+BM_SchnorrVerify(benchmark::State &state)
+{
+    crypto::KeyPair kp = crypto::deriveKeyPair(toBytes("bench"));
+    Bytes msg(64, 0x99);
+    auto sig = crypto::sign(kp.priv, msg);
+    for (auto _ : state) {
+        bool ok = crypto::verify(kp.pub, msg, sig);
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void
+BM_U256PowMod(benchmark::State &state)
+{
+    crypto::U256 base(123456789);
+    auto exp = crypto::U256::fromHex(
+        "0123456789abcdef0123456789abcdef"
+        "0123456789abcdef0123456789abcdef").value();
+    for (auto _ : state) {
+        auto r = crypto::U256::powMod(base, exp,
+                                      crypto::groupPrime());
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_U256PowMod);
+
+void
+BM_PageTableTranslate(benchmark::State &state)
+{
+    hw::PageTable pt;
+    for (uint64_t i = 0; i < 1024; ++i)
+        pt.map(i * hw::kPageSize, (i + 4096) * hw::kPageSize,
+               hw::PagePerms::rw());
+    uint64_t va = 0;
+    for (auto _ : state) {
+        auto t = pt.translate((va++ % 1024) * hw::kPageSize, 8,
+                              false);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_PageTableTranslate);
+
+void
+BM_DhSharedSecret(benchmark::State &state)
+{
+    crypto::KeyPair a = crypto::deriveKeyPair(toBytes("a"));
+    crypto::KeyPair b = crypto::deriveKeyPair(toBytes("b"));
+    for (auto _ : state) {
+        auto s = crypto::dhSharedSecret(a.priv, b.pub);
+        benchmark::DoNotOptimize(s);
+    }
+}
+BENCHMARK(BM_DhSharedSecret);
+
+} // namespace
+
+BENCHMARK_MAIN();

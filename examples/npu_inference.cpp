@@ -1,0 +1,41 @@
+/**
+ * @file
+ * NPU inference example: TVM-compiled models running in a CRONUS
+ * NPU mEnclave, with a CPU fallback for comparison (Fig. 10b).
+ */
+
+#include <cstdio>
+
+#include "baseline/cronus_backend.hh"
+#include "workloads/tvm.hh"
+
+using namespace cronus;
+using namespace cronus::workloads;
+
+int
+main()
+{
+    Logger::instance().setQuiet(true);
+
+    baseline::CronusBackendConfig cfg;
+    baseline::CronusBackend cronus(cfg);
+
+    std::printf("%-10s %14s %14s\n", "model", "npu (ms)",
+                "cpu (ms)");
+    for (const TvmModel &model :
+         {tvmResnet18(), tvmResnet50(), tvmYolov3()}) {
+        auto npu = runInferenceNpu(cronus, model);
+        auto cpu = runInferenceCpu(cronus, model);
+        if (!npu.isOk() || !cpu.isOk()) {
+            std::printf("inference failed\n");
+            return 1;
+        }
+        std::printf("%-10s %14.2f %14.2f  %s\n", model.name.c_str(),
+                    npu.value().latencyNs / 1e6,
+                    cpu.value().latencyNs / 1e6,
+                    npu.value().verified ? "(verified)"
+                                         : "(MISMATCH)");
+    }
+    std::printf("npu_inference OK\n");
+    return 0;
+}

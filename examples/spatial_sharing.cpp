@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Spatial sharing demo (Fig. 11a): LeNet trainers in 1/2/4
+ * mEnclaves sharing one GPU.
+ */
+
+#include <cstdio>
+
+#include "workloads/sharing.hh"
+
+using namespace cronus;
+using namespace cronus::workloads;
+
+int
+main()
+{
+    std::printf("%-9s %14s %9s\n", "enclaves", "images/sec",
+                "gain");
+    double base = 0.0;
+    for (uint32_t enclaves : {1u, 2u, 4u}) {
+        SpatialConfig config;
+        config.enclaves = enclaves;
+        auto result = runSpatialSharing(config);
+        if (!result.isOk()) {
+            std::printf("run failed: %s\n",
+                        result.status().toString().c_str());
+            return 1;
+        }
+        if (enclaves == 1)
+            base = result.value().imagesPerSecond;
+        std::printf("%-9u %14.0f %8.1f%%\n", enclaves,
+                    result.value().imagesPerSecond,
+                    100.0 * (result.value().imagesPerSecond / base -
+                             1.0));
+    }
+    std::printf("spatial_sharing OK\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+#include "builtin_kernels.hh"
+
+#include <cstring>
+
+#include "gpu.hh"
+
+namespace cronus::accel
+{
+
+namespace
+{
+
+Status
+needArgs(const std::vector<uint64_t> &args, size_t n,
+         const char *kernel)
+{
+    if (args.size() != n)
+        return Status(ErrorCode::InvalidArgument,
+                      std::string(kernel) + ": bad argument count");
+    return Status::ok();
+}
+
+float
+bitsToFloat(uint64_t bits)
+{
+    float f;
+    uint32_t w = static_cast<uint32_t>(bits);
+    std::memcpy(&f, &w, sizeof(f));
+    return f;
+}
+
+} // namespace
+
+void
+registerBuiltinKernels()
+{
+    auto &reg = GpuKernelRegistry::instance();
+    if (reg.has("vec_add_f32"))
+        return;
+
+    GpuKernel fill;
+    fill.utilization = 0.4;
+    fill.nsPerItem = 0.5;
+    fill.body = [](GpuAccessor &mem, const std::vector<uint64_t> &args,
+                   const LaunchDims &) -> Status {
+        CRONUS_RETURN_IF_ERROR(needArgs(args, 3, "fill_f32"));
+        uint64_t n = args[1];
+        auto buf = mem.span<float>(args[0], n);
+        if (!buf.isOk())
+            return buf.status();
+        float v = bitsToFloat(args[2]);
+        for (uint64_t i = 0; i < n; ++i)
+            buf.value()[i] = v;
+        return Status::ok();
+    };
+    reg.registerKernel("fill_f32", fill);
+
+    GpuKernel vec_add;
+    vec_add.utilization = 0.5;
+    vec_add.nsPerItem = 0.8;
+    vec_add.body = [](GpuAccessor &mem,
+                      const std::vector<uint64_t> &args,
+                      const LaunchDims &) -> Status {
+        CRONUS_RETURN_IF_ERROR(needArgs(args, 4, "vec_add_f32"));
+        uint64_t n = args[3];
+        auto a = mem.constSpan<float>(args[0], n);
+        if (!a.isOk())
+            return a.status();
+        auto b = mem.constSpan<float>(args[1], n);
+        if (!b.isOk())
+            return b.status();
+        auto out = mem.span<float>(args[2], n);
+        if (!out.isOk())
+            return out.status();
+        for (uint64_t i = 0; i < n; ++i)
+            out.value()[i] = a.value()[i] + b.value()[i];
+        return Status::ok();
+    };
+    reg.registerKernel("vec_add_f32", vec_add);
+
+    GpuKernel saxpy;
+    saxpy.utilization = 0.5;
+    saxpy.nsPerItem = 0.8;
+    saxpy.body = [](GpuAccessor &mem,
+                    const std::vector<uint64_t> &args,
+                    const LaunchDims &) -> Status {
+        CRONUS_RETURN_IF_ERROR(needArgs(args, 4, "saxpy_f32"));
+        float a = bitsToFloat(args[0]);
+        uint64_t n = args[3];
+        auto x = mem.constSpan<float>(args[1], n);
+        if (!x.isOk())
+            return x.status();
+        auto y = mem.span<float>(args[2], n);
+        if (!y.isOk())
+            return y.status();
+        for (uint64_t i = 0; i < n; ++i)
+            y.value()[i] += a * x.value()[i];
+        return Status::ok();
+    };
+    reg.registerKernel("saxpy_f32", saxpy);
+
+    GpuKernel matmul;
+    matmul.utilization = 0.95;
+    matmul.nsPerItem = 0.02;  /* per multiply-accumulate */
+    matmul.body = [](GpuAccessor &mem,
+                     const std::vector<uint64_t> &args,
+                     const LaunchDims &) -> Status {
+        CRONUS_RETURN_IF_ERROR(needArgs(args, 6, "matmul_f32"));
+        uint64_t m = args[3], k = args[4], n = args[5];
+        auto a = mem.constSpan<float>(args[0], m * k);
+        if (!a.isOk())
+            return a.status();
+        auto b = mem.constSpan<float>(args[1], k * n);
+        if (!b.isOk())
+            return b.status();
+        auto c = mem.span<float>(args[2], m * n);
+        if (!c.isOk())
+            return c.status();
+        for (uint64_t i = 0; i < m; ++i) {
+            for (uint64_t j = 0; j < n; ++j) {
+                float acc = 0.0f;
+                for (uint64_t x = 0; x < k; ++x)
+                    acc += a.value()[i * k + x] *
+                           b.value()[x * n + j];
+                c.value()[i * n + j] = acc;
+            }
+        }
+        return Status::ok();
+    };
+    reg.registerKernel("matmul_f32", matmul);
+
+    GpuKernel reduce;
+    reduce.utilization = 0.6;
+    reduce.nsPerItem = 0.6;
+    reduce.body = [](GpuAccessor &mem,
+                     const std::vector<uint64_t> &args,
+                     const LaunchDims &) -> Status {
+        CRONUS_RETURN_IF_ERROR(needArgs(args, 3, "reduce_sum_f32"));
+        uint64_t n = args[2];
+        auto in = mem.constSpan<float>(args[0], n);
+        if (!in.isOk())
+            return in.status();
+        auto out = mem.span<float>(args[1], 1);
+        if (!out.isOk())
+            return out.status();
+        float acc = 0.0f;
+        for (uint64_t i = 0; i < n; ++i)
+            acc += in.value()[i];
+        out.value()[0] = acc;
+        return Status::ok();
+    };
+    reg.registerKernel("reduce_sum_f32", reduce);
+}
+
+} // namespace cronus::accel

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Small built-in GPU kernel library (vector/matrix primitives).
+ *
+ * The rodinia-like benchmark kernels and the DNN layer kernels live
+ * in src/workloads; these primitives are used by tests, examples and
+ * the DNN layers.
+ */
+
+#ifndef CRONUS_ACCEL_BUILTIN_KERNELS_HH
+#define CRONUS_ACCEL_BUILTIN_KERNELS_HH
+
+namespace cronus::accel
+{
+
+/**
+ * Register the built-in kernels with the global registry
+ * (idempotent):
+ *   fill_f32(buf, n, bits)        buf[i] = bitcast(bits)
+ *   vec_add_f32(a, b, out, n)     out[i] = a[i] + b[i]
+ *   saxpy_f32(a, x, y, n)         y[i] += bitcast(a) * x[i]
+ *   matmul_f32(a, b, c, m, k, n)  c = a(mxk) * b(kxn)
+ *   reduce_sum_f32(in, out, n)    out[0] = sum(in)
+ */
+void registerBuiltinKernels();
+
+} // namespace cronus::accel
+
+#endif // CRONUS_ACCEL_BUILTIN_KERNELS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Simulated CPU "device".
+ *
+ * CPU mEnclaves execute directly on cores; for symmetry with
+ * accelerator partitions the CPU is modeled as a device with
+ * contexts so the same mOS/HAL machinery manages all three kinds of
+ * computation (§V-B).
+ */
+
+#ifndef CRONUS_ACCEL_CPU_HH
+#define CRONUS_ACCEL_CPU_HH
+
+#include <functional>
+#include <map>
+
+#include "base/sim_clock.hh"
+#include "base/status.hh"
+#include "crypto/keys.hh"
+#include "hw/device.hh"
+
+namespace cronus::accel
+{
+
+using CpuContextId = uint32_t;
+
+struct CpuConfig
+{
+    std::string name = "cpu0";
+    uint32_t cores = 4;
+    /** Virtual ns charged per abstract work unit. */
+    double nsPerWorkUnit = 1.0;
+    Bytes rotSeed = {'c', 'p', 'u', '-', 'r', 'o', 't'};
+};
+
+class CpuDevice : public hw::Device
+{
+  public:
+    explicit CpuDevice(const CpuConfig &config = CpuConfig());
+
+    Result<uint64_t> mmioRead(uint64_t offset) override;
+    Status mmioWrite(uint64_t offset, uint64_t value) override;
+    void reset(bool clear_memory) override;
+
+    Result<CpuContextId> createContext();
+    Status destroyContext(CpuContextId ctx);
+    size_t contextCount() const { return contexts.size(); }
+
+    /**
+     * Execute @p work_units of computation in @p ctx; the functional
+     * body @p fn runs immediately, cost is returned in virtual ns.
+     */
+    Result<SimTime> execute(CpuContextId ctx, uint64_t work_units,
+                            const std::function<Status()> &fn);
+
+    const crypto::PublicKey &devicePublicKey() const
+    {
+        return rotKeys.pub;
+    }
+    crypto::Signature attestConfig(const Bytes &challenge) const;
+
+    const CpuConfig &config() const { return cfg; }
+
+  private:
+    CpuConfig cfg;
+    std::map<CpuContextId, uint64_t> contexts; ///< ctx -> work done
+    CpuContextId nextCtx = 1;
+    crypto::KeyPair rotKeys;
+};
+
+} // namespace cronus::accel
+
+#endif // CRONUS_ACCEL_CPU_HH

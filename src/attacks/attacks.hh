@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Attack scenario suite (§III-B "in-scope attacks").
+ *
+ * Every attack the paper's threat model names is implemented as an
+ * executable scenario against a fresh CRONUS instance. A scenario
+ * *actually performs* the malicious action through the simulated
+ * hardware/OS interfaces and reports whether the architecture
+ * blocked it. The Table I bench and the security test suite are
+ * built from these.
+ */
+
+#ifndef CRONUS_ATTACKS_ATTACKS_HH
+#define CRONUS_ATTACKS_ATTACKS_HH
+
+#include <string>
+#include <vector>
+
+namespace cronus::attacks
+{
+
+struct AttackOutcome
+{
+    std::string name;
+    /** True if CRONUS prevented the attack. */
+    bool blocked = false;
+    /** What happened, for the report. */
+    std::string detail;
+};
+
+/* Individual scenarios. Each builds its own CronusSystem. */
+
+/** Untrusted OS reads the sRPC shared-memory ring. */
+AttackOutcome attackNormalWorldReadsSmem();
+/** Untrusted OS overwrites RPC metadata in the ring. */
+AttackOutcome attackNormalWorldTampersSmem();
+/** Replay of a recorded authenticated mECall. */
+AttackOutcome attackReplayEcall();
+/** mECall with attacker-modified arguments under the old tag. */
+AttackOutcome attackTamperEcallArgs();
+/** Dispatcher routes the request to the wrong partition. */
+AttackOutcome attackMisdispatch();
+/** Attacker drops RPCs by never scheduling the executor. */
+AttackOutcome attackDropRpcByStall();
+/** Fabricated accelerator without a vendor-endorsed RoT key. */
+AttackOutcome attackFabricatedAccelerator();
+/** Malicious device tree (overlapping MMIO windows). */
+AttackOutcome attackMaliciousDeviceTree();
+/** TOCTOU: crash the callee partition and substitute a fresh
+ *  enclave under the same eid. */
+AttackOutcome attackMosSubstitution();
+/** Crashed-information leak: read device + memory after restart. */
+AttackOutcome attackCrashLeak();
+/** Deadlock: peer dies while holding a shared-memory spinlock. */
+AttackOutcome attackDeadLockOnFailure();
+/** Malicious enclave calls an mECall outside its manifest. */
+AttackOutcome attackUndeclaredCall();
+/** One enclave's GPU kernel reaches into another context's VRAM. */
+AttackOutcome attackCrossContextGpuRead();
+
+/** Run every scenario. */
+std::vector<AttackOutcome> runAllAttacks();
+
+} // namespace cronus::attacks
+
+#endif // CRONUS_ATTACKS_ATTACKS_HH

@@ -1,0 +1,178 @@
+#include "bytes.hh"
+
+namespace cronus
+{
+
+static const char *kHexDigits = "0123456789abcdef";
+
+std::string
+toHex(const uint8_t *data, size_t len)
+{
+    std::string out;
+    out.reserve(len * 2);
+    for (size_t i = 0; i < len; ++i) {
+        out.push_back(kHexDigits[data[i] >> 4]);
+        out.push_back(kHexDigits[data[i] & 0xf]);
+    }
+    return out;
+}
+
+std::string
+toHex(const Bytes &data)
+{
+    return toHex(data.data(), data.size());
+}
+
+static int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+Result<Bytes>
+fromHex(const std::string &hex)
+{
+    if (hex.size() % 2 != 0)
+        return Status(ErrorCode::InvalidArgument, "odd hex length");
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        int hi = hexNibble(hex[i]);
+        int lo = hexNibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return Status(ErrorCode::InvalidArgument,
+                          "non-hex character");
+        out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+Bytes
+toBytes(const std::string &s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+bool
+constantTimeEqual(const Bytes &a, const Bytes &b)
+{
+    if (a.size() != b.size())
+        return false;
+    uint8_t diff = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        diff |= a[i] ^ b[i];
+    return diff == 0;
+}
+
+void
+ByteWriter::putU16(uint16_t v)
+{
+    putU8(v & 0xff);
+    putU8(v >> 8);
+}
+
+void
+ByteWriter::putU32(uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        putU8((v >> (8 * i)) & 0xff);
+}
+
+void
+ByteWriter::putU64(uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        putU8((v >> (8 * i)) & 0xff);
+}
+
+void
+ByteWriter::putBytes(const Bytes &data)
+{
+    putU32(static_cast<uint32_t>(data.size()));
+    buf.insert(buf.end(), data.begin(), data.end());
+}
+
+void
+ByteWriter::putString(const std::string &s)
+{
+    putU32(static_cast<uint32_t>(s.size()));
+    buf.insert(buf.end(), s.begin(), s.end());
+}
+
+void
+ByteWriter::putRaw(const uint8_t *data, size_t len)
+{
+    buf.insert(buf.end(), data, data + len);
+}
+
+Result<uint8_t>
+ByteReader::getU8()
+{
+    if (!need(1))
+        return Status(ErrorCode::InvalidArgument, "truncated u8");
+    return buf[pos++];
+}
+
+Result<uint16_t>
+ByteReader::getU16()
+{
+    if (!need(2))
+        return Status(ErrorCode::InvalidArgument, "truncated u16");
+    uint16_t v = buf[pos] | (uint16_t(buf[pos + 1]) << 8);
+    pos += 2;
+    return v;
+}
+
+Result<uint32_t>
+ByteReader::getU32()
+{
+    if (!need(4))
+        return Status(ErrorCode::InvalidArgument, "truncated u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= uint32_t(buf[pos + i]) << (8 * i);
+    pos += 4;
+    return v;
+}
+
+Result<uint64_t>
+ByteReader::getU64()
+{
+    if (!need(8))
+        return Status(ErrorCode::InvalidArgument, "truncated u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= uint64_t(buf[pos + i]) << (8 * i);
+    pos += 8;
+    return v;
+}
+
+Result<Bytes>
+ByteReader::getBytes()
+{
+    auto len = getU32();
+    if (!len.isOk())
+        return len.status();
+    if (!need(len.value()))
+        return Status(ErrorCode::InvalidArgument, "truncated bytes");
+    Bytes out(buf.begin() + pos, buf.begin() + pos + len.value());
+    pos += len.value();
+    return out;
+}
+
+Result<std::string>
+ByteReader::getString()
+{
+    auto bytes = getBytes();
+    if (!bytes.isOk())
+        return bytes.status();
+    return std::string(bytes.value().begin(), bytes.value().end());
+}
+
+} // namespace cronus

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Byte-buffer helpers: hex encoding, serialization cursors.
+ */
+
+#ifndef CRONUS_BASE_BYTES_HH
+#define CRONUS_BASE_BYTES_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "status.hh"
+
+namespace cronus
+{
+
+using Bytes = std::vector<uint8_t>;
+
+/** Encode @p data as lowercase hex. */
+std::string toHex(const Bytes &data);
+std::string toHex(const uint8_t *data, size_t len);
+
+/** Decode hex (must be even length, [0-9a-fA-F]). */
+Result<Bytes> fromHex(const std::string &hex);
+
+/** Bytes of an ASCII string. */
+Bytes toBytes(const std::string &s);
+
+/** Constant-time comparison (crypto hygiene, even in simulation). */
+bool constantTimeEqual(const Bytes &a, const Bytes &b);
+
+/**
+ * Append-only serializer with little-endian integer encoding.
+ */
+class ByteWriter
+{
+  public:
+    void putU8(uint8_t v) { buf.push_back(v); }
+    void putU16(uint16_t v);
+    void putU32(uint32_t v);
+    void putU64(uint64_t v);
+    /** Length-prefixed (u32) byte string. */
+    void putBytes(const Bytes &data);
+    /** Length-prefixed (u32) ASCII string. */
+    void putString(const std::string &s);
+    /** Raw bytes, no length prefix. */
+    void putRaw(const uint8_t *data, size_t len);
+
+    const Bytes &data() const { return buf; }
+    Bytes take() { return std::move(buf); }
+
+  private:
+    Bytes buf;
+};
+
+/**
+ * Sequential deserializer mirroring ByteWriter.
+ * All getters return an error on truncated input rather than
+ * reading out of bounds (untrusted inputs cross this boundary).
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const Bytes &data) : buf(data) {}
+
+    Result<uint8_t> getU8();
+    Result<uint16_t> getU16();
+    Result<uint32_t> getU32();
+    Result<uint64_t> getU64();
+    Result<Bytes> getBytes();
+    Result<std::string> getString();
+
+    size_t remaining() const { return buf.size() - pos; }
+    bool atEnd() const { return pos == buf.size(); }
+
+  private:
+    bool need(size_t n) const { return buf.size() - pos >= n; }
+
+    const Bytes &buf;
+    size_t pos = 0;
+};
+
+} // namespace cronus
+
+#endif // CRONUS_BASE_BYTES_HH

@@ -1,0 +1,511 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace cronus
+{
+
+JsonValue::JsonValue(JsonArray a)
+    : type_(Type::Array), arrVal(std::make_shared<JsonArray>(std::move(a)))
+{
+}
+
+JsonValue::JsonValue(JsonObject o)
+    : type_(Type::Object),
+      objVal(std::make_shared<JsonObject>(std::move(o)))
+{
+}
+
+bool
+JsonValue::asBool() const
+{
+    CRONUS_ASSERT(isBool(), "JsonValue::asBool on non-bool");
+    return boolVal;
+}
+
+int64_t
+JsonValue::asInt() const
+{
+    CRONUS_ASSERT(isNumber(), "JsonValue::asInt on non-number");
+    return type_ == Type::Int ? intVal
+                              : static_cast<int64_t>(dblVal);
+}
+
+double
+JsonValue::asDouble() const
+{
+    CRONUS_ASSERT(isNumber(), "JsonValue::asDouble on non-number");
+    return type_ == Type::Double ? dblVal
+                                 : static_cast<double>(intVal);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    CRONUS_ASSERT(isString(), "JsonValue::asString on non-string");
+    return strVal;
+}
+
+const JsonArray &
+JsonValue::asArray() const
+{
+    CRONUS_ASSERT(isArray(), "JsonValue::asArray on non-array");
+    return *arrVal;
+}
+
+const JsonObject &
+JsonValue::asObject() const
+{
+    CRONUS_ASSERT(isObject(), "JsonValue::asObject on non-object");
+    return *objVal;
+}
+
+JsonArray &
+JsonValue::asArray()
+{
+    CRONUS_ASSERT(isArray(), "JsonValue::asArray on non-array");
+    return *arrVal;
+}
+
+JsonObject &
+JsonValue::asObject()
+{
+    CRONUS_ASSERT(isObject(), "JsonValue::asObject on non-object");
+    return *objVal;
+}
+
+const JsonValue &
+JsonValue::operator[](const std::string &key) const
+{
+    static const JsonValue null_value;
+    if (!isObject())
+        return null_value;
+    auto it = objVal->find(key);
+    return it == objVal->end() ? null_value : it->second;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    return isObject() && objVal->count(key) > 0;
+}
+
+Result<std::string>
+JsonValue::getString(const std::string &key) const
+{
+    const JsonValue &v = (*this)[key];
+    if (!v.isString())
+        return Status(ErrorCode::InvalidArgument,
+                      "missing/non-string field '" + key + "'");
+    return v.asString();
+}
+
+Result<int64_t>
+JsonValue::getInt(const std::string &key) const
+{
+    const JsonValue &v = (*this)[key];
+    if (!v.isNumber())
+        return Status(ErrorCode::InvalidArgument,
+                      "missing/non-numeric field '" + key + "'");
+    return v.asInt();
+}
+
+Result<JsonObject>
+JsonValue::getObject(const std::string &key) const
+{
+    const JsonValue &v = (*this)[key];
+    if (!v.isObject())
+        return Status(ErrorCode::InvalidArgument,
+                      "missing/non-object field '" + key + "'");
+    return v.asObject();
+}
+
+Result<JsonArray>
+JsonValue::getArray(const std::string &key) const
+{
+    const JsonValue &v = (*this)[key];
+    if (!v.isArray())
+        return Status(ErrorCode::InvalidArgument,
+                      "missing/non-array field '" + key + "'");
+    return v.asArray();
+}
+
+bool
+JsonValue::operator==(const JsonValue &other) const
+{
+    if (type_ != other.type_)
+        return false;
+    switch (type_) {
+      case Type::Null:   return true;
+      case Type::Bool:   return boolVal == other.boolVal;
+      case Type::Int:    return intVal == other.intVal;
+      case Type::Double: return dblVal == other.dblVal;
+      case Type::String: return strVal == other.strVal;
+      case Type::Array:  return *arrVal == *other.arrVal;
+      case Type::Object: return *objVal == *other.objVal;
+    }
+    return false;
+}
+
+static void
+escapeString(const std::string &s, std::string &out)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+JsonValue::dumpTo(std::string &out) const
+{
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += boolVal ? "true" : "false";
+        break;
+      case Type::Int:
+        out += std::to_string(intVal);
+        break;
+      case Type::Double: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", dblVal);
+        out += buf;
+        break;
+      }
+      case Type::String:
+        escapeString(strVal, out);
+        break;
+      case Type::Array: {
+        out.push_back('[');
+        bool first = true;
+        for (const auto &v : *arrVal) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            v.dumpTo(out);
+        }
+        out.push_back(']');
+        break;
+      }
+      case Type::Object: {
+        out.push_back('{');
+        bool first = true;
+        for (const auto &[key, v] : *objVal) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            escapeString(key, out);
+            out.push_back(':');
+            v.dumpTo(out);
+        }
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    dumpTo(out);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over untrusted text. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : src(text) {}
+
+    Result<JsonValue>
+    parse()
+    {
+        auto v = parseValue();
+        if (!v.isOk())
+            return v;
+        skipWs();
+        if (pos != src.size())
+            return fail("trailing characters");
+        return v;
+    }
+
+  private:
+    Status
+    failStatus(const std::string &msg) const
+    {
+        return Status(ErrorCode::InvalidArgument,
+                      "json: " + msg + " at offset " +
+                      std::to_string(pos));
+    }
+
+    Result<JsonValue> fail(const std::string &msg) const
+    {
+        return failStatus(msg);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < src.size() &&
+               (src[pos] == ' ' || src[pos] == '\t' ||
+                src[pos] == '\n' || src[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < src.size() && src[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        size_t len = std::strlen(word);
+        if (src.compare(pos, len, word) == 0) {
+            pos += len;
+            return true;
+        }
+        return false;
+    }
+
+    Result<JsonValue>
+    parseValue()
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= src.size())
+            return fail("unexpected end of input");
+        char c = src[pos];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"') {
+            auto s = parseString();
+            if (!s.isOk())
+                return s.status();
+            return JsonValue(s.value());
+        }
+        if (consumeWord("true"))
+            return JsonValue(true);
+        if (consumeWord("false"))
+            return JsonValue(false);
+        if (consumeWord("null"))
+            return JsonValue();
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber();
+        return fail("unexpected character");
+    }
+
+    Result<std::string>
+    parseString()
+    {
+        if (!consume('"'))
+            return failStatus("expected string");
+        std::string out;
+        while (pos < src.size()) {
+            char c = src[pos++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos >= src.size())
+                    return failStatus("bad escape");
+                char e = src[pos++];
+                switch (e) {
+                  case '"':  out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '/':  out.push_back('/'); break;
+                  case 'n':  out.push_back('\n'); break;
+                  case 't':  out.push_back('\t'); break;
+                  case 'r':  out.push_back('\r'); break;
+                  case 'b':  out.push_back('\b'); break;
+                  case 'f':  out.push_back('\f'); break;
+                  case 'u': {
+                    if (pos + 4 > src.size())
+                        return failStatus("bad \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = src[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            code |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            code |= h - 'A' + 10;
+                        else
+                            return failStatus("bad \\u escape");
+                    }
+                    /* Encode as UTF-8 (BMP only). */
+                    if (code < 0x80) {
+                        out.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out.push_back(
+                            static_cast<char>(0xc0 | (code >> 6)));
+                        out.push_back(
+                            static_cast<char>(0x80 | (code & 0x3f)));
+                    } else {
+                        out.push_back(
+                            static_cast<char>(0xe0 | (code >> 12)));
+                        out.push_back(static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3f)));
+                        out.push_back(
+                            static_cast<char>(0x80 | (code & 0x3f)));
+                    }
+                    break;
+                  }
+                  default:
+                    return failStatus("bad escape");
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        return failStatus("unterminated string");
+    }
+
+    Result<JsonValue>
+    parseNumber()
+    {
+        size_t start = pos;
+        if (consume('-')) {}
+        while (pos < src.size() && std::isdigit(
+                   static_cast<unsigned char>(src[pos])))
+            ++pos;
+        bool is_double = false;
+        if (pos < src.size() && src[pos] == '.') {
+            is_double = true;
+            ++pos;
+            while (pos < src.size() && std::isdigit(
+                       static_cast<unsigned char>(src[pos])))
+                ++pos;
+        }
+        if (pos < src.size() && (src[pos] == 'e' || src[pos] == 'E')) {
+            is_double = true;
+            ++pos;
+            if (pos < src.size() &&
+                (src[pos] == '+' || src[pos] == '-'))
+                ++pos;
+            while (pos < src.size() && std::isdigit(
+                       static_cast<unsigned char>(src[pos])))
+                ++pos;
+        }
+        std::string text = src.substr(start, pos - start);
+        if (text.empty() || text == "-")
+            return fail("bad number");
+        try {
+            if (is_double)
+                return JsonValue(std::stod(text));
+            return JsonValue(
+                static_cast<int64_t>(std::stoll(text)));
+        } catch (const std::exception &) {
+            return fail("number out of range");
+        }
+    }
+
+    Result<JsonValue>
+    parseArray()
+    {
+        consume('[');
+        ++depth;
+        JsonArray arr;
+        skipWs();
+        if (consume(']')) {
+            --depth;
+            return JsonValue(std::move(arr));
+        }
+        for (;;) {
+            auto v = parseValue();
+            if (!v.isOk())
+                return v;
+            arr.push_back(std::move(v.value()));
+            skipWs();
+            if (consume(']'))
+                break;
+            if (!consume(','))
+                return fail("expected ',' or ']'");
+        }
+        --depth;
+        return JsonValue(std::move(arr));
+    }
+
+    Result<JsonValue>
+    parseObject()
+    {
+        consume('{');
+        ++depth;
+        JsonObject obj;
+        skipWs();
+        if (consume('}')) {
+            --depth;
+            return JsonValue(std::move(obj));
+        }
+        for (;;) {
+            skipWs();
+            auto key = parseString();
+            if (!key.isOk())
+                return key.status();
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            auto v = parseValue();
+            if (!v.isOk())
+                return v;
+            obj[key.value()] = std::move(v.value());
+            skipWs();
+            if (consume('}'))
+                break;
+            if (!consume(','))
+                return fail("expected ',' or '}'");
+        }
+        --depth;
+        return JsonValue(std::move(obj));
+    }
+
+    static constexpr int kMaxDepth = 64;
+
+    const std::string &src;
+    size_t pos = 0;
+    int depth = 0;
+};
+
+} // namespace
+
+Result<JsonValue>
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+} // namespace cronus

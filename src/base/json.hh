@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Minimal JSON value model, parser and writer.
+ *
+ * Used for mEnclave manifests (Fig. 3 of the paper) and for
+ * serializing attestation reports in a human-auditable form. The
+ * parser is defensive: manifests arrive from the untrusted normal
+ * world.
+ */
+
+#ifndef CRONUS_BASE_JSON_HH
+#define CRONUS_BASE_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "status.hh"
+
+namespace cronus
+{
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+/** One JSON value (recursive). */
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() : type_(Type::Null) {}
+    JsonValue(bool b) : type_(Type::Bool), boolVal(b) {}
+    JsonValue(int64_t i) : type_(Type::Int), intVal(i) {}
+    JsonValue(int i) : type_(Type::Int), intVal(i) {}
+    JsonValue(double d) : type_(Type::Double), dblVal(d) {}
+    JsonValue(std::string s)
+        : type_(Type::String), strVal(std::move(s)) {}
+    JsonValue(const char *s) : type_(Type::String), strVal(s) {}
+    JsonValue(JsonArray a);
+    JsonValue(JsonObject o);
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isInt() const { return type_ == Type::Int; }
+    bool isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Double;
+    }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const;
+    int64_t asInt() const;
+    double asDouble() const;
+    const std::string &asString() const;
+    const JsonArray &asArray() const;
+    const JsonObject &asObject() const;
+    JsonArray &asArray();
+    JsonObject &asObject();
+
+    /** Object member access; returns Null value if missing. */
+    const JsonValue &operator[](const std::string &key) const;
+
+    /** Typed object member lookups with error reporting. */
+    Result<std::string> getString(const std::string &key) const;
+    Result<int64_t> getInt(const std::string &key) const;
+    Result<JsonObject> getObject(const std::string &key) const;
+    Result<JsonArray> getArray(const std::string &key) const;
+    bool has(const std::string &key) const;
+
+    /** Serialize compactly (stable key order). */
+    std::string dump() const;
+
+    bool operator==(const JsonValue &other) const;
+
+  private:
+    void dumpTo(std::string &out) const;
+
+    Type type_;
+    bool boolVal = false;
+    int64_t intVal = 0;
+    double dblVal = 0.0;
+    std::string strVal;
+    std::shared_ptr<JsonArray> arrVal;
+    std::shared_ptr<JsonObject> objVal;
+};
+
+/** Parse a JSON document; rejects trailing garbage. */
+Result<JsonValue> parseJson(const std::string &text);
+
+} // namespace cronus
+
+#endif // CRONUS_BASE_JSON_HH

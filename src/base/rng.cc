@@ -1,0 +1,80 @@
+#include "rng.hh"
+
+#include "logging.hh"
+
+namespace cronus
+{
+
+static inline uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+static inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : state)
+        word = splitmix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(state[1] * 5, 7) * 9;
+    uint64_t t = state[1] << 17;
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    CRONUS_ASSERT(bound != 0, "nextBelow(0)");
+    /* Rejection sampling to avoid modulo bias. */
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+Rng::nextRange(double lo, double hi)
+{
+    return lo + nextDouble() * (hi - lo);
+}
+
+void
+Rng::fill(std::vector<uint8_t> &out)
+{
+    for (size_t i = 0; i < out.size(); i += 8) {
+        uint64_t r = next();
+        for (size_t j = 0; j < 8 && i + j < out.size(); ++j)
+            out[i + j] = (r >> (8 * j)) & 0xff;
+    }
+}
+
+} // namespace cronus

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * All randomness in the simulation flows through seeded Rng instances
+ * so that every test and bench run is exactly reproducible.
+ */
+
+#ifndef CRONUS_BASE_RNG_HH
+#define CRONUS_BASE_RNG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cronus
+{
+
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Uniform 64-bit value. */
+    uint64_t next();
+
+    /** Uniform in [0, bound). @p bound must be nonzero. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double nextRange(double lo, double hi);
+
+    /** Fill @p out with random bytes. */
+    void fill(std::vector<uint8_t> &out);
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = nextBelow(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    uint64_t state[4];
+};
+
+} // namespace cronus
+
+#endif // CRONUS_BASE_RNG_HH

@@ -1,0 +1,95 @@
+#include "stats.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "logging.hh"
+
+namespace cronus
+{
+
+double
+Distribution::min() const
+{
+    CRONUS_ASSERT(!values.empty(), "Distribution::min on empty");
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+Distribution::max() const
+{
+    CRONUS_ASSERT(!values.empty(), "Distribution::max on empty");
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+Distribution::sum() const
+{
+    return std::accumulate(values.begin(), values.end(), 0.0);
+}
+
+double
+Distribution::mean() const
+{
+    CRONUS_ASSERT(!values.empty(), "Distribution::mean on empty");
+    return sum() / values.size();
+}
+
+double
+Distribution::percentile(double p) const
+{
+    CRONUS_ASSERT(!values.empty(), "Distribution::percentile on empty");
+    CRONUS_ASSERT(p >= 0.0 && p <= 1.0, "percentile out of range");
+    std::vector<double> sorted(values);
+    std::sort(sorted.begin(), sorted.end());
+    double idx = p * (sorted.size() - 1);
+    size_t lo = static_cast<size_t>(std::floor(idx));
+    size_t hi = static_cast<size_t>(std::ceil(idx));
+    double frac = idx - lo;
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void
+ThroughputSeries::record(SimTime when, uint64_t count)
+{
+    buckets[when / bucketNs] += count;
+}
+
+std::vector<double>
+ThroughputSeries::ratesPerSecond(SimTime end) const
+{
+    size_t n = static_cast<size_t>(end / bucketNs) + 1;
+    std::vector<double> rates(n, 0.0);
+    double scale = static_cast<double>(kNsPerSec) /
+                   static_cast<double>(bucketNs);
+    for (const auto &[bucket, count] : buckets) {
+        if (bucket < n)
+            rates[bucket] = count * scale;
+    }
+    return rates;
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    auto it = counters.find(name);
+    if (it == counters.end())
+        it = counters.emplace(name, Counter(name)).first;
+    return it->second;
+}
+
+uint64_t
+StatGroup::value(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[name, counter] : counters)
+        counter.reset();
+}
+
+} // namespace cronus

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Statistics collection: counters, distributions and time series.
+ */
+
+#ifndef CRONUS_BASE_STATS_HH
+#define CRONUS_BASE_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim_clock.hh"
+
+namespace cronus
+{
+
+/** A named monotonically increasing counter. */
+class Counter
+{
+  public:
+    explicit Counter(std::string counter_name = "")
+        : statName(std::move(counter_name)) {}
+
+    void inc(uint64_t delta = 1) { total += delta; }
+    uint64_t value() const { return total; }
+    void reset() { total = 0; }
+    const std::string &name() const { return statName; }
+
+  private:
+    std::string statName;
+    uint64_t total = 0;
+};
+
+/** Samples with min/max/mean/percentile queries. */
+class Distribution
+{
+  public:
+    void sample(double v) { values.push_back(v); }
+
+    size_t count() const { return values.size(); }
+    double min() const;
+    double max() const;
+    double mean() const;
+    double sum() const;
+    /** @p p in [0,1]. */
+    double percentile(double p) const;
+    void reset() { values.clear(); }
+
+  private:
+    std::vector<double> values;
+};
+
+/**
+ * Time-bucketed event counts for throughput-over-time plots (Fig. 9).
+ */
+class ThroughputSeries
+{
+  public:
+    explicit ThroughputSeries(SimTime bucket_ns = 100 * kNsPerMs)
+        : bucketNs(bucket_ns) {}
+
+    /** Record @p count events at virtual time @p when. */
+    void record(SimTime when, uint64_t count = 1);
+
+    /** Events per second for every bucket in [0, end]. */
+    std::vector<double> ratesPerSecond(SimTime end) const;
+
+    SimTime bucketSize() const { return bucketNs; }
+
+  private:
+    SimTime bucketNs;
+    std::map<uint64_t, uint64_t> buckets;
+};
+
+/** Registry of named counters owned by one simulated component. */
+class StatGroup
+{
+  public:
+    Counter &counter(const std::string &name);
+    uint64_t value(const std::string &name) const;
+    void reset();
+
+    const std::map<std::string, Counter> &all() const
+    {
+        return counters;
+    }
+
+  private:
+    std::map<std::string, Counter> counters;
+};
+
+} // namespace cronus
+
+#endif // CRONUS_BASE_STATS_HH

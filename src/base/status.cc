@@ -1,0 +1,37 @@
+#include "status.hh"
+
+namespace cronus
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:                 return "Ok";
+      case ErrorCode::PermissionDenied:   return "PermissionDenied";
+      case ErrorCode::AuthFailed:         return "AuthFailed";
+      case ErrorCode::NotFound:           return "NotFound";
+      case ErrorCode::InvalidState:       return "InvalidState";
+      case ErrorCode::InvalidArgument:    return "InvalidArgument";
+      case ErrorCode::ResourceExhausted:  return "ResourceExhausted";
+      case ErrorCode::PeerFailed:         return "PeerFailed";
+      case ErrorCode::AccessFault:        return "AccessFault";
+      case ErrorCode::IntegrityViolation: return "IntegrityViolation";
+      case ErrorCode::Unsupported:        return "Unsupported";
+      case ErrorCode::Timeout:            return "Timeout";
+    }
+    return "Unknown";
+}
+
+std::string
+Status::toString() const
+{
+    std::string out = errorCodeName(errCode);
+    if (!errMsg.empty()) {
+        out += ": ";
+        out += errMsg;
+    }
+    return out;
+}
+
+} // namespace cronus

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Lightweight Status / Result error-handling types.
+ *
+ * The simulation distinguishes *security rejections* (an operation a
+ * malicious party attempted that the architecture blocks) from
+ * programming errors. Security rejections are normal, expected
+ * outcomes and are therefore modeled as Status values, never as
+ * exceptions.
+ */
+
+#ifndef CRONUS_BASE_STATUS_HH
+#define CRONUS_BASE_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "logging.hh"
+
+namespace cronus
+{
+
+/** Machine-inspectable failure category. */
+enum class ErrorCode
+{
+    Ok = 0,
+    /** Caller lacks ownership/permission for the target object. */
+    PermissionDenied,
+    /** Authentication/attestation/signature verification failed. */
+    AuthFailed,
+    /** Target object does not exist. */
+    NotFound,
+    /** Operation conflicts with current state (e.g. already shared). */
+    InvalidState,
+    /** Malformed input (manifest, device tree, RPC frame...). */
+    InvalidArgument,
+    /** Out of a bounded resource (memory, eids, ring slots...). */
+    ResourceExhausted,
+    /** The peer partition/mOS/mEnclave has failed (trap signal). */
+    PeerFailed,
+    /** Memory access blocked by TZASC/stage-2/SMMU. */
+    AccessFault,
+    /** Integrity check failed (replay/reorder/tamper detected). */
+    IntegrityViolation,
+    /** Operation not supported by this device/runtime. */
+    Unsupported,
+    /** Operation timed out (e.g. hang detection). */
+    Timeout,
+};
+
+/** Human-readable name of an ErrorCode. */
+const char *errorCodeName(ErrorCode code);
+
+/**
+ * Result of an operation that can fail without a value.
+ */
+class Status
+{
+  public:
+    Status() : errCode(ErrorCode::Ok) {}
+    Status(ErrorCode code, std::string msg)
+        : errCode(code), errMsg(std::move(msg)) {}
+
+    static Status ok() { return Status(); }
+
+    bool isOk() const { return errCode == ErrorCode::Ok; }
+    explicit operator bool() const { return isOk(); }
+
+    ErrorCode code() const { return errCode; }
+    const std::string &message() const { return errMsg; }
+
+    /** Render "code: message" for logs. */
+    std::string toString() const;
+
+    bool operator==(const Status &other) const
+    {
+        return errCode == other.errCode;
+    }
+
+  private:
+    ErrorCode errCode;
+    std::string errMsg;
+};
+
+/** Convenience factories. */
+inline Status
+makeError(ErrorCode code, const std::string &msg)
+{
+    return Status(code, msg);
+}
+
+/**
+ * Result: a value or a Status error.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /* Implicit conversions keep call sites terse. */
+    Result(T value) : val(std::move(value)) {}
+    Result(Status status) : err(std::move(status))
+    {
+        CRONUS_ASSERT(!err.isOk(), "Result built from Ok status");
+    }
+    Result(ErrorCode code, std::string msg)
+        : err(code, std::move(msg)) {}
+
+    bool isOk() const { return val.has_value(); }
+    explicit operator bool() const { return isOk(); }
+
+    const Status &status() const { return err; }
+    ErrorCode code() const
+    {
+        return isOk() ? ErrorCode::Ok : err.code();
+    }
+
+    /** Access the value; panics if the result is an error. */
+    T &
+    value()
+    {
+        CRONUS_ASSERT(isOk(), "Result::value() on error: " +
+                      err.toString());
+        return *val;
+    }
+
+    const T &
+    value() const
+    {
+        CRONUS_ASSERT(isOk(), "Result::value() on error: " +
+                      err.toString());
+        return *val;
+    }
+
+    T valueOr(T fallback) const
+    {
+        return isOk() ? *val : std::move(fallback);
+    }
+
+  private:
+    std::optional<T> val;
+    Status err;
+};
+
+/** Propagate an error Status from a callee. */
+#define CRONUS_RETURN_IF_ERROR(expr)                                   \
+    do {                                                               \
+        ::cronus::Status status_ = (expr);                             \
+        if (!status_.isOk())                                           \
+            return status_;                                            \
+    } while (0)
+
+} // namespace cronus
+
+#endif // CRONUS_BASE_STATUS_HH

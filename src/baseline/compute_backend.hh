@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Common interface over CRONUS and its baselines (§VI-A).
+ *
+ * The evaluation compares four systems on identical workloads:
+ *   - Linux (native, unprotected),
+ *   - TrustZone (monolithic secure OS with all drivers inside),
+ *   - HIX-TrustZone (GPU enclave + encrypted lock-step RPC over
+ *     untrusted memory),
+ *   - CRONUS (mEnclaves + sRPC).
+ * ComputeBackend is the workload-facing surface all four implement:
+ * CUDA-ish GPU ops, VTA-ish NPU ops, and the failure/recovery hooks
+ * Fig. 9 needs.
+ */
+
+#ifndef CRONUS_BASELINE_COMPUTE_BACKEND_HH
+#define CRONUS_BASELINE_COMPUTE_BACKEND_HH
+
+#include "accel/npu.hh"
+#include "base/sim_clock.hh"
+#include "base/status.hh"
+
+namespace cronus::baseline
+{
+
+class ComputeBackend
+{
+  public:
+    virtual ~ComputeBackend() = default;
+
+    virtual std::string name() const = 0;
+
+    /* --- GPU ops --- */
+    virtual Result<uint64_t> gpuAlloc(uint64_t bytes) = 0;
+    virtual Status gpuFree(uint64_t va) = 0;
+    virtual Status copyToGpu(uint64_t va, const Bytes &data) = 0;
+    virtual Result<Bytes> copyFromGpu(uint64_t va, uint64_t len) = 0;
+    virtual Status launchKernel(const std::string &kernel,
+                                const std::vector<uint64_t> &args,
+                                uint64_t work_items) = 0;
+    virtual Status gpuSynchronize() = 0;
+
+    /* --- NPU ops (Unsupported on GPU-only baselines) --- */
+    virtual Result<uint32_t> npuAllocBuffer(uint64_t bytes) = 0;
+    virtual Status npuWriteBuffer(uint32_t buffer, uint64_t offset,
+                                  const Bytes &data) = 0;
+    virtual Result<Bytes> npuReadBuffer(uint32_t buffer,
+                                        uint64_t offset,
+                                        uint64_t len) = 0;
+    virtual Status npuRun(const accel::NpuProgram &program) = 0;
+
+    /* --- CPU-side work (e.g. optimizer steps, data prep) --- */
+    virtual Status cpuWork(uint64_t work_units) = 0;
+
+    /* --- virtual time --- */
+    virtual SimTime now() const = 0;
+
+    /* --- failure / recovery (Fig. 9) --- */
+
+    /** Inject a fault into the GPU software stack. */
+    virtual Status injectGpuFault() = 0;
+
+    /**
+     * Recover from the injected fault; returns the virtual-time
+     * cost. Monolithic baselines reboot the whole machine; CRONUS
+     * restarts one partition.
+     */
+    virtual Result<SimTime> recoverGpu() = 0;
+
+    /** Whether non-GPU computation survived the GPU fault. */
+    virtual bool othersAlive() = 0;
+
+    /** TEE protection in place? (native answers false). */
+    virtual bool isProtected() const = 0;
+};
+
+} // namespace cronus::baseline
+
+#endif // CRONUS_BASELINE_COMPUTE_BACKEND_HH

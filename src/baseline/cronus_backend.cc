@@ -1,0 +1,319 @@
+#include "cronus_backend.hh"
+
+#include "accel/builtin_kernels.hh"
+#include "base/logging.hh"
+
+namespace cronus::baseline
+{
+
+using core::CudaRuntime;
+using core::NpuRuntime;
+
+namespace
+{
+
+std::string
+gpuManifestFor(const std::vector<std::string> &kernels,
+               const Bytes &image_bytes)
+{
+    core::Manifest m;
+    m.deviceType = "gpu";
+    m.images["app.cubin"] =
+        crypto::digestHex(crypto::sha256(image_bytes));
+    for (const auto &fn : CudaRuntime::apiSurface()) {
+        m.mEcalls.push_back(
+            {fn, core::AutoPartitioner::cudaCallIsAsync(fn)});
+    }
+    (void)kernels;
+    m.memoryBytes = 8ull << 20;
+    return m.toJson();
+}
+
+std::string
+cpuManifestBasic()
+{
+    core::Manifest m;
+    m.deviceType = "cpu";
+    m.mEcalls.push_back({"noop", false});
+    m.memoryBytes = 4ull << 20;
+    return m.toJson();
+}
+
+std::string
+npuManifestBasic()
+{
+    core::Manifest m;
+    m.deviceType = "npu";
+    for (const auto &fn : NpuRuntime::apiSurface())
+        m.mEcalls.push_back({fn, false});
+    m.memoryBytes = 4ull << 20;
+    return m.toJson();
+}
+
+} // namespace
+
+CronusBackend::CronusBackend(const CronusBackendConfig &config)
+    : cfg(config)
+{
+    accel::registerBuiltinKernels();
+    core::CpuFunctionRegistry::instance().registerFunction(
+        "noop", [](core::CpuCallContext &ctx) {
+            ctx.charge(1);
+            return Result<Bytes>(Bytes{});
+        });
+
+    core::CronusConfig sc;
+    sc.gpuVramBytes = cfg.gpuVramBytes;
+    sc.withNpu = cfg.withNpu;
+    sys = std::make_unique<core::CronusSystem>(sc);
+
+    /* CPU mEnclave (the application's trusted part). */
+    core::CpuImage cpu_image;
+    cpu_image.exports = {"noop"};
+    Bytes cpu_bytes = cpu_image.serialize();
+    core::Manifest cm;
+    cm.deviceType = "cpu";
+    cm.images["app.so"] = crypto::digestHex(crypto::sha256(cpu_bytes));
+    cm.mEcalls.push_back({"noop", false});
+    cm.memoryBytes = 4ull << 20;
+    auto cpu = sys->createEnclave(cm.toJson(), "app.so", cpu_bytes);
+    CRONUS_ASSERT(cpu.isOk(),
+                  "cpu enclave: " + cpu.status().toString());
+    cpuEnclave = cpu.value();
+    (void)cpuManifestBasic;
+}
+
+Status
+CronusBackend::ensureGpuChannel()
+{
+    if (gpuUp)
+        return Status::ok();
+    accel::GpuModuleImage image{"app.cubin", cfg.gpuKernels};
+    Bytes image_bytes = image.serialize();
+    auto gpu = sys->createEnclave(
+        gpuManifestFor(cfg.gpuKernels, image_bytes), "app.cubin",
+        image_bytes);
+    if (!gpu.isOk())
+        return gpu.status();
+    gpuEnclave = gpu.value();
+    auto channel = sys->connect(cpuEnclave, gpuEnclave, srpcConfig);
+    if (!channel.isOk())
+        return channel.status();
+    gpuChannel = std::move(channel.value());
+    gpuUp = true;
+    return Status::ok();
+}
+
+Status
+CronusBackend::ensureNpuChannel()
+{
+    if (npuUp)
+        return Status::ok();
+    if (!cfg.withNpu)
+        return Status(ErrorCode::Unsupported, "NPU disabled");
+    auto npu = sys->createEnclave(npuManifestBasic(), "", Bytes{});
+    if (!npu.isOk())
+        return npu.status();
+    npuEnclave = npu.value();
+    auto channel = sys->connect(cpuEnclave, npuEnclave, srpcConfig);
+    if (!channel.isOk())
+        return channel.status();
+    npuChannel = std::move(channel.value());
+    npuUp = true;
+    return Status::ok();
+}
+
+Result<uint64_t>
+CronusBackend::gpuAlloc(uint64_t bytes)
+{
+    CRONUS_RETURN_IF_ERROR(ensureGpuChannel());
+    auto r = gpuChannel->callSync("cuMemAlloc",
+                                  CudaRuntime::encodeMemAlloc(bytes));
+    if (!r.isOk())
+        return r.status();
+    return CudaRuntime::decodeU64Result(r.value());
+}
+
+Status
+CronusBackend::gpuFree(uint64_t va)
+{
+    CRONUS_RETURN_IF_ERROR(ensureGpuChannel());
+    auto r = gpuChannel->call("cuMemFree",
+                              CudaRuntime::encodeMemFree(va));
+    return r.isOk() ? Status::ok() : r.status();
+}
+
+Status
+CronusBackend::streamCopy(uint64_t va, const Bytes &data)
+{
+    uint64_t chunk = srpcConfig.requestBytes() - 64;
+    for (uint64_t off = 0; off < data.size(); off += chunk) {
+        uint64_t len = std::min<uint64_t>(chunk, data.size() - off);
+        Bytes piece(data.begin() + off, data.begin() + off + len);
+        auto r = gpuChannel->call(
+            "cuMemcpyHtoD",
+            CudaRuntime::encodeMemcpyHtoD(va + off, piece));
+        if (!r.isOk())
+            return r.status();
+    }
+    if (data.empty()) {
+        auto r = gpuChannel->call(
+            "cuMemcpyHtoD", CudaRuntime::encodeMemcpyHtoD(va, data));
+        if (!r.isOk())
+            return r.status();
+    }
+    return Status::ok();
+}
+
+Status
+CronusBackend::copyToGpu(uint64_t va, const Bytes &data)
+{
+    CRONUS_RETURN_IF_ERROR(ensureGpuChannel());
+    return streamCopy(va, data);
+}
+
+Result<Bytes>
+CronusBackend::copyFromGpu(uint64_t va, uint64_t len)
+{
+    CRONUS_RETURN_IF_ERROR(ensureGpuChannel());
+    uint64_t chunk = srpcConfig.responseBytes() - 64;
+    Bytes out;
+    out.reserve(len);
+    for (uint64_t off = 0; off < len; off += chunk) {
+        uint64_t n = std::min<uint64_t>(chunk, len - off);
+        auto r = gpuChannel->call(
+            "cuMemcpyDtoH",
+            CudaRuntime::encodeMemcpyDtoH(va + off, n));
+        if (!r.isOk())
+            return r.status();
+        out.insert(out.end(), r.value().begin(), r.value().end());
+    }
+    return out;
+}
+
+Status
+CronusBackend::launchKernel(const std::string &kernel,
+                            const std::vector<uint64_t> &args,
+                            uint64_t work_items)
+{
+    CRONUS_RETURN_IF_ERROR(ensureGpuChannel());
+    auto r = gpuChannel->call(
+        "cuLaunchKernel",
+        CudaRuntime::encodeLaunchKernel(kernel, args, work_items));
+    return r.isOk() ? Status::ok() : r.status();
+}
+
+Status
+CronusBackend::gpuSynchronize()
+{
+    CRONUS_RETURN_IF_ERROR(ensureGpuChannel());
+    auto r = gpuChannel->call("cuCtxSynchronize", Bytes{});
+    return r.isOk() ? Status::ok() : r.status();
+}
+
+Result<uint32_t>
+CronusBackend::npuAllocBuffer(uint64_t bytes)
+{
+    CRONUS_RETURN_IF_ERROR(ensureNpuChannel());
+    auto r = npuChannel->callSync(
+        "vtaAllocBuffer", NpuRuntime::encodeAllocBuffer(bytes));
+    if (!r.isOk())
+        return r.status();
+    ByteReader reader(r.value());
+    return reader.getU32();
+}
+
+Status
+CronusBackend::npuWriteBuffer(uint32_t buffer, uint64_t offset,
+                              const Bytes &data)
+{
+    CRONUS_RETURN_IF_ERROR(ensureNpuChannel());
+    uint64_t chunk = srpcConfig.requestBytes() - 64;
+    for (uint64_t off = 0; off < data.size(); off += chunk) {
+        uint64_t len = std::min<uint64_t>(chunk, data.size() - off);
+        Bytes piece(data.begin() + off, data.begin() + off + len);
+        auto r = npuChannel->call(
+            "vtaWriteBuffer",
+            NpuRuntime::encodeWriteBuffer(buffer, offset + off,
+                                          piece));
+        if (!r.isOk())
+            return r.status();
+    }
+    return Status::ok();
+}
+
+Result<Bytes>
+CronusBackend::npuReadBuffer(uint32_t buffer, uint64_t offset,
+                             uint64_t len)
+{
+    CRONUS_RETURN_IF_ERROR(ensureNpuChannel());
+    uint64_t chunk = srpcConfig.responseBytes() - 64;
+    Bytes out;
+    for (uint64_t off = 0; off < len; off += chunk) {
+        uint64_t n = std::min<uint64_t>(chunk, len - off);
+        auto r = npuChannel->call(
+            "vtaReadBuffer",
+            NpuRuntime::encodeReadBuffer(buffer, offset + off, n));
+        if (!r.isOk())
+            return r.status();
+        out.insert(out.end(), r.value().begin(), r.value().end());
+    }
+    return out;
+}
+
+Status
+CronusBackend::npuRun(const accel::NpuProgram &program)
+{
+    CRONUS_RETURN_IF_ERROR(ensureNpuChannel());
+    auto r = npuChannel->call("vtaRun",
+                              NpuRuntime::encodeRun(program));
+    return r.isOk() ? Status::ok() : r.status();
+}
+
+Status
+CronusBackend::cpuWork(uint64_t work_units)
+{
+    sys->platform().clock().advance(work_units);
+    return Status::ok();
+}
+
+SimTime
+CronusBackend::now() const
+{
+    return const_cast<CronusBackend *>(this)
+        ->sys->platform().clock().now();
+}
+
+Status
+CronusBackend::injectGpuFault()
+{
+    return sys->injectPanic("gpu0");
+}
+
+Result<SimTime>
+CronusBackend::recoverGpu()
+{
+    SimTime before = sys->platform().clock().now();
+    CRONUS_RETURN_IF_ERROR(sys->recover("gpu0"));
+    /* The old enclave/channel died with the partition; rebuild on
+     * next use. */
+    gpuChannel.reset();
+    gpuUp = false;
+    return sys->platform().clock().now() - before;
+}
+
+bool
+CronusBackend::othersAlive()
+{
+    /* NPU and CPU partitions are unaffected by the GPU fault. */
+    if (!cfg.withNpu)
+        return true;
+    Status alive = ensureNpuChannel();
+    if (!alive.isOk())
+        return false;
+    auto r = npuChannel->callSync(
+        "vtaAllocBuffer", NpuRuntime::encodeAllocBuffer(64));
+    return r.isOk();
+}
+
+} // namespace cronus::baseline

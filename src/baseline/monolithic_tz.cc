@@ -1,0 +1,236 @@
+#include "monolithic_tz.hh"
+
+#include "accel/builtin_kernels.hh"
+#include "base/logging.hh"
+
+namespace cronus::baseline
+{
+
+MonolithicTzBackend::MonolithicTzBackend(const MonolithicConfig &config)
+    : cfg(config)
+{
+    plat = std::make_unique<hw::Platform>();
+    accel::registerBuiltinKernels();
+
+    accel::GpuConfig gc;
+    gc.vramBytes = cfg.gpuVramBytes;
+    gpu = static_cast<accel::GpuDevice *>(
+        plat->registerDevice(std::make_unique<accel::GpuDevice>(gc),
+                             40));
+    accel::NpuConfig nc;
+    npu = static_cast<accel::NpuDevice *>(
+        plat->registerDevice(std::make_unique<accel::NpuDevice>(nc),
+                             60));
+
+    monitor = std::make_unique<tee::SecureMonitor>(*plat);
+    hw::DeviceTree dt = plat->buildDeviceTree();
+    hw::DeviceTree secure_dt;
+    for (auto node : dt.all()) {
+        node.world = hw::World::Secure;
+        secure_dt.addNode(node);
+    }
+    Status booted = monitor->boot(secure_dt);
+    CRONUS_ASSERT(booted.isOk(), "monolithic boot failed");
+
+    gpuCtx = gpu->createContext().value();
+    npuCtx = npu->createContext().value();
+    if (!cfg.gpuKernels.empty()) {
+        accel::GpuModuleImage image{"tz.cubin", cfg.gpuKernels};
+        Status s = gpu->loadModule(gpuCtx, image);
+        CRONUS_ASSERT(s.isOk(), "monolithic module load failed");
+    }
+}
+
+Status
+MonolithicTzBackend::ensureAlive() const
+{
+    if (secureWorldDown)
+        return Status(ErrorCode::PeerFailed,
+                      "secure world crashed (monolithic)");
+    return Status::ok();
+}
+
+void
+MonolithicTzBackend::enterTee()
+{
+    /* App (normal world) -> trusted OS entry + exit. Only used when
+     * an untrusted client calls into the TEE; the training/compute
+     * loops run entirely inside the secure world (the paper runs
+     * the whole PyTorch program in the TEE). */
+    monitor->worldSwitch();
+    monitor->worldSwitch();
+}
+
+Result<uint64_t>
+MonolithicTzBackend::gpuAlloc(uint64_t bytes)
+{
+    CRONUS_RETURN_IF_ERROR(ensureAlive());
+    auto va = gpu->malloc(gpuCtx, bytes);
+    if (!va.isOk())
+        return va.status();
+    return uint64_t(va.value());
+}
+
+Status
+MonolithicTzBackend::gpuFree(uint64_t va)
+{
+    CRONUS_RETURN_IF_ERROR(ensureAlive());
+    return gpu->free(gpuCtx, va);
+}
+
+Status
+MonolithicTzBackend::copyToGpu(uint64_t va, const Bytes &data)
+{
+    CRONUS_RETURN_IF_ERROR(ensureAlive());
+    plat->clock().advance(plat->costs().gpuCopyCmdNs);
+    plat->chargeMemcpy(data.size());
+    plat->chargeDma(data.size());
+    return gpu->write(gpuCtx, va, data.data(), data.size());
+}
+
+Result<Bytes>
+MonolithicTzBackend::copyFromGpu(uint64_t va, uint64_t len)
+{
+    CRONUS_RETURN_IF_ERROR(ensureAlive());
+    plat->clock().advanceTo(gpu->streamBusyUntil(gpuCtx));
+    plat->clock().advance(plat->costs().gpuCopyCmdNs);
+    plat->chargeMemcpy(len);
+    plat->chargeDma(len);
+    Bytes out(len);
+    Status s = gpu->read(gpuCtx, va, out.data(), len);
+    if (!s.isOk())
+        return s;
+    return out;
+}
+
+Status
+MonolithicTzBackend::launchKernel(const std::string &kernel,
+                                  const std::vector<uint64_t> &args,
+                                  uint64_t work_items)
+{
+    CRONUS_RETURN_IF_ERROR(ensureAlive());
+    plat->clock().advance(plat->costs().gpuSubmitNs);
+    auto done = gpu->launch(gpuCtx, kernel, args,
+                            accel::LaunchDims{work_items},
+                            plat->clock().now());
+    if (!done.isOk())
+        return done.status();
+    return Status::ok();
+}
+
+Status
+MonolithicTzBackend::gpuSynchronize()
+{
+    CRONUS_RETURN_IF_ERROR(ensureAlive());
+    plat->clock().advanceTo(gpu->streamBusyUntil(gpuCtx));
+    return Status::ok();
+}
+
+Result<uint32_t>
+MonolithicTzBackend::npuAllocBuffer(uint64_t bytes)
+{
+    CRONUS_RETURN_IF_ERROR(ensureAlive());
+    return npu->allocBuffer(npuCtx, bytes);
+}
+
+Status
+MonolithicTzBackend::npuWriteBuffer(uint32_t buffer, uint64_t offset,
+                                    const Bytes &data)
+{
+    CRONUS_RETURN_IF_ERROR(ensureAlive());
+    plat->chargeDma(data.size());
+    return npu->writeBuffer(npuCtx, buffer, offset, data.data(),
+                            data.size());
+}
+
+Result<Bytes>
+MonolithicTzBackend::npuReadBuffer(uint32_t buffer, uint64_t offset,
+                                   uint64_t len)
+{
+    CRONUS_RETURN_IF_ERROR(ensureAlive());
+    plat->chargeDma(len);
+    Bytes out(len);
+    Status s = npu->readBuffer(npuCtx, buffer, offset, out.data(),
+                               len);
+    if (!s.isOk())
+        return s;
+    return out;
+}
+
+Status
+MonolithicTzBackend::npuRun(const accel::NpuProgram &program)
+{
+    CRONUS_RETURN_IF_ERROR(ensureAlive());
+    plat->clock().advance(plat->costs().npuSubmitNs);
+    auto done = npu->run(npuCtx, program, plat->clock().now());
+    if (!done.isOk())
+        return done.status();
+    plat->clock().advanceTo(done.value());
+    return Status::ok();
+}
+
+Status
+MonolithicTzBackend::cpuWork(uint64_t work_units)
+{
+    CRONUS_RETURN_IF_ERROR(ensureAlive());
+    plat->clock().advance(work_units);
+    return Status::ok();
+}
+
+SimTime
+MonolithicTzBackend::now() const
+{
+    return plat->clock().now();
+}
+
+Status
+MonolithicTzBackend::injectGpuFault()
+{
+    /* The GPU driver shares the trusted OS with everything else:
+     * the whole secure world goes down (R3.1 violation). */
+    secureWorldDown = true;
+    return Status::ok();
+}
+
+Result<SimTime>
+MonolithicTzBackend::recoverGpu()
+{
+    if (!secureWorldDown)
+        return Status(ErrorCode::InvalidState, "no fault injected");
+    /* Clearing accelerator state needs a cold machine reboot. */
+    SimTime cost = plat->costs().machineRebootNs;
+    plat->clock().advance(cost);
+    gpu->reset(true);
+    npu->reset(true);
+    gpuCtx = gpu->createContext().value();
+    npuCtx = npu->createContext().value();
+    if (!cfg.gpuKernels.empty()) {
+        accel::GpuModuleImage image{"tz.cubin", cfg.gpuKernels};
+        CRONUS_RETURN_IF_ERROR(gpu->loadModule(gpuCtx, image));
+    }
+    secureWorldDown = false;
+    return cost;
+}
+
+bool
+MonolithicTzBackend::othersAlive()
+{
+    /* NPU computation dies with the secure world. */
+    return !secureWorldDown;
+}
+
+Result<Bytes>
+MonolithicTzBackend::maliciousDriverReadsGpu(uint64_t va, uint64_t len)
+{
+    CRONUS_RETURN_IF_ERROR(ensureAlive());
+    /* In the monolithic trusted OS the NPU driver runs in the same
+     * address space and trust domain as the GPU driver: nothing
+     * stops it from reading GPU state of other tenants. */
+    Bytes out(len);
+    Status s = gpu->read(gpuCtx, va, out.data(), len);
+    if (!s.isOk())
+        return s;
+    return out;
+}
+
+} // namespace cronus::baseline

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Monolithic TrustZone baseline (§VI-A "TrustZone").
+ *
+ * All device drivers (GPU, NPU) live in one trusted OS in the
+ * secure world. mECall-style entry from the untrusted app costs a
+ * world switch, but once inside the TEE, GPU/NPU calls are local
+ * function calls over trusted memory -- fast, and spatial sharing
+ * works (R1, R2). The price is isolation: a fault in ANY driver
+ * crashes the whole secure world (all enclaves, all accelerators),
+ * and recovery means rebooting the machine (violating R3.1); every
+ * enclave must trust every driver (violating R3.2).
+ */
+
+#ifndef CRONUS_BASELINE_MONOLITHIC_TZ_HH
+#define CRONUS_BASELINE_MONOLITHIC_TZ_HH
+
+#include "accel/gpu.hh"
+#include "compute_backend.hh"
+#include "hw/platform.hh"
+#include "tee/secure_monitor.hh"
+
+namespace cronus::baseline
+{
+
+struct MonolithicConfig
+{
+    uint64_t gpuVramBytes = 64ull << 20;
+    std::vector<std::string> gpuKernels;
+    /** Calls per secure-world entry batch: the monolithic design
+     *  amortizes the world switch over one app-level operation. */
+    uint32_t worldSwitchEveryNCalls = 1;
+};
+
+class MonolithicTzBackend : public ComputeBackend
+{
+  public:
+    explicit MonolithicTzBackend(
+        const MonolithicConfig &config = MonolithicConfig());
+
+    std::string name() const override { return "TrustZone"; }
+    bool isProtected() const override { return true; }
+
+    Result<uint64_t> gpuAlloc(uint64_t bytes) override;
+    Status gpuFree(uint64_t va) override;
+    Status copyToGpu(uint64_t va, const Bytes &data) override;
+    Result<Bytes> copyFromGpu(uint64_t va, uint64_t len) override;
+    Status launchKernel(const std::string &kernel,
+                        const std::vector<uint64_t> &args,
+                        uint64_t work_items) override;
+    Status gpuSynchronize() override;
+
+    Result<uint32_t> npuAllocBuffer(uint64_t bytes) override;
+    Status npuWriteBuffer(uint32_t buffer, uint64_t offset,
+                          const Bytes &data) override;
+    Result<Bytes> npuReadBuffer(uint32_t buffer, uint64_t offset,
+                                uint64_t len) override;
+    Status npuRun(const accel::NpuProgram &program) override;
+
+    Status cpuWork(uint64_t work_units) override;
+    SimTime now() const override;
+
+    Status injectGpuFault() override;
+    Result<SimTime> recoverGpu() override;
+    bool othersAlive() override;
+
+    /**
+     * Monolithic-design probe: the (possibly malicious) NPU driver,
+     * living in the same trusted OS, reads another enclave's GPU
+     * data. Succeeds here -- demonstrating the R3.2 violation the
+     * attack suite checks.
+     */
+    Result<Bytes> maliciousDriverReadsGpu(uint64_t va, uint64_t len);
+
+    hw::Platform &platform() { return *plat; }
+
+  private:
+    Status ensureAlive() const;
+    void enterTee();
+
+    MonolithicConfig cfg;
+    std::unique_ptr<hw::Platform> plat;
+    std::unique_ptr<tee::SecureMonitor> monitor;
+    accel::GpuDevice *gpu = nullptr;
+    accel::NpuDevice *npu = nullptr;
+    accel::GpuContextId gpuCtx = 0;
+    accel::NpuContextId npuCtx = 0;
+    bool secureWorldDown = false;
+};
+
+} // namespace cronus::baseline
+
+#endif // CRONUS_BASELINE_MONOLITHIC_TZ_HH

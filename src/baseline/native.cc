@@ -1,0 +1,211 @@
+#include "native.hh"
+
+#include "accel/builtin_kernels.hh"
+#include "base/logging.hh"
+
+namespace cronus::baseline
+{
+
+NativeBackend::NativeBackend(const NativeConfig &config)
+    : cfg(config)
+{
+    hw::PlatformConfig pc;
+    plat = std::make_unique<hw::Platform>(pc);
+    accel::registerBuiltinKernels();
+
+    accel::GpuConfig gc;
+    gc.vramBytes = config.gpuVramBytes;
+    gpu = static_cast<accel::GpuDevice *>(
+        plat->registerDevice(std::make_unique<accel::GpuDevice>(gc),
+                             40));
+    accel::NpuConfig nc;
+    npu = static_cast<accel::NpuDevice *>(
+        plat->registerDevice(std::make_unique<accel::NpuDevice>(nc),
+                             60));
+
+    gpuCtx = gpu->createContext().value();
+    npuCtx = npu->createContext().value();
+
+    accel::GpuModuleImage image{"native.cubin", config.gpuKernels};
+    if (!config.gpuKernels.empty()) {
+        Status s = gpu->loadModule(gpuCtx, image);
+        CRONUS_ASSERT(s.isOk(), "native module load: " + s.toString());
+    }
+}
+
+Status
+NativeBackend::ensureGpuAlive() const
+{
+    if (machineDown)
+        return Status(ErrorCode::PeerFailed, "machine down");
+    if (gpuFaulted)
+        return Status(ErrorCode::PeerFailed, "GPU stack crashed");
+    return Status::ok();
+}
+
+Result<uint64_t>
+NativeBackend::gpuAlloc(uint64_t bytes)
+{
+    CRONUS_RETURN_IF_ERROR(ensureGpuAlive());
+    auto va = gpu->malloc(gpuCtx, bytes);
+    if (!va.isOk())
+        return va.status();
+    return uint64_t(va.value());
+}
+
+Status
+NativeBackend::gpuFree(uint64_t va)
+{
+    CRONUS_RETURN_IF_ERROR(ensureGpuAlive());
+    return gpu->free(gpuCtx, va);
+}
+
+Status
+NativeBackend::copyToGpu(uint64_t va, const Bytes &data)
+{
+    CRONUS_RETURN_IF_ERROR(ensureGpuAlive());
+    plat->clock().advance(plat->costs().gpuCopyCmdNs);
+    /* Pageable host memory: the driver stages through a CPU copy
+     * before the DMA (as cudaMemcpy does). */
+    plat->chargeMemcpy(data.size());
+    plat->chargeDma(data.size());
+    return gpu->write(gpuCtx, va, data.data(), data.size());
+}
+
+Result<Bytes>
+NativeBackend::copyFromGpu(uint64_t va, uint64_t len)
+{
+    CRONUS_RETURN_IF_ERROR(ensureGpuAlive());
+    CRONUS_RETURN_IF_ERROR(gpuSynchronize());
+    plat->clock().advance(plat->costs().gpuCopyCmdNs);
+    plat->chargeMemcpy(len);
+    plat->chargeDma(len);
+    Bytes out(len);
+    Status s = gpu->read(gpuCtx, va, out.data(), len);
+    if (!s.isOk())
+        return s;
+    return out;
+}
+
+Status
+NativeBackend::launchKernel(const std::string &kernel,
+                            const std::vector<uint64_t> &args,
+                            uint64_t work_items)
+{
+    CRONUS_RETURN_IF_ERROR(ensureGpuAlive());
+    plat->clock().advance(plat->costs().gpuSubmitNs);
+    auto done = gpu->launch(gpuCtx, kernel, args,
+                            accel::LaunchDims{work_items},
+                            plat->clock().now());
+    if (!done.isOk())
+        return done.status();
+    return Status::ok();
+}
+
+Status
+NativeBackend::gpuSynchronize()
+{
+    CRONUS_RETURN_IF_ERROR(ensureGpuAlive());
+    plat->clock().advanceTo(gpu->streamBusyUntil(gpuCtx));
+    return Status::ok();
+}
+
+Result<uint32_t>
+NativeBackend::npuAllocBuffer(uint64_t bytes)
+{
+    if (machineDown)
+        return Status(ErrorCode::PeerFailed, "machine down");
+    return npu->allocBuffer(npuCtx, bytes);
+}
+
+Status
+NativeBackend::npuWriteBuffer(uint32_t buffer, uint64_t offset,
+                              const Bytes &data)
+{
+    if (machineDown)
+        return Status(ErrorCode::PeerFailed, "machine down");
+    plat->chargeDma(data.size());
+    return npu->writeBuffer(npuCtx, buffer, offset, data.data(),
+                            data.size());
+}
+
+Result<Bytes>
+NativeBackend::npuReadBuffer(uint32_t buffer, uint64_t offset,
+                             uint64_t len)
+{
+    if (machineDown)
+        return Status(ErrorCode::PeerFailed, "machine down");
+    plat->chargeDma(len);
+    Bytes out(len);
+    Status s = npu->readBuffer(npuCtx, buffer, offset, out.data(),
+                               len);
+    if (!s.isOk())
+        return s;
+    return out;
+}
+
+Status
+NativeBackend::npuRun(const accel::NpuProgram &program)
+{
+    if (machineDown)
+        return Status(ErrorCode::PeerFailed, "machine down");
+    plat->clock().advance(plat->costs().npuSubmitNs);
+    auto done = npu->run(npuCtx, program, plat->clock().now());
+    if (!done.isOk())
+        return done.status();
+    plat->clock().advanceTo(done.value());
+    return Status::ok();
+}
+
+Status
+NativeBackend::cpuWork(uint64_t work_units)
+{
+    if (machineDown)
+        return Status(ErrorCode::PeerFailed, "machine down");
+    plat->clock().advance(work_units);
+    return Status::ok();
+}
+
+SimTime
+NativeBackend::now() const
+{
+    return plat->clock().now();
+}
+
+Status
+NativeBackend::injectGpuFault()
+{
+    /* A GPU driver fault in a monolithic kernel takes the machine
+     * down with it. */
+    gpuFaulted = true;
+    machineDown = true;
+    return Status::ok();
+}
+
+Result<SimTime>
+NativeBackend::recoverGpu()
+{
+    if (!gpuFaulted)
+        return Status(ErrorCode::InvalidState, "no fault injected");
+    SimTime cost = plat->costs().machineRebootNs;
+    plat->clock().advance(cost);
+    gpu->reset(true);
+    npu->reset(true);
+    gpuCtx = gpu->createContext().value();
+    npuCtx = npu->createContext().value();
+    if (!cfg.gpuKernels.empty()) {
+        accel::GpuModuleImage image{"native.cubin", cfg.gpuKernels};
+        CRONUS_RETURN_IF_ERROR(gpu->loadModule(gpuCtx, image));
+    }
+    gpuFaulted = false;
+    machineDown = false;
+    return cost;
+}
+
+bool
+NativeBackend::othersAlive()
+{
+    return !machineDown;
+}
+
+} // namespace cronus::baseline

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Native (unprotected) Linux baseline: direct driver access to the
+ * devices, no TEE, no world switches, no authentication.
+ */
+
+#ifndef CRONUS_BASELINE_NATIVE_HH
+#define CRONUS_BASELINE_NATIVE_HH
+
+#include "accel/cpu.hh"
+#include "accel/gpu.hh"
+#include "compute_backend.hh"
+#include "hw/platform.hh"
+
+namespace cronus::baseline
+{
+
+struct NativeConfig
+{
+    uint64_t gpuVramBytes = 64ull << 20;
+    std::vector<std::string> gpuKernels;  ///< module to load
+};
+
+class NativeBackend : public ComputeBackend
+{
+  public:
+    explicit NativeBackend(const NativeConfig &config = NativeConfig());
+
+    std::string name() const override { return "Linux"; }
+    bool isProtected() const override { return false; }
+
+    Result<uint64_t> gpuAlloc(uint64_t bytes) override;
+    Status gpuFree(uint64_t va) override;
+    Status copyToGpu(uint64_t va, const Bytes &data) override;
+    Result<Bytes> copyFromGpu(uint64_t va, uint64_t len) override;
+    Status launchKernel(const std::string &kernel,
+                        const std::vector<uint64_t> &args,
+                        uint64_t work_items) override;
+    Status gpuSynchronize() override;
+
+    Result<uint32_t> npuAllocBuffer(uint64_t bytes) override;
+    Status npuWriteBuffer(uint32_t buffer, uint64_t offset,
+                          const Bytes &data) override;
+    Result<Bytes> npuReadBuffer(uint32_t buffer, uint64_t offset,
+                                uint64_t len) override;
+    Status npuRun(const accel::NpuProgram &program) override;
+
+    Status cpuWork(uint64_t work_units) override;
+    SimTime now() const override;
+
+    Status injectGpuFault() override;
+    Result<SimTime> recoverGpu() override;
+    bool othersAlive() override;
+
+    hw::Platform &platform() { return *plat; }
+
+  private:
+    Status ensureGpuAlive() const;
+
+    NativeConfig cfg;
+    std::unique_ptr<hw::Platform> plat;
+    accel::GpuDevice *gpu = nullptr;
+    accel::NpuDevice *npu = nullptr;
+    accel::GpuContextId gpuCtx = 0;
+    accel::NpuContextId npuCtx = 0;
+    bool gpuFaulted = false;
+    bool machineDown = false;
+};
+
+} // namespace cronus::baseline
+
+#endif // CRONUS_BASELINE_NATIVE_HH

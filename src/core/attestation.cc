@@ -1,0 +1,208 @@
+#include "attestation.hh"
+
+#include <algorithm>
+
+namespace cronus::core
+{
+
+Bytes
+AttestationReport::serialize() const
+{
+    ByteWriter w;
+    w.putU32(eid);
+    w.putBytes(crypto::digestToBytes(enclaveMeasurement));
+    w.putBytes(crypto::digestToBytes(mosMeasurement));
+    w.putBytes(crypto::digestToBytes(dtMeasurement));
+    w.putBytes(devicePublicKey);
+    w.putBytes(deviceConfigSig.toBytes());
+    w.putBytes(challenge);
+    return w.take();
+}
+
+Bytes
+SignedAttestationReport::toWire() const
+{
+    ByteWriter w;
+    w.putU32(report.eid);
+    w.putBytes(crypto::digestToBytes(report.enclaveMeasurement));
+    w.putBytes(crypto::digestToBytes(report.mosMeasurement));
+    w.putBytes(crypto::digestToBytes(report.dtMeasurement));
+    w.putBytes(report.devicePublicKey);
+    w.putBytes(report.deviceConfigSig.toBytes());
+    w.putBytes(report.challenge);
+    w.putBytes(reportSignature.toBytes());
+    w.putBytes(atkPublicKey);
+    w.putBytes(atkEndorsement.toBytes());
+    return w.take();
+}
+
+namespace
+{
+
+Result<crypto::Digest>
+digestFrom(ByteReader &r)
+{
+    auto bytes = r.getBytes();
+    if (!bytes.isOk())
+        return bytes.status();
+    if (bytes.value().size() != 32)
+        return Status(ErrorCode::InvalidArgument,
+                      "digest must be 32 bytes");
+    crypto::Digest d;
+    std::copy(bytes.value().begin(), bytes.value().end(),
+              d.begin());
+    return d;
+}
+
+Result<crypto::Signature>
+signatureFrom(ByteReader &r)
+{
+    auto bytes = r.getBytes();
+    if (!bytes.isOk())
+        return bytes.status();
+    return crypto::Signature::fromBytes(bytes.value());
+}
+
+} // namespace
+
+Result<SignedAttestationReport>
+SignedAttestationReport::fromWire(const Bytes &wire)
+{
+    ByteReader r(wire);
+    SignedAttestationReport out;
+    auto eid = r.getU32();
+    if (!eid.isOk())
+        return eid.status();
+    out.report.eid = eid.value();
+
+    auto enclave_digest = digestFrom(r);
+    if (!enclave_digest.isOk())
+        return enclave_digest.status();
+    out.report.enclaveMeasurement = enclave_digest.value();
+    auto mos_digest = digestFrom(r);
+    if (!mos_digest.isOk())
+        return mos_digest.status();
+    out.report.mosMeasurement = mos_digest.value();
+    auto dt_digest = digestFrom(r);
+    if (!dt_digest.isOk())
+        return dt_digest.status();
+    out.report.dtMeasurement = dt_digest.value();
+
+    auto device_key = r.getBytes();
+    if (!device_key.isOk())
+        return device_key.status();
+    out.report.devicePublicKey = device_key.value();
+    auto device_sig = signatureFrom(r);
+    if (!device_sig.isOk())
+        return device_sig.status();
+    out.report.deviceConfigSig = device_sig.value();
+    auto challenge = r.getBytes();
+    if (!challenge.isOk())
+        return challenge.status();
+    out.report.challenge = challenge.value();
+
+    auto report_sig = signatureFrom(r);
+    if (!report_sig.isOk())
+        return report_sig.status();
+    out.reportSignature = report_sig.value();
+    auto atk = r.getBytes();
+    if (!atk.isOk())
+        return atk.status();
+    out.atkPublicKey = atk.value();
+    auto endorsement = signatureFrom(r);
+    if (!endorsement.isOk())
+        return endorsement.status();
+    out.atkEndorsement = endorsement.value();
+    if (!r.atEnd())
+        return Status(ErrorCode::InvalidArgument,
+                      "trailing bytes in attestation wire form");
+    return out;
+}
+
+Result<SignedAttestationReport>
+attestEnclave(MicroOS &os, Eid eid, const Bytes &challenge)
+{
+    auto enclave = os.enclaveManager().enclave(eid);
+    if (!enclave.isOk())
+        return enclave.status();
+
+    /* The HAL proves hardware authenticity (§IV-A): the device signs
+     * its configuration with its fused key and the mOS verifies. */
+    auto device_att = os.hal().attestDevice(challenge);
+    if (!device_att.isOk())
+        return device_att.status();
+
+    tee::SecureMonitor &monitor = os.spm().monitor();
+
+    AttestationReport report;
+    report.eid = eid;
+    report.enclaveMeasurement = enclave.value()->measure();
+    auto mos_hash = os.mosMeasurement();
+    if (!mos_hash.isOk())
+        return mos_hash.status();
+    report.mosMeasurement = mos_hash.value();
+    report.dtMeasurement = monitor.deviceTree().measure();
+    report.devicePublicKey =
+        device_att.value().devicePublicKey.toBytes();
+    report.deviceConfigSig = device_att.value().configSignature;
+    report.challenge = challenge;
+
+    SignedAttestationReport out;
+    out.report = report;
+    out.reportSignature = monitor.signReport(report.serialize());
+    out.atkPublicKey = monitor.attestationKey().toBytes();
+    out.atkEndorsement = monitor.atkEndorsement();
+    return out;
+}
+
+Status
+verifyAttestation(const SignedAttestationReport &signed_report,
+                  const ClientExpectation &expect)
+{
+    const AttestationReport &report = signed_report.report;
+
+    /* 1. AtK is endorsed by the trusted platform root. */
+    if (!crypto::verify(expect.platformRoot,
+                        signed_report.atkPublicKey,
+                        signed_report.atkEndorsement))
+        return Status(ErrorCode::AuthFailed,
+                      "AtK not endorsed by the platform root");
+
+    /* 2. The report is signed by AtK. */
+    crypto::PublicKey atk =
+        crypto::PublicKey::fromBytes(signed_report.atkPublicKey);
+    if (!crypto::verify(atk, report.serialize(),
+                        signed_report.reportSignature))
+        return Status(ErrorCode::AuthFailed,
+                      "report signature invalid");
+
+    /* 3. Challenge freshness. */
+    if (report.challenge != expect.challenge)
+        return Status(ErrorCode::AuthFailed, "stale challenge");
+
+    /* 4. Measurements: mEnclave, mOS and the frozen DT. The client
+     * trusts only the code and hardware in the partition it uses
+     * (R3.2). */
+    if (report.enclaveMeasurement != expect.expectedEnclave)
+        return Status(ErrorCode::IntegrityViolation,
+                      "mEnclave measurement mismatch");
+    if (report.mosMeasurement != expect.expectedMos)
+        return Status(ErrorCode::IntegrityViolation,
+                      "mOS measurement mismatch");
+    if (report.dtMeasurement != expect.expectedDt)
+        return Status(ErrorCode::IntegrityViolation,
+                      "device-tree measurement mismatch "
+                      "(misconfigured platform)");
+
+    /* 5. PubK_acc is endorsed by the hardware vendor (fabricated
+     * accelerator defense). */
+    crypto::PublicKey device_key =
+        crypto::PublicKey::fromBytes(report.devicePublicKey);
+    if (!crypto::verify(expect.vendorKey, device_key.toBytes(),
+                        expect.deviceEndorsement))
+        return Status(ErrorCode::AuthFailed,
+                      "accelerator key lacks vendor endorsement");
+    return Status::ok();
+}
+
+} // namespace cronus::core

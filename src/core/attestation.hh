@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Remote attestation (§IV-A).
+ *
+ * CRONUS extends two-phase attestation to a dynamically configured
+ * TEE platform: a client verifies a *closure* of hardware and
+ * software state -- the device tree, the mOS hash, the mEnclave
+ * hash and the accelerator's hardware key (PubK_acc) -- signed by
+ * the platform attestation key AtK, which is itself endorsed by the
+ * platform root of trust. The accelerator key must additionally be
+ * endorsed by its hardware vendor, defeating fabricated devices.
+ */
+
+#ifndef CRONUS_CORE_ATTESTATION_HH
+#define CRONUS_CORE_ATTESTATION_HH
+
+#include "hw/root_of_trust.hh"
+#include "micro_enclave.hh"
+
+namespace cronus::core
+{
+
+/** The report body the secure monitor signs. */
+struct AttestationReport
+{
+    Eid eid = 0;
+    crypto::Digest enclaveMeasurement{};
+    crypto::Digest mosMeasurement{};
+    crypto::Digest dtMeasurement{};
+    Bytes devicePublicKey;        ///< PubK_acc
+    crypto::Signature deviceConfigSig;  ///< device RoT over config
+    Bytes challenge;
+
+    Bytes serialize() const;
+};
+
+/** Report + the AtK signature chain. */
+struct SignedAttestationReport
+{
+    AttestationReport report;
+    crypto::Signature reportSignature;   ///< by AtK
+    Bytes atkPublicKey;
+    crypto::Signature atkEndorsement;    ///< by platform RoT
+
+    /** Wire form: what actually travels to the remote client. */
+    Bytes toWire() const;
+    static Result<SignedAttestationReport> fromWire(
+        const Bytes &wire);
+};
+
+/**
+ * Produce the signed report for @p eid hosted by @p os. The HAL
+ * first verifies hardware authenticity with @p challenge.
+ */
+Result<SignedAttestationReport> attestEnclave(MicroOS &os, Eid eid,
+                                              const Bytes &challenge);
+
+/** What a remote client expects the platform to prove. */
+struct ClientExpectation
+{
+    crypto::PublicKey platformRoot;   ///< trusted RoT / attestation
+                                      ///< service key
+    crypto::Digest expectedEnclave{};
+    crypto::Digest expectedMos{};
+    crypto::Digest expectedDt{};
+    /** Vendor key + endorsement of the device RoT key. */
+    crypto::PublicKey vendorKey;
+    crypto::Signature deviceEndorsement;
+    Bytes challenge;
+};
+
+/**
+ * Client-side verification: checks the full chain
+ * RoT -> AtK -> report, the measurements, the challenge freshness
+ * and the vendor endorsement of PubK_acc.
+ */
+Status verifyAttestation(const SignedAttestationReport &signed_report,
+                         const ClientExpectation &expect);
+
+} // namespace cronus::core
+
+#endif // CRONUS_CORE_ATTESTATION_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Automatic partitioning of a monolithic enclave (§V-B).
+ *
+ * A monolithic enclave program mixes CPU computation with CUDA/VTA
+ * calls. The partitioner splits it into one mEnclave per device
+ * kind, generates their manifests (with sync/async sRPC flags
+ * derived from call semantics), and the runner converts every
+ * device call into an mEnclave RPC -- no application changes.
+ */
+
+#ifndef CRONUS_CORE_AUTO_PARTITION_HH
+#define CRONUS_CORE_AUTO_PARTITION_HH
+
+#include "system.hh"
+
+namespace cronus::core
+{
+
+/** One operation of a monolithic enclave. */
+struct MonoOp
+{
+    enum class Kind
+    {
+        Cpu,   ///< function from the CPU image
+        Cuda,  ///< CUDA driver API call
+        Npu,   ///< VTA call
+    };
+
+    Kind kind = Kind::Cpu;
+    std::string fn;
+    Bytes args;
+};
+
+/** The monolithic program as the developer wrote it. */
+struct MonolithicProgram
+{
+    std::string name;
+    std::vector<MonoOp> ops;
+    CpuImage cpuImage;              ///< exports for CPU ops
+    accel::GpuModuleImage gpuImage; ///< kernels for CUDA ops
+};
+
+/** What the partitioner produces. */
+struct PartitionPlan
+{
+    bool needsCpu = false;
+    bool needsGpu = false;
+    bool needsNpu = false;
+    std::string cpuManifest;
+    std::string gpuManifest;
+    std::string npuManifest;
+    Bytes cpuImageBytes;
+    Bytes gpuImageBytes;
+};
+
+class AutoPartitioner
+{
+  public:
+    /** Analyze @p program and emit manifests/images per device. */
+    static Result<PartitionPlan> partition(
+        const MonolithicProgram &program);
+
+    /** Results of a partitioned run. */
+    struct RunResult
+    {
+        std::vector<Bytes> outputs;  ///< one per op
+        SrpcStats gpuStats;
+        SrpcStats npuStats;
+    };
+
+    /**
+     * Execute @p program on @p system: create the mEnclaves the plan
+     * calls for, wire sRPC channels, and stream every device call
+     * through them.
+     */
+    static Result<RunResult> run(CronusSystem &system,
+                                 const MonolithicProgram &program);
+
+    /** Whether a CUDA call is asynchronous under sRPC (§IV-C). */
+    static bool cudaCallIsAsync(const std::string &fn);
+};
+
+} // namespace cronus::core
+
+#endif // CRONUS_CORE_AUTO_PARTITION_HH

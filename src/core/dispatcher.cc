@@ -1,0 +1,57 @@
+#include "dispatcher.hh"
+
+namespace cronus::core
+{
+
+void
+EnclaveDispatcher::registerPartition(MicroOS *os)
+{
+    registered.push_back(os);
+}
+
+Result<MicroOS *>
+EnclaveDispatcher::route(Eid eid)
+{
+    if (misroute) {
+        MicroOS *forced = misroute(eid);
+        if (forced != nullptr)
+            return forced;
+    }
+    for (MicroOS *os : registered) {
+        if (os->partitionId() == mosIdOf(eid))
+            return os;
+    }
+    return Status(ErrorCode::NotFound,
+                  "no partition for eid " + eidToString(eid));
+}
+
+Result<MicroOS *>
+EnclaveDispatcher::partitionFor(const std::string &device_type,
+                                const std::string &device_name)
+{
+    /* Least-loaded placement across identical accelerators: the
+     * dispatcher records each partition's usable resources
+     * (§III-A) and spreads new mEnclaves for utilization. */
+    MicroOS *best = nullptr;
+    size_t best_load = ~size_t(0);
+    for (MicroOS *os : registered) {
+        if (os->deviceType() != device_type)
+            continue;
+        if (!device_name.empty() && os->deviceName() != device_name)
+            continue;
+        size_t load = os->enclaveManager().enclaveCount();
+        if (load < best_load) {
+            best = os;
+            best_load = load;
+        }
+    }
+    if (best != nullptr)
+        return best;
+    return Status(ErrorCode::NotFound,
+                  "no partition manages a '" + device_type +
+                  "' device" +
+                  (device_name.empty() ? "" : " named '" +
+                                              device_name + "'"));
+}
+
+} // namespace cronus::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * mEnclave identifiers.
+ *
+ * A 32-bit eid whose first 8 bits are the mOS (partition) id and
+ * last 24 bits the enclave id within that mOS (§IV-A). The SPM uses
+ * the mOS part to validate cross-mOS messages.
+ */
+
+#ifndef CRONUS_CORE_EID_HH
+#define CRONUS_CORE_EID_HH
+
+#include <cstdint>
+#include <string>
+
+#include "hw/types.hh"
+
+namespace cronus::core
+{
+
+using Eid = uint32_t;
+
+constexpr uint32_t kEnclaveIdBits = 24;
+constexpr uint32_t kEnclaveIdMask = (1u << kEnclaveIdBits) - 1;
+
+inline Eid
+makeEid(hw::PartitionId mos_id, uint32_t enclave_id)
+{
+    return (mos_id << kEnclaveIdBits) | (enclave_id & kEnclaveIdMask);
+}
+
+inline hw::PartitionId
+mosIdOf(Eid eid)
+{
+    return eid >> kEnclaveIdBits;
+}
+
+inline uint32_t
+enclaveIdOf(Eid eid)
+{
+    return eid & kEnclaveIdMask;
+}
+
+inline std::string
+eidToString(Eid eid)
+{
+    return std::to_string(mosIdOf(eid)) + ":" +
+           std::to_string(enclaveIdOf(eid));
+}
+
+} // namespace cronus::core
+
+#endif // CRONUS_CORE_EID_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * mEnclave manifest (the paper's Fig. 3).
+ *
+ * A manifest specifies the device type, image hashes, the list of
+ * mECalls (the edl format instrumented with a sync/async flag for
+ * sRPC, §IV-A), and resource capacities. Manifests arrive from the
+ * untrusted normal world, so parsing is defensive and image hashes
+ * are verified against the actual images at create time.
+ */
+
+#ifndef CRONUS_CORE_MANIFEST_HH
+#define CRONUS_CORE_MANIFEST_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "crypto/sha256.hh"
+
+namespace cronus::core
+{
+
+/** One mECall declaration. */
+struct McallDecl
+{
+    std::string name;
+    /** Async mECalls stream through sRPC without waiting. */
+    bool async = false;
+
+    bool operator==(const McallDecl &o) const
+    {
+        return name == o.name && async == o.async;
+    }
+};
+
+class Manifest
+{
+  public:
+    std::string deviceType;                       ///< "cpu"|"gpu"|"npu"
+    std::map<std::string, std::string> images;    ///< file -> sha256 hex
+    std::vector<McallDecl> mEcalls;
+    uint64_t memoryBytes = 0;
+
+    /** Parse from JSON text (untrusted input). */
+    static Result<Manifest> fromJson(const std::string &text);
+
+    /** Canonical JSON (stable ordering), reparseable. */
+    std::string toJson() const;
+
+    /** Measurement included in attestation reports. */
+    crypto::Digest measure() const;
+
+    bool declaresCall(const std::string &name) const;
+    /** Whether @p name is declared async; false if undeclared. */
+    bool isAsync(const std::string &name) const;
+
+    /** Parse "1G" / "64M" / "4096" memory size strings. */
+    static Result<uint64_t> parseMemorySize(const std::string &text);
+};
+
+} // namespace cronus::core
+
+#endif // CRONUS_CORE_MANIFEST_HH

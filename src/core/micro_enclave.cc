@@ -1,0 +1,406 @@
+#include "micro_enclave.hh"
+
+#include "base/logging.hh"
+#include "crypto/aes.hh"
+
+namespace cronus::core
+{
+
+/* ------------------------------------------------------------------ */
+/* MicroEnclave                                                        */
+/* ------------------------------------------------------------------ */
+
+Result<Bytes>
+MicroEnclave::invoke(const std::string &fn, const Bytes &args)
+{
+    if (!manifest.declaresCall(fn))
+        return Status(ErrorCode::PermissionDenied,
+                      "mECall '" + fn +
+                      "' not declared in the manifest");
+    return runtime->meCall(fn, args);
+}
+
+/* ------------------------------------------------------------------ */
+/* Local attestation report                                            */
+/* ------------------------------------------------------------------ */
+
+Bytes
+LocalAttestationReport::macInput() const
+{
+    ByteWriter w;
+    w.putU32(eid);
+    w.putU64(partitionIncarnation);
+    w.putBytes(crypto::digestToBytes(enclaveMeasurement));
+    w.putBytes(crypto::digestToBytes(mosMeasurement));
+    w.putBytes(challenge);
+    return w.take();
+}
+
+/* ------------------------------------------------------------------ */
+/* EnclaveManager                                                      */
+/* ------------------------------------------------------------------ */
+
+EnclaveManager::EnclaveManager(MicroOS &os) : mos(os)
+{
+}
+
+Result<std::unique_ptr<EnclaveRuntime>>
+EnclaveManager::makeRuntime(const std::string &device_type)
+{
+    if (device_type != mos.deviceType())
+        return Status(ErrorCode::InvalidArgument,
+                      "manifest device_type '" + device_type +
+                      "' does not match this mOS ('" +
+                      mos.deviceType() + "')");
+    mos::Hal &hal = mos.hal();
+    if (device_type == "cpu")
+        return std::unique_ptr<EnclaveRuntime>(
+            new CpuRuntime(static_cast<mos::CpuHal &>(hal)));
+    if (device_type == "gpu")
+        return std::unique_ptr<EnclaveRuntime>(
+            new CudaRuntime(static_cast<mos::GpuHal &>(hal)));
+    if (device_type == "npu")
+        return std::unique_ptr<EnclaveRuntime>(
+            new NpuRuntime(static_cast<mos::NpuHal &>(hal)));
+    return Status(ErrorCode::Unsupported,
+                  "no execution model for '" + device_type + "'");
+}
+
+Result<EnclaveCreated>
+EnclaveManager::create(const std::string &manifest_json,
+                       const std::string &image_name,
+                       const Bytes &image,
+                       const crypto::PublicKey &owner_pub)
+{
+    if (!mos.spm().validateMosId(mos.partitionId()))
+        return Status(ErrorCode::InvalidState,
+                      "partition not ready (failed or rebooting)");
+    mos.tick();
+    auto manifest = Manifest::fromJson(manifest_json);
+    if (!manifest.isOk())
+        return manifest.status();
+    Manifest &mf = manifest.value();
+
+    /* Verify the image hash against the manifest (integrity of the
+     * code the client attested). A null image is allowed for
+     * devices with fixed functions (§IV-A). */
+    crypto::Digest image_hash{};
+    if (!image.empty() || !image_name.empty()) {
+        auto declared = mf.images.find(image_name);
+        if (declared == mf.images.end())
+            return Status(ErrorCode::InvalidArgument,
+                          "image '" + image_name +
+                          "' not declared in manifest");
+        image_hash = crypto::sha256(image);
+        if (crypto::digestHex(image_hash) != declared->second)
+            return Status(ErrorCode::IntegrityViolation,
+                          "image hash mismatch for '" + image_name +
+                          "'");
+    }
+
+    /* Resource admission. */
+    auto partition = mos.spm().partition(mos.partitionId());
+    if (!partition.isOk())
+        return partition.status();
+    if (memUsed + mf.memoryBytes > partition.value()->memBytes)
+        return Status(ErrorCode::ResourceExhausted,
+                      "manifest memory quota exceeds partition "
+                      "budget");
+
+    auto runtime = makeRuntime(mf.deviceType);
+    if (!runtime.isOk())
+        return runtime.status();
+
+    /* Ownership: Diffie-Hellman with the creator (§IV-A). */
+    hw::Platform &plat = mos.spm().monitor().platform();
+    Bytes seed = toBytes("enclave-dh:");
+    Bytes owner_bytes = owner_pub.toBytes();
+    seed.insert(seed.end(), owner_bytes.begin(), owner_bytes.end());
+    seed.push_back(static_cast<uint8_t>(nextEnclaveId));
+    seed.push_back(static_cast<uint8_t>(mos.partitionId()));
+    crypto::KeyPair enclave_keys = crypto::deriveKeyPair(seed);
+    Bytes secret = crypto::dhSharedSecret(enclave_keys.priv,
+                                          owner_pub);
+    plat.clock().advance(plat.costs().dhNs);
+
+    Status created = runtime.value()->meCreate(image);
+    if (!created.isOk())
+        return created;
+
+    Eid eid = makeEid(mos.partitionId(), nextEnclaveId++);
+    crypto::Sha256 measurement;
+    measurement.update(crypto::digestToBytes(mf.measure()));
+    measurement.update(crypto::digestToBytes(image_hash));
+    plat.clock().advance(static_cast<SimTime>(
+        (manifest_json.size() + image.size()) *
+        plat.costs().shaNsPerByte));
+
+    enclaves[eid] = std::make_unique<MicroEnclave>(
+        eid, mf, measurement.finalize(), std::move(runtime.value()),
+        secret, owner_pub);
+    memQuota[eid] = mf.memoryBytes;
+    memUsed += mf.memoryBytes;
+    lastNonce[eid] = 0;
+    return EnclaveCreated{eid, enclave_keys.pub};
+}
+
+Bytes
+EnclaveManager::authTag(const Bytes &secret, Eid eid, uint64_t nonce,
+                        const std::string &fn, const Bytes &args)
+{
+    ByteWriter w;
+    w.putU32(eid);
+    w.putU64(nonce);
+    w.putString(fn);
+    w.putBytes(args);
+    return crypto::digestToBytes(crypto::hmacSha256(secret, w.take()));
+}
+
+Result<Bytes>
+EnclaveManager::ecall(Eid eid, const std::string &fn,
+                      const Bytes &args, uint64_t nonce,
+                      const Bytes &tag)
+{
+    mos.tick();
+    /* The SPM validates the mOS part of cross-mOS eids; a request
+     * dispatched to the wrong partition is rejected here (malicious
+     * dispatch defense, §III-B). */
+    if (mosIdOf(eid) != mos.partitionId())
+        return Status(ErrorCode::PermissionDenied,
+                      "eid " + eidToString(eid) +
+                      " does not belong to partition " +
+                      std::to_string(mos.partitionId()));
+    auto it = enclaves.find(eid);
+    if (it == enclaves.end())
+        return Status(ErrorCode::NotFound, "no such mEnclave");
+
+    hw::Platform &plat = mos.spm().monitor().platform();
+    plat.clock().advance(static_cast<SimTime>(
+        args.size() * plat.costs().hmacNsPerByte) + kNsPerUs);
+
+    /* Only the owner (holder of secret_dhke) can invoke (§IV-A). */
+    Bytes expected = authTag(it->second->secret(), eid, nonce, fn,
+                             args);
+    if (!constantTimeEqual(expected, tag))
+        return Status(ErrorCode::AuthFailed,
+                      "mECall authentication failed");
+    /* Strictly increasing nonce: replayed requests rejected. */
+    if (nonce <= lastNonce[eid])
+        return Status(ErrorCode::IntegrityViolation,
+                      "mECall replay detected");
+    lastNonce[eid] = nonce;
+    return it->second->invoke(fn, args);
+}
+
+Result<Bytes>
+EnclaveManager::invokeLocal(Eid eid, const std::string &fn,
+                            const Bytes &args)
+{
+    if (!mos.spm().validateMosId(mos.partitionId()))
+        return Status(ErrorCode::PeerFailed,
+                      "partition not ready (failed or rebooting)");
+    mos.tick();
+    if (mosIdOf(eid) != mos.partitionId())
+        return Status(ErrorCode::PermissionDenied,
+                      "eid belongs to another partition");
+    auto it = enclaves.find(eid);
+    if (it == enclaves.end())
+        return Status(ErrorCode::NotFound, "no such mEnclave");
+    return it->second->invoke(fn, args);
+}
+
+Result<LocalAttestationReport>
+EnclaveManager::localAttest(Eid eid, const Bytes &challenge)
+{
+    auto it = enclaves.find(eid);
+    if (it == enclaves.end())
+        return Status(ErrorCode::NotFound, "no such mEnclave");
+
+    LocalAttestationReport report;
+    report.eid = eid;
+    auto incarnation = mos.incarnation();
+    if (!incarnation.isOk())
+        return incarnation.status();
+    report.partitionIncarnation = incarnation.value();
+    report.enclaveMeasurement = it->second->measure();
+    auto mos_hash = mos.mosMeasurement();
+    if (!mos_hash.isOk())
+        return mos_hash.status();
+    report.mosMeasurement = mos_hash.value();
+    report.challenge = challenge;
+
+    const Bytes &lsk = mos.spm().monitor().localSealKey();
+    report.mac = crypto::digestToBytes(
+        crypto::hmacSha256(lsk, report.macInput()));
+    hw::Platform &plat = mos.spm().monitor().platform();
+    plat.clock().advance(10 * kNsPerUs);
+    return report;
+}
+
+bool
+EnclaveManager::verifyLocalReport(const LocalAttestationReport &report,
+                                  const Bytes &lsk)
+{
+    Bytes expected = crypto::digestToBytes(
+        crypto::hmacSha256(lsk, report.macInput()));
+    return constantTimeEqual(expected, report.mac);
+}
+
+Status
+EnclaveManager::destroy(Eid eid, uint64_t nonce, const Bytes &tag)
+{
+    auto it = enclaves.find(eid);
+    if (it == enclaves.end())
+        return Status(ErrorCode::NotFound, "no such mEnclave");
+    Bytes expected = authTag(it->second->secret(), eid, nonce,
+                             "destroy", Bytes{});
+    if (!constantTimeEqual(expected, tag))
+        return Status(ErrorCode::AuthFailed,
+                      "destroy authentication failed");
+    if (nonce <= lastNonce[eid])
+        return Status(ErrorCode::IntegrityViolation,
+                      "destroy replay detected");
+    it->second->destroy(true);
+    memUsed -= memQuota[eid];
+    memQuota.erase(eid);
+    lastNonce.erase(eid);
+    enclaves.erase(it);
+    return Status::ok();
+}
+
+Result<Bytes>
+EnclaveManager::checkpoint(Eid eid, uint64_t nonce, const Bytes &tag)
+{
+    auto it = enclaves.find(eid);
+    if (it == enclaves.end())
+        return Status(ErrorCode::NotFound, "no such mEnclave");
+    Bytes expected = authTag(it->second->secret(), eid, nonce,
+                             "checkpoint", Bytes{});
+    if (!constantTimeEqual(expected, tag))
+        return Status(ErrorCode::AuthFailed,
+                      "checkpoint authentication failed");
+    if (nonce <= lastNonce[eid])
+        return Status(ErrorCode::IntegrityViolation,
+                      "checkpoint replay detected");
+    lastNonce[eid] = nonce;
+
+    auto snapshot = it->second->snapshot();
+    if (!snapshot.isOk())
+        return snapshot.status();
+    hw::Platform &plat = mos.spm().monitor().platform();
+    plat.clock().advance(static_cast<SimTime>(
+        snapshot.value().size() *
+        (plat.costs().aesNsPerByte + plat.costs().hmacNsPerByte)));
+    return crypto::sealMessage(it->second->secret(), nonce,
+                               snapshot.value());
+}
+
+Status
+EnclaveManager::restore(Eid eid, uint64_t nonce, const Bytes &tag,
+                        const Bytes &sealed)
+{
+    auto it = enclaves.find(eid);
+    if (it == enclaves.end())
+        return Status(ErrorCode::NotFound, "no such mEnclave");
+    Bytes expected = authTag(it->second->secret(), eid, nonce,
+                             "restore", sealed);
+    if (!constantTimeEqual(expected, tag))
+        return Status(ErrorCode::AuthFailed,
+                      "restore authentication failed");
+    if (nonce <= lastNonce[eid])
+        return Status(ErrorCode::IntegrityViolation,
+                      "restore replay detected");
+    lastNonce[eid] = nonce;
+
+    auto snapshot = crypto::openMessage(it->second->secret(),
+                                        sealed);
+    if (!snapshot.isOk())
+        return snapshot.status();
+    hw::Platform &plat = mos.spm().monitor().platform();
+    plat.clock().advance(static_cast<SimTime>(
+        snapshot.value().size() *
+        (plat.costs().aesNsPerByte + plat.costs().hmacNsPerByte)));
+    return it->second->restoreState(snapshot.value());
+}
+
+Result<const MicroEnclave *>
+EnclaveManager::enclave(Eid eid) const
+{
+    auto it = enclaves.find(eid);
+    if (it == enclaves.end())
+        return Status(ErrorCode::NotFound, "no such mEnclave");
+    return const_cast<const MicroEnclave *>(it->second.get());
+}
+
+Result<MicroEnclave *>
+EnclaveManager::enclaveMutable(Eid eid)
+{
+    auto it = enclaves.find(eid);
+    if (it == enclaves.end())
+        return Status(ErrorCode::NotFound, "no such mEnclave");
+    return it->second.get();
+}
+
+/* ------------------------------------------------------------------ */
+/* MicroOS                                                             */
+/* ------------------------------------------------------------------ */
+
+MicroOS::MicroOS(tee::Spm &spm, tee::PartitionId partition_id,
+                 const std::string &device_type,
+                 const std::string &device_name)
+    : partitionManager(spm), pid(partition_id), devType(device_type),
+      devName(device_name), shim(spm, partition_id)
+{
+    if (device_type == "cpu") {
+        halImpl = std::make_unique<mos::CpuHal>(shim, device_name);
+    } else if (device_type == "gpu") {
+        halImpl = std::make_unique<mos::GpuHal>(shim, device_name);
+    } else if (device_type == "npu") {
+        halImpl = std::make_unique<mos::NpuHal>(shim, device_name);
+    } else {
+        fatal("unknown device type '" + device_type + "'");
+    }
+    manager = std::make_unique<EnclaveManager>(*this);
+}
+
+Result<crypto::Digest>
+MicroOS::mosMeasurement() const
+{
+    auto p = partitionManager.partition(pid);
+    if (!p.isOk())
+        return p.status();
+    return p.value()->mosHash;
+}
+
+Result<uint64_t>
+MicroOS::incarnation() const
+{
+    auto p = partitionManager.partition(pid);
+    if (!p.isOk())
+        return p.status();
+    return p.value()->incarnation;
+}
+
+Status
+MicroOS::panic()
+{
+    return partitionManager.panic(pid);
+}
+
+void
+MicroOS::onReboot()
+{
+    /* The reloaded mOS starts from scratch: fresh allocator, fresh
+     * HAL (drivers re-probe, DMA staging remapped), fresh enclave
+     * manager. */
+    shim.resetAllocator();
+    if (devType == "cpu")
+        halImpl = std::make_unique<mos::CpuHal>(shim, devName);
+    else if (devType == "gpu")
+        halImpl = std::make_unique<mos::GpuHal>(shim, devName);
+    else
+        halImpl = std::make_unique<mos::NpuHal>(shim, devName);
+    manager = std::make_unique<EnclaveManager>(*this);
+}
+
+} // namespace cronus::core

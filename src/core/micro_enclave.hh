@@ -1,0 +1,229 @@
+/**
+ * @file
+ * MicroEnclave, Enclave Manager and MicroOS (§IV-A).
+ *
+ * The Enclave Manager runs inside each mOS: it loads and initializes
+ * mEnclaves from manifests (verifying image hashes), allocates eids
+ * (8-bit mOS id + 24-bit enclave id), derives the per-enclave
+ * ownership secret via Diffie-Hellman, authenticates mECall
+ * invocations arriving over the untrusted path, keeps resource
+ * books, and answers local-attestation requests.
+ *
+ * MicroOS aggregates the Enclave Manager with the HAL and the shim
+ * kernel for one partition.
+ */
+
+#ifndef CRONUS_CORE_MICRO_ENCLAVE_HH
+#define CRONUS_CORE_MICRO_ENCLAVE_HH
+
+#include <memory>
+
+#include "eid.hh"
+#include "enclave_runtime.hh"
+#include "manifest.hh"
+#include "tee/normal_world.hh"
+
+namespace cronus::core
+{
+
+/** One loaded mEnclave. */
+class MicroEnclave
+{
+  public:
+    MicroEnclave(Eid enclave_id, Manifest mf,
+                 crypto::Digest image_hash,
+                 std::unique_ptr<EnclaveRuntime> rt,
+                 Bytes secret, crypto::PublicKey owner)
+        : eid(enclave_id), manifest(std::move(mf)),
+          measurement(image_hash), runtime(std::move(rt)),
+          secretDhke(std::move(secret)), ownerPub(owner) {}
+
+    Eid id() const { return eid; }
+    const Manifest &manifestOf() const { return manifest; }
+    const crypto::Digest &measure() const { return measurement; }
+    const Bytes &secret() const { return secretDhke; }
+    const crypto::PublicKey &owner() const { return ownerPub; }
+
+    /** Execute a declared mECall. */
+    Result<Bytes> invoke(const std::string &fn, const Bytes &args);
+
+    bool isAsync(const std::string &fn) const
+    {
+        return manifest.isAsync(fn);
+    }
+
+    Status destroy(bool scrub) { return runtime->meDestroy(scrub); }
+
+    /** Raw state snapshot/restore (sealed by the EnclaveManager). */
+    Result<Bytes> snapshot() { return runtime->meSnapshot(); }
+    Status restoreState(const Bytes &s)
+    {
+        return runtime->meRestore(s);
+    }
+
+  private:
+    Eid eid;
+    Manifest manifest;
+    crypto::Digest measurement;
+    std::unique_ptr<EnclaveRuntime> runtime;
+    Bytes secretDhke;
+    crypto::PublicKey ownerPub;
+};
+
+class MicroOS;
+
+/** Result of a create(): what the owner needs to proceed. */
+struct EnclaveCreated
+{
+    Eid eid = 0;
+    /** Enclave-side DH public key; the owner combines it with its
+     *  private key to derive secret_dhke. */
+    crypto::PublicKey enclavePub;
+};
+
+/** A local attestation report (§IV-A), MACed with the SM's LSK. */
+struct LocalAttestationReport
+{
+    Eid eid = 0;
+    uint64_t partitionIncarnation = 0;
+    crypto::Digest enclaveMeasurement{};
+    crypto::Digest mosMeasurement{};
+    Bytes challenge;
+    /** HMAC(LSK, all of the above). */
+    Bytes mac;
+
+    Bytes macInput() const;
+};
+
+class EnclaveManager
+{
+  public:
+    explicit EnclaveManager(MicroOS &os);
+
+    /**
+     * Create an mEnclave. @p manifest_json and @p image come from
+     * the (untrusted) caller; the image hash is checked against the
+     * manifest entry named @p image_name. @p owner_pub is the
+     * caller's DH public key; the caller of create becomes the
+     * enclave's owner.
+     */
+    Result<EnclaveCreated> create(const std::string &manifest_json,
+                                  const std::string &image_name,
+                                  const Bytes &image,
+                                  const crypto::PublicKey &owner_pub);
+
+    /**
+     * mECall over the untrusted path. The request must be
+     * authenticated: @p tag = HMAC(secret_dhke, eid||nonce||fn||args)
+     * with a strictly increasing @p nonce (anti-replay).
+     */
+    Result<Bytes> ecall(Eid eid, const std::string &fn,
+                        const Bytes &args, uint64_t nonce,
+                        const Bytes &tag);
+
+    /** Compute the tag the untrusted path requires (owner side). */
+    static Bytes authTag(const Bytes &secret, Eid eid, uint64_t nonce,
+                         const std::string &fn, const Bytes &args);
+
+    /**
+     * mECall over a pre-authenticated channel (sRPC executor after
+     * dCheck). Bypasses the per-call HMAC.
+     */
+    Result<Bytes> invokeLocal(Eid eid, const std::string &fn,
+                              const Bytes &args);
+
+    /** Generate a local-attestation report for @p eid. */
+    Result<LocalAttestationReport> localAttest(Eid eid,
+                                               const Bytes &challenge);
+
+    /** Verify a report produced on the same machine. */
+    static bool verifyLocalReport(const LocalAttestationReport &report,
+                                  const Bytes &lsk);
+
+    Status destroy(Eid eid, uint64_t nonce, const Bytes &tag);
+
+    /**
+     * Owner-authenticated checkpoint: serialize the enclave's state
+     * and seal it with secret_dhke, so only the owner can restore
+     * it -- including into a *fresh* enclave after a partition
+     * failure (application-data recovery, §III-B).
+     */
+    Result<Bytes> checkpoint(Eid eid, uint64_t nonce,
+                             const Bytes &tag);
+
+    /** Owner-authenticated restore of a sealed checkpoint. */
+    Status restore(Eid eid, uint64_t nonce, const Bytes &tag,
+                   const Bytes &sealed);
+
+    Result<const MicroEnclave *> enclave(Eid eid) const;
+    Result<MicroEnclave *> enclaveMutable(Eid eid);
+    size_t enclaveCount() const { return enclaves.size(); }
+
+    /** Memory bookkeeping. */
+    uint64_t memoryInUse() const { return memUsed; }
+
+  private:
+    Result<std::unique_ptr<EnclaveRuntime>> makeRuntime(
+        const std::string &device_type);
+
+    MicroOS &mos;
+    std::map<Eid, std::unique_ptr<MicroEnclave>> enclaves;
+    std::map<Eid, uint64_t> lastNonce;
+    std::map<Eid, uint64_t> memQuota;
+    uint32_t nextEnclaveId = 1;
+    uint64_t memUsed = 0;
+};
+
+/**
+ * One MicroOS: shim kernel + HAL + Enclave Manager for a partition.
+ */
+class MicroOS
+{
+  public:
+    /**
+     * @p device_type picks the HAL ("cpu"|"gpu"|"npu"); the HAL
+     * drives @p device_name through the shim kernel.
+     */
+    MicroOS(tee::Spm &spm, tee::PartitionId pid,
+            const std::string &device_type,
+            const std::string &device_name);
+
+    tee::PartitionId partitionId() const { return pid; }
+    const std::string &deviceType() const { return devType; }
+    const std::string &deviceName() const { return devName; }
+
+    mos::ShimKernel &shimKernel() { return shim; }
+    mos::Hal &hal() { return *halImpl; }
+    EnclaveManager &enclaveManager() { return *manager; }
+
+    /** The partition's current mOS measurement (from the SPM). */
+    Result<crypto::Digest> mosMeasurement() const;
+    Result<uint64_t> incarnation() const;
+
+    /** Panic: hand control to the SPM (failure circumstance 2). */
+    Status panic();
+
+    /**
+     * Called after the SPM reloaded this partition's mOS: all
+     * in-memory mOS state (loaded enclaves, nonces, books) is gone.
+     */
+    void onReboot();
+
+    /** Liveness tick. */
+    void tick() { shim.heartbeat(); }
+
+    tee::Spm &spm() { return partitionManager; }
+
+  private:
+    tee::Spm &partitionManager;
+    tee::PartitionId pid;
+    std::string devType;
+    std::string devName;
+    mos::ShimKernel shim;
+    std::unique_ptr<mos::Hal> halImpl;
+    std::unique_ptr<EnclaveManager> manager;
+};
+
+} // namespace cronus::core
+
+#endif // CRONUS_CORE_MICRO_ENCLAVE_HH

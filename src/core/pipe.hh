@@ -1,0 +1,91 @@
+/**
+ * @file
+ * SharedPipe: a byte-stream pipe between mEnclaves over trusted
+ * shared memory.
+ *
+ * §IV-C notes that, beyond RPC, trusted shared memory supports other
+ * inter-enclave communication (pipes, peer-to-peer transfers). This
+ * is that pipe: a single-producer single-consumer ring whose ends
+ * live in different partitions. It shares sRPC's security
+ * foundations -- the region is an SPM grant (share-once),
+ * authenticated by a dCheck derived from the consumer enclave's
+ * ownership secret, and a partition failure turns the next access
+ * into a trap that surfaces as PeerFailed (crash safety per §IV-D;
+ * the *application* handles data recovery, e.g. via checkpoints).
+ */
+
+#ifndef CRONUS_CORE_PIPE_HH
+#define CRONUS_CORE_PIPE_HH
+
+#include <memory>
+
+#include "micro_enclave.hh"
+
+namespace cronus::core
+{
+
+struct PipeConfig
+{
+    /** Data capacity in bytes (rounded up to whole pages). */
+    uint64_t capacity = 64 * 1024;
+};
+
+class SharedPipe
+{
+  public:
+    /**
+     * Create a pipe from @p writer_eid (hosted by @p writer_os,
+     * which owns the backing pages) to @p reader_eid. @p secret is
+     * secret_dhke between the writer (owner/creator of the reader
+     * enclave) and the reader enclave, used for the dCheck.
+     */
+    static Result<std::unique_ptr<SharedPipe>> create(
+        MicroOS &writer_os, Eid writer_eid, MicroOS &reader_os,
+        Eid reader_eid, const Bytes &secret,
+        const PipeConfig &config = PipeConfig());
+
+    /**
+     * Write up to capacity; returns bytes accepted (0 if full).
+     * PeerFailed if the reader's partition died.
+     */
+    Result<uint64_t> write(const Bytes &data);
+
+    /** Read up to @p max bytes (possibly 0 if empty). */
+    Result<Bytes> read(uint64_t max);
+
+    /** Bytes currently buffered. */
+    Result<uint64_t> available();
+
+    /** Writer signals end-of-stream. */
+    Status closeWrite();
+    /** True once the writer closed and the buffer drained. */
+    Result<bool> endOfStream();
+
+    uint64_t grantId() const { return grant; }
+    bool failed() const { return peerFailed; }
+
+  private:
+    SharedPipe(MicroOS &writer_os, MicroOS &reader_os,
+               const PipeConfig &config)
+        : writerOs(writer_os), readerOs(reader_os), cfg(config) {}
+
+    Status setup(Eid writer_eid, Eid reader_eid,
+                 const Bytes &secret);
+    Result<uint64_t> readCounter(uint64_t off, bool reader_side);
+    Status writeCounter(uint64_t off, uint64_t value,
+                        bool reader_side);
+
+    MicroOS &writerOs;
+    MicroOS &readerOs;
+    PipeConfig cfg;
+    tee::PhysAddr base = 0;
+    uint64_t grant = 0;
+    uint64_t head = 0;  ///< writer position (bytes, monotonic)
+    uint64_t tail = 0;  ///< reader position (bytes, monotonic)
+    bool writeClosed = false;
+    bool peerFailed = false;
+};
+
+} // namespace cronus::core
+
+#endif // CRONUS_CORE_PIPE_HH

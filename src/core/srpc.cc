@@ -1,0 +1,454 @@
+#include "srpc.hh"
+
+#include "base/logging.hh"
+
+namespace cronus::core
+{
+
+namespace
+{
+
+constexpr uint64_t kMagicOff = 0x00;
+constexpr uint64_t kRidOff = 0x08;
+constexpr uint64_t kSidOff = 0x10;
+constexpr uint64_t kClosedOff = 0x18;
+constexpr uint64_t kDcheckOff = 0x20;   /* 32 bytes */
+constexpr uint64_t kSlotsOff = 0x40;
+constexpr uint64_t kSrpcMagic = 0x5352504353525043ull;
+
+Bytes
+u64Bytes(uint64_t v)
+{
+    ByteWriter w;
+    w.putU64(v);
+    return w.take();
+}
+
+Result<uint64_t>
+u64From(const Bytes &b)
+{
+    ByteReader r(b);
+    return r.getU64();
+}
+
+} // namespace
+
+SrpcChannel::SrpcChannel(MicroOS &caller_os, Eid caller_eid,
+                         MicroOS &callee_os, Eid callee_eid,
+                         Bytes secret, tee::NormalWorld &nw,
+                         const SrpcConfig &config)
+    : callerOs(caller_os), callerEid(caller_eid), calleeOs(callee_os),
+      calleeEid(callee_eid), secretDhke(std::move(secret)),
+      normalWorld(nw), cfg(config)
+{
+}
+
+SrpcChannel::~SrpcChannel()
+{
+    if (open)
+        close();
+}
+
+uint64_t
+SrpcChannel::slotOffset(uint64_t index) const
+{
+    return kSlotsOff + (index % cfg.slots) * cfg.slotBytes;
+}
+
+Status
+SrpcChannel::writeCaller(uint64_t off, const Bytes &data)
+{
+    Status s = callerOs.spm().write(callerOs.partitionId(),
+                                    smemBase + off, data);
+    if (s.code() == ErrorCode::PeerFailed)
+        markFailed();
+    return s;
+}
+
+Result<Bytes>
+SrpcChannel::readCaller(uint64_t off, uint64_t len)
+{
+    auto r = callerOs.spm().read(callerOs.partitionId(),
+                                 smemBase + off, len);
+    if (r.code() == ErrorCode::PeerFailed)
+        markFailed();
+    return r;
+}
+
+Status
+SrpcChannel::writeCallee(uint64_t off, const Bytes &data)
+{
+    Status s = calleeOs.spm().write(calleeOs.partitionId(),
+                                    smemBase + off, data);
+    /* InvalidState means the callee's own partition is failed or
+     * rebooting -- from the channel's perspective, the peer died. */
+    if (s.code() == ErrorCode::PeerFailed ||
+        s.code() == ErrorCode::InvalidState) {
+        markFailed();
+        return Status(ErrorCode::PeerFailed, "callee partition down");
+    }
+    return s;
+}
+
+Result<Bytes>
+SrpcChannel::readCallee(uint64_t off, uint64_t len)
+{
+    auto r = calleeOs.spm().read(calleeOs.partitionId(),
+                                 smemBase + off, len);
+    if (r.code() == ErrorCode::PeerFailed ||
+        r.code() == ErrorCode::InvalidState) {
+        markFailed();
+        return Status(ErrorCode::PeerFailed, "callee partition down");
+    }
+    return r;
+}
+
+void
+SrpcChannel::markFailed()
+{
+    /* sRPC automatically clears state when getting the fault signal
+     * (§IV-D): cached indices are reset and the channel refuses
+     * further traffic. */
+    peerFailed = true;
+    open = false;
+}
+
+Result<std::unique_ptr<SrpcChannel>>
+SrpcChannel::connect(MicroOS &caller_os, Eid caller_eid,
+                     MicroOS &callee_os, Eid callee_eid,
+                     const Bytes &secret, tee::NormalWorld &nw,
+                     const SrpcConfig &config)
+{
+    std::unique_ptr<SrpcChannel> channel(
+        new SrpcChannel(caller_os, caller_eid, callee_os, callee_eid,
+                        secret, nw, config));
+    CRONUS_RETURN_IF_ERROR(channel->setup());
+    return channel;
+}
+
+Status
+SrpcChannel::setup()
+{
+    tee::Spm &spm = callerOs.spm();
+    tee::SecureMonitor &monitor = spm.monitor();
+    hw::Platform &plat = monitor.platform();
+
+    /* 1. Local attestation of the callee, over untrusted memory.
+     * The request/response are MACed with secret_dhke because the
+     * mOSes are mutually untrusted before attestation (§IV-A). */
+    Bytes challenge(16);
+    {
+        ByteWriter w;
+        w.putU32(callerEid);
+        w.putU32(calleeEid);
+        w.putU64(plat.clock().now());
+        crypto::Digest d = crypto::sha256(w.take());
+        std::copy_n(d.begin(), challenge.size(), challenge.begin());
+    }
+    /* Request travels through the normal world: world switches. */
+    monitor.worldSwitch();
+    monitor.worldSwitch();
+    channelStats.setupWorldSwitches += 2;
+
+    auto report = calleeOs.enclaveManager().localAttest(calleeEid,
+                                                        challenge);
+    if (!report.isOk())
+        return report.status();
+    monitor.worldSwitch();
+    monitor.worldSwitch();
+    channelStats.setupWorldSwitches += 2;
+
+    if (!EnclaveManager::verifyLocalReport(report.value(),
+                                           monitor.localSealKey()))
+        return Status(ErrorCode::AuthFailed,
+                      "local attestation MAC invalid");
+    if (report.value().eid != calleeEid ||
+        report.value().challenge != challenge)
+        return Status(ErrorCode::AuthFailed,
+                      "local attestation mismatch");
+
+    /* 2. Allocate smem from the caller's partition and share it. */
+    smemBytes = hw::pageAlignUp(kSlotsOff +
+                                cfg.slots * cfg.slotBytes);
+    auto base = callerOs.shimKernel().allocPages(smemBytes /
+                                                 hw::kPageSize);
+    if (!base.isOk())
+        return base.status();
+    smemBase = base.value();
+
+    auto grant_id = spm.sharePages(callerOs.partitionId(),
+                                   calleeOs.partitionId(), smemBase,
+                                   smemBytes / hw::kPageSize);
+    if (!grant_id.isOk())
+        return grant_id.status();
+    grant = grant_id.value();
+
+    /* 3. Initialize the ring header. */
+    CRONUS_RETURN_IF_ERROR(writeCaller(kMagicOff,
+                                       u64Bytes(kSrpcMagic)));
+    CRONUS_RETURN_IF_ERROR(writeCaller(kRidOff, u64Bytes(0)));
+    CRONUS_RETURN_IF_ERROR(writeCaller(kSidOff, u64Bytes(0)));
+    CRONUS_RETURN_IF_ERROR(writeCaller(kClosedOff, Bytes{0}));
+
+    /* 4. dCheck: the callee proves ownership of secret_dhke through
+     * the shared memory itself. The callee computes its tag from
+     * *its own* copy of the secret (held since creation); the caller
+     * independently computes the expected tag from its copy. A
+     * substituted enclave/mOS cannot forge it. */
+    ByteWriter dcheck_input;
+    dcheck_input.putString("dcheck");
+    dcheck_input.putU64(grant);
+    dcheck_input.putU32(calleeEid);
+    dcheck_input.putU64(report.value().partitionIncarnation);
+
+    auto callee_enclave =
+        calleeOs.enclaveManager().enclave(calleeEid);
+    if (!callee_enclave.isOk())
+        return callee_enclave.status();
+    Bytes callee_tag = crypto::digestToBytes(crypto::hmacSha256(
+        callee_enclave.value()->secret(), dcheck_input.data()));
+    CRONUS_RETURN_IF_ERROR(writeCallee(kDcheckOff, callee_tag));
+
+    Bytes expected_tag = crypto::digestToBytes(
+        crypto::hmacSha256(secretDhke, dcheck_input.data()));
+    auto observed = readCaller(kDcheckOff, 32);
+    if (!observed.isOk())
+        return observed.status();
+    if (!constantTimeEqual(observed.value(), expected_tag))
+        return Status(ErrorCode::AuthFailed, "dCheck failed");
+
+    /* 5. Ask the normal world for an executor thread (one switch,
+     * once per stream -- not per call). */
+    monitor.worldSwitch();
+    ++channelStats.setupWorldSwitches;
+    normalWorld.spawnThread([this] {
+        if (peerFailed || !open)
+            return false;
+        pump(4);
+        return open && !peerFailed;
+    });
+
+    open = true;
+    return Status::ok();
+}
+
+Result<uint64_t>
+SrpcChannel::callAsync(const std::string &fn, const Bytes &args)
+{
+    if (peerFailed)
+        return Status(ErrorCode::PeerFailed, "channel failed");
+    if (!open)
+        return Status(ErrorCode::InvalidState, "channel closed");
+
+    hw::Platform &plat = callerOs.spm().monitor().platform();
+
+    /* Flow control: if the ring is full, let the executor drain. */
+    while (rid - sid >= cfg.slots) {
+        uint64_t done = pump(1);
+        if (peerFailed)
+            return Status(ErrorCode::PeerFailed, "channel failed");
+        if (done == 0)
+            return Status(ErrorCode::ResourceExhausted,
+                          "ring stalled");
+    }
+
+    ByteWriter w;
+    w.putString(fn);
+    w.putBytes(args);
+    Bytes request = w.take();
+    if (request.size() > cfg.requestBytes())
+        return Status(ErrorCode::InvalidArgument,
+                      "request exceeds slot capacity");
+
+    uint64_t slot = slotOffset(rid);
+    ByteWriter framed;
+    framed.putU32(static_cast<uint32_t>(request.size()));
+    framed.putRaw(request.data(), request.size());
+    CRONUS_RETURN_IF_ERROR(writeCaller(slot, framed.take()));
+    plat.chargeMemcpy(request.size());
+    plat.clock().advance(plat.costs().ringBufferOpNs);
+
+    uint64_t this_rid = rid++;
+    CRONUS_RETURN_IF_ERROR(writeCaller(kRidOff, u64Bytes(rid)));
+    ++channelStats.asyncCalls;
+    channelStats.bytesTransferred += request.size();
+    return this_rid;
+}
+
+uint64_t
+SrpcChannel::pump(uint64_t max)
+{
+    if (peerFailed)
+        return 0;
+    uint64_t executed = 0;
+    hw::Platform &plat = calleeOs.spm().monitor().platform();
+
+    while (executed < max) {
+        /* Executor view of the ring: fetch Rid from smem. */
+        auto rid_now = readCallee(kRidOff, 8);
+        if (!rid_now.isOk())
+            return executed;
+        uint64_t remote_rid = u64From(rid_now.value()).value();
+        if (sid >= remote_rid)
+            break;
+
+        uint64_t slot = slotOffset(sid);
+        auto len_bytes = readCallee(slot, 4);
+        if (!len_bytes.isOk())
+            return executed;
+        uint32_t req_len = len_bytes.value()[0] |
+                           (uint32_t(len_bytes.value()[1]) << 8) |
+                           (uint32_t(len_bytes.value()[2]) << 16) |
+                           (uint32_t(len_bytes.value()[3]) << 24);
+        Status resp_status = Status::ok();
+        Bytes resp_payload;
+        if (req_len > cfg.requestBytes()) {
+            resp_status = Status(ErrorCode::InvalidArgument,
+                                 "corrupt request length");
+        } else {
+            auto req = readCallee(slot + 4, req_len);
+            if (!req.isOk())
+                return executed;
+            ByteReader r(req.value());
+            auto fn = r.getString();
+            auto args = fn.isOk() ? r.getBytes()
+                                  : Result<Bytes>(fn.status());
+            if (!fn.isOk() || !args.isOk()) {
+                resp_status = Status(ErrorCode::InvalidArgument,
+                                     "corrupt request frame");
+            } else {
+                auto result = calleeOs.enclaveManager().invokeLocal(
+                    calleeEid, fn.value(), args.value());
+                if (result.isOk())
+                    resp_payload = result.value();
+                else
+                    resp_status = result.status();
+            }
+        }
+
+        /* Write the response into the slot's response half. */
+        ByteWriter resp;
+        resp.putU32(static_cast<uint32_t>(resp_status.code()));
+        resp.putU32(static_cast<uint32_t>(resp_payload.size()));
+        Bytes resp_frame = resp.take();
+        if (resp_payload.size() <= cfg.responseBytes()) {
+            resp_frame.insert(resp_frame.end(), resp_payload.begin(),
+                              resp_payload.end());
+        } else {
+            resp_frame[0] = static_cast<uint8_t>(
+                ErrorCode::ResourceExhausted);
+            resp_frame[4] = resp_frame[5] = resp_frame[6] =
+                resp_frame[7] = 0;
+        }
+        if (!writeCallee(slot + cfg.slotBytes / 2, resp_frame).isOk())
+            return executed;
+        plat.chargeMemcpy(resp_frame.size());
+        plat.clock().advance(plat.costs().ringBufferOpNs);
+
+        ++sid;
+        if (!writeCallee(kSidOff, u64Bytes(sid)).isOk())
+            return executed;
+        ++executed;
+        ++channelStats.executed;
+        calleeOs.tick();
+    }
+    return executed;
+}
+
+Result<Bytes>
+SrpcChannel::resultOf(uint64_t request_id)
+{
+    if (request_id >= rid)
+        return Status(ErrorCode::InvalidArgument,
+                      "request never issued");
+    if (rid - request_id > cfg.slots)
+        return Status(ErrorCode::NotFound,
+                      "response slot already recycled");
+    if (sid <= request_id)
+        return Status(ErrorCode::InvalidState,
+                      "request not yet executed (drain first)");
+
+    uint64_t slot = slotOffset(request_id) + cfg.slotBytes / 2;
+    auto header = readCaller(slot, 8);
+    if (!header.isOk())
+        return header.status();
+    ByteReader r(header.value());
+    uint32_t code = r.getU32().value();
+    uint32_t len = r.getU32().value();
+    if (code != uint32_t(ErrorCode::Ok))
+        return Status(static_cast<ErrorCode>(code),
+                      "remote mECall failed");
+    if (len == 0)
+        return Bytes{};
+    return readCaller(slot + 8, len);
+}
+
+Result<Bytes>
+SrpcChannel::callSync(const std::string &fn, const Bytes &args)
+{
+    auto request_id = callAsync(fn, args);
+    if (!request_id.isOk())
+        return request_id.status();
+    /* The caller needs the result: check progress now (§IV-C). */
+    while (sid <= request_id.value()) {
+        uint64_t done = pump(1);
+        if (peerFailed)
+            return Status(ErrorCode::PeerFailed, "channel failed");
+        if (done == 0)
+            return Status(ErrorCode::Timeout, "executor stalled");
+    }
+    ++channelStats.syncCalls;
+    --channelStats.asyncCalls;
+    return resultOf(request_id.value());
+}
+
+Result<Bytes>
+SrpcChannel::call(const std::string &fn, const Bytes &args)
+{
+    auto enclave = calleeOs.enclaveManager().enclave(calleeEid);
+    bool is_async = enclave.isOk() &&
+                    enclave.value()->isAsync(fn);
+    if (is_async) {
+        auto request_id = callAsync(fn, args);
+        if (!request_id.isOk())
+            return request_id.status();
+        return Bytes{};
+    }
+    return callSync(fn, args);
+}
+
+Status
+SrpcChannel::drain()
+{
+    while (sid < rid) {
+        uint64_t done = pump(1);
+        if (peerFailed)
+            return Status(ErrorCode::PeerFailed, "channel failed");
+        if (done == 0)
+            return Status(ErrorCode::Timeout, "executor stalled");
+    }
+    /* streamCheck: Sid == Rid, cross-checked against smem. */
+    auto rid_mem = readCaller(kRidOff, 8);
+    auto sid_mem = readCaller(kSidOff, 8);
+    if (!rid_mem.isOk() || !sid_mem.isOk())
+        return Status(ErrorCode::PeerFailed, "channel failed");
+    if (u64From(rid_mem.value()).value() !=
+        u64From(sid_mem.value()).value())
+        return Status(ErrorCode::IntegrityViolation,
+                      "streamCheck failed (Sid != Rid)");
+    return Status::ok();
+}
+
+Status
+SrpcChannel::close()
+{
+    if (!open)
+        return Status(ErrorCode::InvalidState, "channel not open");
+    Status drained = drain();
+    writeCaller(kClosedOff, Bytes{1});
+    open = false;
+    callerOs.spm().revokeGrant(grant, callerOs.partitionId());
+    return drained;
+}
+
+} // namespace cronus::core

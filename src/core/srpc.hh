@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Streaming RPC (sRPC) between mEnclaves (§IV-C).
+ *
+ * sRPC models RPC requests as input to a stream processor: the
+ * caller (mE_A) continuously appends serialized mECalls to a ring
+ * buffer in *trusted shared memory* (owned by A's partition, shared
+ * to B's through the SPM), and a dedicated executor thread for mE_B
+ * drains the ring -- no per-call context switch. The caller checks
+ * progress only when it needs a result or a synchronization point.
+ *
+ * Security structure:
+ *  - setup does local attestation of the callee over untrusted
+ *    memory, every message MACed with secret_dhke (the DH ownership
+ *    secret), then establishes the shared region and runs dCheck:
+ *    the callee proves ownership of secret_dhke *through the shared
+ *    memory*, so the caller knows the region is really shared with
+ *    the authenticated mE_B;
+ *  - requests/responses live only in trusted memory, so the normal
+ *    OS can neither observe RPC timing nor tamper/reorder/replay;
+ *  - the executor consumes slots strictly in order (Sid), and
+ *    drain() verifies streamCheck (Sid == Rid);
+ *  - a partition failure turns the next shared-memory access into a
+ *    trap; the channel observes PeerFailed, clears its state and
+ *    surfaces the failure (A1/A2 defenses, §IV-D).
+ */
+
+#ifndef CRONUS_CORE_SRPC_HH
+#define CRONUS_CORE_SRPC_HH
+
+#include <memory>
+
+#include "micro_enclave.hh"
+
+namespace cronus::core
+{
+
+struct SrpcConfig
+{
+    uint64_t slots = 8;
+    uint64_t slotBytes = 262144;
+    /** Payload area per slot (requests); responses use the rest. */
+    uint64_t requestBytes() const { return slotBytes / 2 - 16; }
+    uint64_t responseBytes() const { return slotBytes / 2 - 16; }
+};
+
+/** Channel statistics (for the ablation benches). */
+struct SrpcStats
+{
+    uint64_t asyncCalls = 0;
+    uint64_t syncCalls = 0;
+    uint64_t executed = 0;
+    uint64_t bytesTransferred = 0;
+    uint64_t setupWorldSwitches = 0;
+};
+
+class SrpcChannel
+{
+  public:
+    /**
+     * Establish a channel from @p caller_eid (hosted by
+     * @p caller_os) to @p callee_eid (hosted by @p callee_os).
+     * @p secret is secret_dhke between the *owner* of the callee
+     * (which is the caller) and the callee enclave.
+     *
+     * Performs: local attestation -> smem allocation from the
+     * caller's partition -> SPM page grant -> dCheck -> executor
+     * thread creation in the normal world.
+     */
+    static Result<std::unique_ptr<SrpcChannel>> connect(
+        MicroOS &caller_os, Eid caller_eid, MicroOS &callee_os,
+        Eid callee_eid, const Bytes &secret, tee::NormalWorld &nw,
+        const SrpcConfig &config = SrpcConfig());
+
+    ~SrpcChannel();
+
+    /**
+     * Invoke @p fn; async mECalls (per the callee manifest) are
+     * enqueued without waiting and return an empty payload, sync
+     * mECalls pump the executor to completion and return its result.
+     */
+    Result<Bytes> call(const std::string &fn, const Bytes &args);
+
+    /** Force-enqueue without waiting (returns the request index). */
+    Result<uint64_t> callAsync(const std::string &fn,
+                               const Bytes &args);
+
+    /** Enqueue and wait for this call's result. */
+    Result<Bytes> callSync(const std::string &fn, const Bytes &args);
+
+    /**
+     * streamCheck: pump until Sid == Rid; fails if any queued call
+     * failed or the peer died.
+     */
+    Status drain();
+
+    /** Result of the async request @p rid (drain first). */
+    Result<Bytes> resultOf(uint64_t rid);
+
+    /** Close the stream and stop the executor thread. */
+    Status close();
+
+    bool failed() const { return peerFailed; }
+    const SrpcStats &stats() const { return channelStats; }
+    uint64_t grantId() const { return grant; }
+
+    /**
+     * Executor step: process up to @p max pending requests in the
+     * callee partition. Returns requests executed; sets the channel
+     * failed state if the callee's memory access traps. Used by the
+     * normal-world thread and by callSync's progress checks.
+     */
+    uint64_t pump(uint64_t max = ~0ull);
+
+  private:
+    SrpcChannel(MicroOS &caller_os, Eid caller_eid,
+                MicroOS &callee_os, Eid callee_eid, Bytes secret,
+                tee::NormalWorld &nw, const SrpcConfig &config);
+
+    Status setup();
+    Status writeCaller(uint64_t off, const Bytes &data);
+    Result<Bytes> readCaller(uint64_t off, uint64_t len);
+    Status writeCallee(uint64_t off, const Bytes &data);
+    Result<Bytes> readCallee(uint64_t off, uint64_t len);
+    Result<uint64_t> readCounter(uint64_t off, bool callee_side);
+    Status writeCounter(uint64_t off, uint64_t value,
+                        bool callee_side);
+    uint64_t slotOffset(uint64_t index) const;
+    void markFailed();
+
+    MicroOS &callerOs;
+    Eid callerEid;
+    MicroOS &calleeOs;
+    Eid calleeEid;
+    Bytes secretDhke;
+    tee::NormalWorld &normalWorld;
+    SrpcConfig cfg;
+
+    tee::PhysAddr smemBase = 0;
+    uint64_t smemBytes = 0;
+    uint64_t grant = 0;
+    uint64_t rid = 0;  ///< caller-side cached request index
+    uint64_t sid = 0;  ///< executor-side cached progress index
+    bool open = false;
+    bool peerFailed = false;
+    SrpcStats channelStats;
+};
+
+} // namespace cronus::core
+
+#endif // CRONUS_CORE_SRPC_HH

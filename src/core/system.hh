@@ -1,0 +1,161 @@
+/**
+ * @file
+ * CronusSystem: the top-level facade assembling a complete CRONUS
+ * machine (Fig. 2) -- platform, devices, secure monitor, SPM,
+ * normal world, one partition+MicroOS per device, dispatcher, and
+ * the failover wiring.
+ *
+ * This is the public entry point a downstream user instantiates.
+ */
+
+#ifndef CRONUS_CORE_SYSTEM_HH
+#define CRONUS_CORE_SYSTEM_HH
+
+#include "accel/cpu.hh"
+#include "accel/gpu.hh"
+#include "accel/npu.hh"
+#include "attestation.hh"
+#include "dispatcher.hh"
+#include "srpc.hh"
+
+namespace cronus::core
+{
+
+/** Machine shape. */
+struct CronusConfig
+{
+    uint32_t numGpus = 1;
+    bool withNpu = true;
+    uint64_t gpuVramBytes = 64ull << 20;
+    uint64_t normalMemBytes = 128ull << 20;
+    uint64_t secureMemBytes = 192ull << 20;
+    uint64_t partitionMemBytes = 24ull << 20;
+};
+
+/**
+ * An application's handle to an mEnclave it owns: eid plus the DH
+ * material needed to authenticate mECalls and channel setup.
+ */
+struct AppHandle
+{
+    Eid eid = 0;
+    crypto::KeyPair ownerKeys;
+    Bytes secret;        ///< secret_dhke with the enclave
+    uint64_t nonce = 0;  ///< untrusted-path anti-replay counter
+    MicroOS *host = nullptr;
+};
+
+class CronusSystem
+{
+  public:
+    explicit CronusSystem(const CronusConfig &config = CronusConfig());
+
+    /* --- component access --- */
+    hw::Platform &platform() { return *plat; }
+    tee::SecureMonitor &monitor() { return *sm; }
+    tee::Spm &spm() { return *partitionManager; }
+    tee::NormalWorld &normalWorld() { return *nw; }
+    EnclaveDispatcher &dispatcher() { return enclaveDispatcher; }
+
+    /** The MicroOS managing @p device_name ("cpu0", "gpu1", ...). */
+    Result<MicroOS *> mosForDevice(const std::string &device_name);
+    std::vector<MicroOS *> allMos();
+
+    /* --- application-facing API --- */
+
+    /**
+     * Create an mEnclave from a manifest + image through the
+     * dispatcher (untrusted), with DH ownership establishment.
+     * @p device_name optionally pins a device (e.g. "gpu1").
+     */
+    Result<AppHandle> createEnclave(const std::string &manifest_json,
+                                    const std::string &image_name,
+                                    const Bytes &image,
+                                    const std::string &device_name = "");
+
+    /** Authenticated mECall over the untrusted path. */
+    Result<Bytes> ecall(AppHandle &handle, const std::string &fn,
+                        const Bytes &args);
+
+    /** Destroy an owned enclave. */
+    Status destroyEnclave(AppHandle &handle);
+
+    /**
+     * Connect @p caller (a CPU mEnclave handle) to @p callee with an
+     * sRPC channel. The caller owns the callee (it created it), so
+     * the callee's secret authenticates the channel.
+     */
+    Result<std::unique_ptr<SrpcChannel>> connect(
+        const AppHandle &caller, const AppHandle &callee,
+        const SrpcConfig &config = SrpcConfig());
+
+    /** Remote attestation of an owned enclave. */
+    Result<SignedAttestationReport> attest(const AppHandle &handle,
+                                           const Bytes &challenge);
+
+    /* --- application-data recovery (checkpoints, §III-B) --- */
+
+    /** Sealed checkpoint of an owned enclave's state. */
+    Result<Bytes> checkpointEnclave(AppHandle &handle);
+
+    /**
+     * Restore a checkpoint into @p handle. @p source_secret is the
+     * secret of the enclave that produced the blob (pass
+     * handle.secret when restoring into the same enclave; after a
+     * partition failure, pass the dead enclave's secret and a fresh
+     * handle -- the owner re-seals under the new secret).
+     */
+    Status restoreEnclave(AppHandle &handle, const Bytes &sealed,
+                          const Bytes &source_secret);
+
+    /** Expectation prefilled with this platform's trust anchors. */
+    ClientExpectation expectationFor(const AppHandle &handle);
+
+    /* --- failure injection / recovery (benches + tests) --- */
+    Status injectPanic(const std::string &device_name);
+    Status recover(const std::string &device_name,
+                   bool charge_clock = true);
+    /** Virtual-time cost recover() would charge. */
+    Result<SimTime> recoveryEstimate(const std::string &device_name);
+
+    /** Trap signals observed so far (failover wiring). */
+    const std::vector<tee::TrapSignal> &trapSignals() const
+    {
+        return observedTraps;
+    }
+
+    /**
+     * Operational counters as a JSON document: virtual time, world
+     * switches, partition lifecycle events, shared-memory grants,
+     * traps, hardware-filter faults, and per-partition enclave
+     * loads. Intended for dashboards and debugging.
+     */
+    JsonValue statsReport();
+
+  private:
+    struct PartitionRecord
+    {
+        tee::PartitionId pid;
+        std::unique_ptr<MicroOS> os;
+        tee::MosImage image;
+        std::string vendor;
+        crypto::Signature deviceEndorsement;
+    };
+
+    Result<PartitionRecord *> recordForDevice(
+        const std::string &device_name);
+
+    CronusConfig cfg;
+    std::unique_ptr<hw::Platform> plat;
+    std::unique_ptr<tee::SecureMonitor> sm;
+    std::unique_ptr<tee::Spm> partitionManager;
+    std::unique_ptr<tee::NormalWorld> nw;
+    EnclaveDispatcher enclaveDispatcher;
+    std::vector<std::unique_ptr<PartitionRecord>> records;
+    std::map<std::string, crypto::KeyPair> vendorKeys;
+    std::vector<tee::TrapSignal> observedTraps;
+};
+
+} // namespace cronus::core
+
+#endif // CRONUS_CORE_SYSTEM_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Base class for simulated PCIe devices (accelerators, RoT, ...).
+ */
+
+#ifndef CRONUS_HW_DEVICE_HH
+#define CRONUS_HW_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.hh"
+#include "types.hh"
+
+namespace cronus::hw
+{
+
+class Platform;
+
+/**
+ * A device on the (secure) PCIe bus. Registers are exposed through a
+ * small MMIO window; bulk data moves by DMA through the bus, which
+ * applies SMMU and TZASC checks.
+ */
+class Device
+{
+  public:
+    Device(std::string device_name, std::string compat,
+           uint64_t mmio_size)
+        : devName(std::move(device_name)),
+          devCompatible(std::move(compat)), mmioWindow(mmio_size) {}
+
+    virtual ~Device() = default;
+
+    const std::string &name() const { return devName; }
+    const std::string &compatible() const { return devCompatible; }
+    uint64_t mmioSize() const { return mmioWindow; }
+    StreamId streamId() const { return stream; }
+    uint32_t irq() const { return irqLine; }
+
+    /** Register-style MMIO access. */
+    virtual Result<uint64_t> mmioRead(uint64_t offset) = 0;
+    virtual Status mmioWrite(uint64_t offset, uint64_t value) = 0;
+
+    /**
+     * Reset device state. @p clear_memory additionally scrubs all
+     * device-local memory (the failover A3 defense clears device
+     * content before reloading an mOS).
+     */
+    virtual void reset(bool clear_memory) = 0;
+
+    /** Bytes of device-local memory (VRAM etc.); 0 if none. */
+    virtual uint64_t memoryBytes() const { return 0; }
+
+  protected:
+    friend class Platform;
+
+    std::string devName;
+    std::string devCompatible;
+    uint64_t mmioWindow;
+    StreamId stream = 0;
+    uint32_t irqLine = 0;
+    Platform *platform = nullptr;
+};
+
+} // namespace cronus::hw
+
+#endif // CRONUS_HW_DEVICE_HH

@@ -1,0 +1,139 @@
+#include "device_tree.hh"
+
+#include <set>
+
+namespace cronus::hw
+{
+
+JsonValue
+DtNode::toJson() const
+{
+    JsonObject obj;
+    obj["name"] = name;
+    obj["compatible"] = compatible;
+    obj["mmio_base"] = static_cast<int64_t>(mmioBase);
+    obj["mmio_size"] = static_cast<int64_t>(mmioSize);
+    obj["irq"] = static_cast<int64_t>(irq);
+    obj["secure"] = (world == World::Secure);
+    obj["mem_bytes"] = static_cast<int64_t>(memBytes);
+    return JsonValue(std::move(obj));
+}
+
+Result<DtNode>
+DtNode::fromJson(const JsonValue &v)
+{
+    DtNode node;
+    auto name = v.getString("name");
+    if (!name.isOk())
+        return name.status();
+    node.name = name.value();
+    auto compatible = v.getString("compatible");
+    if (!compatible.isOk())
+        return compatible.status();
+    node.compatible = compatible.value();
+    auto base = v.getInt("mmio_base");
+    if (!base.isOk())
+        return base.status();
+    node.mmioBase = static_cast<PhysAddr>(base.value());
+    auto size = v.getInt("mmio_size");
+    if (!size.isOk())
+        return size.status();
+    node.mmioSize = static_cast<uint64_t>(size.value());
+    auto irq = v.getInt("irq");
+    if (!irq.isOk())
+        return irq.status();
+    node.irq = static_cast<uint32_t>(irq.value());
+    node.world = v["secure"].isBool() && v["secure"].asBool()
+                     ? World::Secure
+                     : World::Normal;
+    if (v["mem_bytes"].isNumber())
+        node.memBytes = static_cast<uint64_t>(v["mem_bytes"].asInt());
+    return node;
+}
+
+const DtNode *
+DeviceTree::find(const std::string &name) const
+{
+    for (const auto &node : nodes) {
+        if (node.name == name)
+            return &node;
+    }
+    return nullptr;
+}
+
+Status
+DeviceTree::validate() const
+{
+    std::set<std::string> names;
+    std::set<uint32_t> irqs;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const DtNode &node = nodes[i];
+        if (node.name.empty())
+            return Status(ErrorCode::InvalidArgument,
+                          "DT node with empty name");
+        if (!names.insert(node.name).second)
+            return Status(ErrorCode::InvalidArgument,
+                          "duplicate DT node name '" + node.name +
+                          "'");
+        if (node.irq != 0 && !irqs.insert(node.irq).second)
+            return Status(ErrorCode::InvalidArgument,
+                          "duplicate IRQ " +
+                          std::to_string(node.irq) +
+                          " (interrupt spoofing)");
+        if (node.mmioSize == 0)
+            return Status(ErrorCode::InvalidArgument,
+                          "DT node '" + node.name +
+                          "' has empty MMIO window");
+        for (size_t j = 0; j < i; ++j) {
+            const DtNode &other = nodes[j];
+            bool overlap = node.mmioBase <
+                               other.mmioBase + other.mmioSize &&
+                           other.mmioBase <
+                               node.mmioBase + node.mmioSize;
+            if (overlap)
+                return Status(ErrorCode::InvalidArgument,
+                              "MMIO overlap between '" + node.name +
+                              "' and '" + other.name +
+                              "' (MMIO remapping)");
+        }
+    }
+    return Status::ok();
+}
+
+std::string
+DeviceTree::serialize() const
+{
+    JsonArray arr;
+    for (const auto &node : nodes)
+        arr.push_back(node.toJson());
+    JsonObject root;
+    root["nodes"] = JsonValue(std::move(arr));
+    return JsonValue(std::move(root)).dump();
+}
+
+Result<DeviceTree>
+DeviceTree::deserialize(const std::string &text)
+{
+    auto doc = parseJson(text);
+    if (!doc.isOk())
+        return doc.status();
+    auto nodes = doc.value().getArray("nodes");
+    if (!nodes.isOk())
+        return nodes.status();
+    DeviceTree dt;
+    for (const auto &entry : nodes.value()) {
+        auto node = DtNode::fromJson(entry);
+        if (!node.isOk())
+            return node.status();
+        dt.addNode(node.value());
+    }
+    return dt;
+}
+
+crypto::Digest
+DeviceTree::measure() const
+{
+    return crypto::sha256(serialize());
+}
+
+} // namespace cronus::hw

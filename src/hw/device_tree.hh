@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Device tree (DT) model with TrustPath-style validation.
+ *
+ * The untrusted normal OS provides the DT describing accelerators and
+ * their MMIO/IRQ resources. CRONUS's attestation protocol (§IV-A)
+ * accepts only valid DTs -- no overlapping MMIO ranges, no duplicate
+ * IRQs -- and includes the DT hash in the attestation report so a
+ * client can detect misconfigured or fabricated hardware.
+ */
+
+#ifndef CRONUS_HW_DEVICE_TREE_HH
+#define CRONUS_HW_DEVICE_TREE_HH
+
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "base/status.hh"
+#include "crypto/sha256.hh"
+#include "types.hh"
+
+namespace cronus::hw
+{
+
+/** One DT node describing a device. */
+struct DtNode
+{
+    std::string name;        ///< e.g. "gpu0"
+    std::string compatible;  ///< e.g. "nvidia,gtx2080"
+    PhysAddr mmioBase = 0;
+    uint64_t mmioSize = 0;
+    uint32_t irq = 0;
+    World world = World::Normal;
+    /** Device memory (e.g. GPU VRAM) capacity in bytes. */
+    uint64_t memBytes = 0;
+
+    JsonValue toJson() const;
+    static Result<DtNode> fromJson(const JsonValue &v);
+};
+
+class DeviceTree
+{
+  public:
+    void addNode(DtNode node) { nodes.push_back(std::move(node)); }
+
+    /* Ref-qualified: calling all() on a temporary DeviceTree would
+     * dangle, so it is deleted. Bind the tree to a local first. */
+    const std::vector<DtNode> &all() const & { return nodes; }
+    const std::vector<DtNode> &all() const && = delete;
+    const DtNode *find(const std::string &name) const;
+
+    /**
+     * TrustPath-style validation: reject overlapping MMIO windows,
+     * duplicate IRQs and duplicate names (defends against MMIO
+     * remapping and interrupt spoofing attacks).
+     */
+    Status validate() const;
+
+    /** Canonical JSON serialization (stable ordering). */
+    std::string serialize() const;
+    static Result<DeviceTree> deserialize(const std::string &text);
+
+    /** Measurement included in attestation reports. */
+    crypto::Digest measure() const;
+
+  private:
+    std::vector<DtNode> nodes;
+};
+
+} // namespace cronus::hw
+
+#endif // CRONUS_HW_DEVICE_TREE_HH

@@ -1,0 +1,132 @@
+#include "page_table.hh"
+
+namespace cronus::hw
+{
+
+Status
+PageTable::map(VirtAddr va, PhysAddr pa, PagePerms perms,
+               uint64_t share_tag)
+{
+    if (!isPageAligned(va) || !isPageAligned(pa))
+        return Status(ErrorCode::InvalidArgument,
+                      "map requires page-aligned addresses");
+    uint64_t idx = va >> kPageShift;
+    auto it = entries.find(idx);
+    if (it != entries.end() && it->second.valid)
+        return Status(ErrorCode::InvalidState,
+                      "page already mapped");
+    entries[idx] = PageEntry{pa, perms, true, share_tag};
+    return Status::ok();
+}
+
+Status
+PageTable::unmap(VirtAddr va)
+{
+    uint64_t idx = va >> kPageShift;
+    if (entries.erase(idx) == 0)
+        return Status(ErrorCode::NotFound, "page not mapped");
+    return Status::ok();
+}
+
+Status
+PageTable::invalidate(VirtAddr va)
+{
+    uint64_t idx = va >> kPageShift;
+    auto it = entries.find(idx);
+    if (it == entries.end())
+        return Status(ErrorCode::NotFound, "page not mapped");
+    it->second.valid = false;
+    return Status::ok();
+}
+
+Status
+PageTable::revalidate(VirtAddr va)
+{
+    uint64_t idx = va >> kPageShift;
+    auto it = entries.find(idx);
+    if (it == entries.end())
+        return Status(ErrorCode::NotFound, "page not mapped");
+    it->second.valid = true;
+    return Status::ok();
+}
+
+Translation
+PageTable::translate(VirtAddr va, uint64_t len, bool write) const
+{
+    if (len == 0)
+        len = 1;
+    uint64_t first = va >> kPageShift;
+    uint64_t last = (va + len - 1) >> kPageShift;
+    PhysAddr phys = 0;
+    for (uint64_t idx = first; idx <= last; ++idx) {
+        auto it = entries.find(idx);
+        if (it == entries.end())
+            return Translation{0, FaultKind::Unmapped};
+        const PageEntry &entry = it->second;
+        if (!entry.valid)
+            return Translation{0, FaultKind::Invalidated};
+        if (write ? !entry.perms.write : !entry.perms.read)
+            return Translation{0, FaultKind::Permission};
+        if (idx == first)
+            phys = entry.phys + (va & (kPageSize - 1));
+        else if (entry.phys !=
+                 entries.at(idx - 1).phys + kPageSize)
+            /* Access must be physically contiguous to be a single
+             * bus transaction in this model. */
+            return Translation{0, FaultKind::Unmapped};
+    }
+    return Translation{phys, FaultKind::None};
+}
+
+size_t
+PageTable::invalidateByTag(uint64_t share_tag)
+{
+    size_t count = 0;
+    for (auto &[idx, entry] : entries) {
+        if (entry.shareTag == share_tag && entry.valid) {
+            entry.valid = false;
+            ++count;
+        }
+    }
+    return count;
+}
+
+size_t
+PageTable::unmapByTag(uint64_t share_tag)
+{
+    size_t count = 0;
+    for (auto it = entries.begin(); it != entries.end();) {
+        if (it->second.shareTag == share_tag) {
+            it = entries.erase(it);
+            ++count;
+        } else {
+            ++it;
+        }
+    }
+    return count;
+}
+
+void
+PageTable::forEach(const std::function<void(VirtAddr,
+                                            const PageEntry &)> &fn) const
+{
+    for (const auto &[idx, entry] : entries)
+        fn(idx << kPageShift, entry);
+}
+
+bool
+PageTable::isMapped(VirtAddr va) const
+{
+    return entries.count(va >> kPageShift) > 0;
+}
+
+std::optional<PageEntry>
+PageTable::lookup(VirtAddr va) const
+{
+    auto it = entries.find(va >> kPageShift);
+    if (it == entries.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace cronus::hw

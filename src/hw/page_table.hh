@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Generic page table model used for stage-1 (mEnclave), stage-2
+ * (S-EL2 partition) and SMMU (device DMA) translations.
+ *
+ * Proceed-trap failover (§IV-D) relies on the SPM invalidating
+ * stage-2/SMMU entries so that subsequent accesses *fault*; the table
+ * therefore distinguishes "unmapped" from "invalidated" so trap
+ * handlers can tell a failure trap from a plain bug.
+ */
+
+#ifndef CRONUS_HW_PAGE_TABLE_HH
+#define CRONUS_HW_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "base/status.hh"
+#include "types.hh"
+
+namespace cronus::hw
+{
+
+/** One page mapping. */
+struct PageEntry
+{
+    PhysAddr phys = 0;
+    PagePerms perms;
+    bool valid = true;
+    /** Opaque tag identifying who the page is shared with (used by
+     *  the SPM to find entries to invalidate on partition failure). */
+    uint64_t shareTag = 0;
+};
+
+/** Result of a translation attempt. */
+enum class FaultKind
+{
+    None,
+    /** No entry was ever installed. */
+    Unmapped,
+    /** Entry exists but was invalidated (failure trap, §IV-D). */
+    Invalidated,
+    /** Permission violation. */
+    Permission,
+};
+
+struct Translation
+{
+    PhysAddr phys = 0;
+    FaultKind fault = FaultKind::None;
+
+    bool ok() const { return fault == FaultKind::None; }
+};
+
+class PageTable
+{
+  public:
+    /** Install a mapping for the page containing @p va. */
+    Status map(VirtAddr va, PhysAddr pa, PagePerms perms,
+               uint64_t share_tag = 0);
+
+    /** Remove a mapping entirely. */
+    Status unmap(VirtAddr va);
+
+    /**
+     * Invalidate (but keep) a mapping so later accesses fault with
+     * FaultKind::Invalidated.
+     */
+    Status invalidate(VirtAddr va);
+
+    /** Re-validate a previously invalidated mapping. */
+    Status revalidate(VirtAddr va);
+
+    /** Translate one access of @p len bytes starting at @p va.
+     *  @p write selects the permission checked. */
+    Translation translate(VirtAddr va, uint64_t len, bool write) const;
+
+    /** Invalidate every entry whose shareTag matches. Returns count. */
+    size_t invalidateByTag(uint64_t share_tag);
+
+    /** Remove every entry whose shareTag matches. Returns count. */
+    size_t unmapByTag(uint64_t share_tag);
+
+    /** Visit all entries (introspection for SPM bookkeeping). */
+    void forEach(const std::function<void(VirtAddr,
+                                          const PageEntry &)> &fn) const;
+
+    bool isMapped(VirtAddr va) const;
+    std::optional<PageEntry> lookup(VirtAddr va) const;
+
+    size_t entryCount() const { return entries.size(); }
+    void clear() { entries.clear(); }
+
+  private:
+    /* page index -> entry */
+    std::map<uint64_t, PageEntry> entries;
+};
+
+} // namespace cronus::hw
+
+#endif // CRONUS_HW_PAGE_TABLE_HH

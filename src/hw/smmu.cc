@@ -1,0 +1,31 @@
+#include "smmu.hh"
+
+namespace cronus::hw
+{
+
+PageTable &
+Smmu::streamTable(StreamId stream)
+{
+    return tables[stream];
+}
+
+Translation
+Smmu::translate(StreamId stream, VirtAddr iova, uint64_t len,
+                bool write) const
+{
+    auto it = tables.find(stream);
+    if (it == tables.end())
+        return Translation{0, FaultKind::Unmapped};
+    return it->second.translate(iova, len, write);
+}
+
+size_t
+Smmu::invalidateByTag(uint64_t share_tag)
+{
+    size_t count = 0;
+    for (auto &[stream, table] : tables)
+        count += table.invalidateByTag(share_tag);
+    return count;
+}
+
+} // namespace cronus::hw

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * System MMU model: translates device DMA through per-stream tables.
+ *
+ * CRONUS's failover step 1 invalidates SMMU entries (spt2) together
+ * with stage-2 entries so an in-flight accelerator cannot DMA into a
+ * failed partition's shared pages.
+ */
+
+#ifndef CRONUS_HW_SMMU_HH
+#define CRONUS_HW_SMMU_HH
+
+#include <map>
+
+#include "page_table.hh"
+#include "types.hh"
+
+namespace cronus::hw
+{
+
+class Smmu
+{
+  public:
+    /** Get (creating on demand) the table for a stream. */
+    PageTable &streamTable(StreamId stream);
+
+    /** Translate a DMA access; Unmapped fault if stream unknown. */
+    Translation translate(StreamId stream, VirtAddr iova,
+                          uint64_t len, bool write) const;
+
+    /** Invalidate all entries with @p share_tag across all streams.
+     *  Returns number of entries invalidated. */
+    size_t invalidateByTag(uint64_t share_tag);
+
+    bool hasStream(StreamId stream) const
+    {
+        return tables.count(stream) > 0;
+    }
+
+  private:
+    std::map<StreamId, PageTable> tables;
+};
+
+} // namespace cronus::hw
+
+#endif // CRONUS_HW_SMMU_HH

@@ -1,0 +1,104 @@
+#include "tzasc.hh"
+
+namespace cronus::hw
+{
+
+Status
+Tzasc::addRegion(const MemRegion &region, World configurator)
+{
+    if (configurator != World::Secure)
+        return Status(ErrorCode::PermissionDenied,
+                      "TZASC programmable only from secure world");
+    if (locked)
+        return Status(ErrorCode::InvalidState,
+                      "TZASC configuration locked");
+    if (region.size == 0)
+        return Status(ErrorCode::InvalidArgument,
+                      "zero-sized TZASC region");
+    for (const auto &existing : regionList) {
+        if (existing.overlaps(region))
+            return Status(ErrorCode::InvalidArgument,
+                          "TZASC region '" + region.name +
+                          "' overlaps '" + existing.name + "'");
+    }
+    regionList.push_back(region);
+    return Status::ok();
+}
+
+Status
+Tzasc::checkAccess(PhysAddr addr, uint64_t len, World from) const
+{
+    if (from == World::Secure)
+        return Status::ok();
+    /* Normal world: fault on any byte inside a secure region. */
+    for (const auto &region : regionList) {
+        if (region.world != World::Secure)
+            continue;
+        if (addr < region.base + region.size &&
+            region.base < addr + len) {
+            return Status(ErrorCode::AccessFault,
+                          "normal-world access to secure region '" +
+                          region.name + "'");
+        }
+    }
+    return Status::ok();
+}
+
+bool
+Tzasc::isSecure(PhysAddr addr, uint64_t len) const
+{
+    for (const auto &region : regionList) {
+        if (region.world == World::Secure &&
+            region.contains(addr, len))
+            return true;
+    }
+    return false;
+}
+
+const MemRegion *
+Tzasc::findRegion(PhysAddr addr) const
+{
+    for (const auto &region : regionList) {
+        if (region.contains(addr, 1))
+            return &region;
+    }
+    return nullptr;
+}
+
+Status
+Tzpc::assignDevice(const std::string &device, World world,
+                   World configurator)
+{
+    if (configurator != World::Secure)
+        return Status(ErrorCode::PermissionDenied,
+                      "TZPC programmable only from secure world");
+    if (locked)
+        return Status(ErrorCode::InvalidState,
+                      "TZPC configuration locked");
+    assignment[device] = world;
+    return Status::ok();
+}
+
+Status
+Tzpc::checkAccess(const std::string &device, World from) const
+{
+    if (from == World::Secure)
+        return Status::ok();
+    auto it = assignment.find(device);
+    World device_world =
+        it == assignment.end() ? World::Normal : it->second;
+    if (device_world == World::Secure)
+        return Status(ErrorCode::AccessFault,
+                      "normal-world access to secure device '" +
+                      device + "'");
+    return Status::ok();
+}
+
+World
+Tzpc::deviceWorld(const std::string &device) const
+{
+    auto it = assignment.find(device);
+    return it == assignment.end() ? World::Normal : it->second;
+}
+
+} // namespace cronus::hw

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * TrustZone Address Space Controller (TZASC) and Protection
+ * Controller (TZPC) models.
+ *
+ * The TZASC marks DRAM regions secure/normal and filters normal-world
+ * access to secure regions. The TZPC does the same for I/O devices.
+ * Mirrors the paper's emulated ARM TZC-400 configuration (§V-A).
+ */
+
+#ifndef CRONUS_HW_TZASC_HH
+#define CRONUS_HW_TZASC_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.hh"
+#include "types.hh"
+
+namespace cronus::hw
+{
+
+/** One TZASC region descriptor. */
+struct MemRegion
+{
+    std::string name;
+    PhysAddr base = 0;
+    uint64_t size = 0;
+    World world = World::Normal;
+
+    bool
+    contains(PhysAddr addr, uint64_t len) const
+    {
+        return addr >= base && len <= size &&
+               addr - base <= size - len;
+    }
+
+    bool
+    overlaps(const MemRegion &o) const
+    {
+        return base < o.base + o.size && o.base < base + size;
+    }
+};
+
+class Tzasc
+{
+  public:
+    /**
+     * Configure a region. Regions may only be programmed from the
+     * secure world (the paper: configuration is locked down at boot).
+     */
+    Status addRegion(const MemRegion &region, World configurator);
+
+    /** Check one access; normal world cannot touch secure regions. */
+    Status checkAccess(PhysAddr addr, uint64_t len, World from) const;
+
+    /** True iff the whole range lies in a secure region. */
+    bool isSecure(PhysAddr addr, uint64_t len) const;
+
+    /** Lock the configuration (secure boot completes). */
+    void lockDown() { locked = true; }
+    bool isLocked() const { return locked; }
+
+    const std::vector<MemRegion> &regions() const { return regionList; }
+
+    /** Find the configured region covering an address, if any. */
+    const MemRegion *findRegion(PhysAddr addr) const;
+
+  private:
+    std::vector<MemRegion> regionList;
+    bool locked = false;
+};
+
+/** TrustZone Protection Controller: secure/normal gating of devices. */
+class Tzpc
+{
+  public:
+    /** Assign a device to a world; only from the secure world, and
+     *  only before lockdown. */
+    Status assignDevice(const std::string &device, World world,
+                        World configurator);
+
+    /** Check whether @p from may access @p device. */
+    Status checkAccess(const std::string &device, World from) const;
+
+    /** World a device is assigned to (Normal if unknown). */
+    World deviceWorld(const std::string &device) const;
+
+    void lockDown() { locked = true; }
+    bool isLocked() const { return locked; }
+
+  private:
+    std::map<std::string, World> assignment;
+    bool locked = false;
+};
+
+} // namespace cronus::hw
+
+#endif // CRONUS_HW_TZASC_HH

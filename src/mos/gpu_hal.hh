@@ -1,0 +1,86 @@
+/**
+ * @file
+ * GPU driver ("nouveau", simulated) and GPU HAL.
+ *
+ * The paper builds the GPU HAL from the open-source nouveau driver
+ * plus gdev/ocelot for the CUDA runtime (§V-B). Here NouveauDriver
+ * is the kernel-side driver written against the shim kernel, and
+ * GpuHal exposes the CUDA-ish operations the CUDA mEnclave runtime
+ * needs (malloc/memcpy/launch/synchronize/module loading).
+ */
+
+#ifndef CRONUS_MOS_GPU_HAL_HH
+#define CRONUS_MOS_GPU_HAL_HH
+
+#include "accel/gpu.hh"
+#include "hal.hh"
+
+namespace cronus::mos
+{
+
+/** Kernel-side GPU driver running on the shim kernel. */
+class NouveauDriver
+{
+  public:
+    NouveauDriver(ShimKernel &shim_kernel,
+                  const std::string &device_name);
+
+    /** ioremap the device and sanity-check its magic register. */
+    Status probe();
+    bool probed() const { return gpu != nullptr; }
+
+    accel::GpuDevice &device();
+
+  private:
+    ShimKernel &shim;
+    std::string devName;
+    accel::GpuDevice *gpu = nullptr;
+};
+
+class GpuHal : public Hal
+{
+  public:
+    GpuHal(ShimKernel &shim_kernel, const std::string &device_name);
+
+    /* --- Hal interface --- */
+    std::string deviceType() const override { return "gpu"; }
+    Result<uint64_t> createDeviceContext() override;
+    Status destroyDeviceContext(uint64_t ctx, bool scrub) override;
+    Result<DeviceAttestation> attestDevice(
+        const Bytes &challenge) override;
+
+    /* --- CUDA-facing operations (used by the CUDA runtime) --- */
+    Status loadModule(uint64_t ctx, const accel::GpuModuleImage &image);
+    Result<accel::GpuVa> memAlloc(uint64_t ctx, uint64_t bytes);
+    Status memFree(uint64_t ctx, accel::GpuVa va);
+    /** Host-to-device copy: DMA cost charged on the platform. */
+    Status memcpyHtoD(uint64_t ctx, accel::GpuVa dst,
+                      const Bytes &src);
+    /** Device-to-host copy: synchronizes the stream first. */
+    Result<Bytes> memcpyDtoH(uint64_t ctx, accel::GpuVa src,
+                             uint64_t len);
+    /** Asynchronous kernel launch. */
+    Status launchKernel(uint64_t ctx, const std::string &kernel,
+                        const std::vector<uint64_t> &args,
+                        uint64_t work_items);
+    /** Block (advance the clock) until the context stream drains. */
+    Status synchronize(uint64_t ctx);
+
+    accel::GpuDevice &rawDevice() { return driver.device(); }
+
+    /** Host address (IOVA) of the DMA bounce buffer, for tests. */
+    hw::PhysAddr bounceBase() const { return bounce; }
+
+  private:
+    Status ensureProbed();
+    /** Allocate + SMMU-map the DMA staging buffer on first use. */
+    Status ensureBounce();
+
+    NouveauDriver driver;
+    hw::PhysAddr bounce = 0;
+    static constexpr uint64_t kBouncePages = 64;
+};
+
+} // namespace cronus::mos
+
+#endif // CRONUS_MOS_GPU_HAL_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Hardware Adaptation Layer interface (§IV-B).
+ *
+ * The HAL gives the Enclave Manager a unified way to configure,
+ * attest and virtualize a device for mEnclaves. Device-specific
+ * HALs (GpuHal, NpuHal, CpuHal) run off-the-shelf-style drivers on
+ * the shim kernel.
+ */
+
+#ifndef CRONUS_MOS_HAL_HH
+#define CRONUS_MOS_HAL_HH
+
+#include <string>
+
+#include "crypto/keys.hh"
+#include "shim_kernel.hh"
+
+namespace cronus::mos
+{
+
+/** Result of the HAL's hardware-authenticity check (§IV-A). */
+struct DeviceAttestation
+{
+    crypto::PublicKey devicePublicKey;
+    crypto::Signature configSignature;
+    Bytes challenge;
+};
+
+class Hal
+{
+  public:
+    explicit Hal(ShimKernel &shim_kernel) : shim(shim_kernel) {}
+    virtual ~Hal() = default;
+
+    /** "cpu" | "gpu" | "npu" -- matched against manifests. */
+    virtual std::string deviceType() const = 0;
+
+    /** Allocate an isolated device context for one mEnclave. */
+    virtual Result<uint64_t> createDeviceContext() = 0;
+    virtual Status destroyDeviceContext(uint64_t ctx, bool scrub) = 0;
+
+    /**
+     * Verify the device really owns its RoT key and produce the
+     * material the attestation report embeds (PubK_acc).
+     */
+    virtual Result<DeviceAttestation> attestDevice(
+        const Bytes &challenge) = 0;
+
+    ShimKernel &shimKernel() { return shim; }
+
+  protected:
+    ShimKernel &shim;
+};
+
+} // namespace cronus::mos
+
+#endif // CRONUS_MOS_HAL_HH

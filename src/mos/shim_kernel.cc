@@ -1,0 +1,122 @@
+#include "shim_kernel.hh"
+
+#include "base/logging.hh"
+
+namespace cronus::mos
+{
+
+ShimKernel::ShimKernel(tee::Spm &spm, PartitionId partition_id,
+                       uint64_t reserved_bytes)
+    : partitionManager(spm), pid(partition_id)
+{
+    auto p = spm.partition(pid);
+    CRONUS_ASSERT(p.isOk(), "ShimKernel for unknown partition");
+    allocNext = p.value()->memBase + hw::pageAlignUp(reserved_bytes);
+    allocEnd = p.value()->memBase + p.value()->memBytes;
+    CRONUS_ASSERT(allocNext <= allocEnd,
+                  "mOS reservation exceeds partition memory");
+}
+
+hw::Platform &
+ShimKernel::platform()
+{
+    return partitionManager.monitor().platform();
+}
+
+Result<hw::Device *>
+ShimKernel::ioremap(const std::string &device_name)
+{
+    return platform().accessDevice(device_name, hw::World::Secure);
+}
+
+void
+ShimKernel::resetAllocator(uint64_t reserved_bytes)
+{
+    auto p = partitionManager.partition(pid);
+    CRONUS_ASSERT(p.isOk(), "resetAllocator on unknown partition");
+    allocNext = p.value()->memBase + hw::pageAlignUp(reserved_bytes);
+    allocEnd = p.value()->memBase + p.value()->memBytes;
+}
+
+Result<PhysAddr>
+ShimKernel::allocPages(uint64_t pages)
+{
+    uint64_t bytes = pages * hw::kPageSize;
+    if (allocNext + bytes > allocEnd)
+        return Status(ErrorCode::ResourceExhausted,
+                      "partition memory exhausted");
+    PhysAddr addr = allocNext;
+    allocNext += bytes;
+    return addr;
+}
+
+Result<Bytes>
+ShimKernel::read(PhysAddr addr, uint64_t len)
+{
+    return partitionManager.read(pid, addr, len);
+}
+
+Status
+ShimKernel::write(PhysAddr addr, const Bytes &data)
+{
+    return partitionManager.write(pid, addr, data);
+}
+
+Status
+ShimKernel::write(PhysAddr addr, const uint8_t *data, uint64_t len)
+{
+    return partitionManager.write(pid, addr, data, len);
+}
+
+Status
+ShimKernel::spinLock(PhysAddr addr)
+{
+    hw::Platform &plat = platform();
+    /* Compare-and-swap loop on the lock word; in the deterministic
+     * single-scheduler simulation at most a few spins happen. */
+    for (int attempt = 0; attempt < 1024; ++attempt) {
+        auto word = partitionManager.read(pid, addr, 1);
+        if (!word.isOk())
+            return word.status();  /* PeerFailed propagates (A2) */
+        plat.clock().advance(plat.costs().spinlockOpNs);
+        if (word.value()[0] == 0) {
+            Bytes one = {1};
+            return partitionManager.write(pid, addr, one);
+        }
+    }
+    return Status(ErrorCode::Timeout, "spinlock livelock");
+}
+
+Status
+ShimKernel::spinUnlock(PhysAddr addr)
+{
+    hw::Platform &plat = platform();
+    plat.clock().advance(plat.costs().spinlockOpNs);
+    Bytes zero = {0};
+    return partitionManager.write(pid, addr, zero);
+}
+
+Status
+ShimKernel::dmaMap(hw::StreamId stream, hw::VirtAddr iova,
+                   PhysAddr pa, uint64_t pages, uint64_t tag)
+{
+    hw::Platform &plat = platform();
+    hw::PageTable &table = plat.smmu().streamTable(stream);
+    for (uint64_t i = 0; i < pages; ++i) {
+        Status s = table.map(iova + i * hw::kPageSize,
+                             pa + i * hw::kPageSize,
+                             hw::PagePerms::rw(), tag);
+        if (!s.isOk())
+            return s;
+        plat.clock().advance(plat.costs().smmuUpdateNs);
+    }
+    return Status::ok();
+}
+
+void
+ShimKernel::heartbeat()
+{
+    partitionManager.heartbeat(pid);
+}
+
+} // namespace cronus::mos

@@ -1,0 +1,508 @@
+#include "spm.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace cronus::tee
+{
+
+crypto::Digest
+MosImage::measure() const
+{
+    crypto::Sha256 ctx;
+    ctx.update(name);
+    ctx.update(deviceType);
+    ctx.update(code);
+    return ctx.finalize();
+}
+
+Spm::Spm(SecureMonitor &monitor)
+    : sm(monitor), nextSecureAlloc(monitor.platform().secureBase())
+{
+}
+
+Result<Partition *>
+Spm::mutablePartition(PartitionId pid)
+{
+    auto it = partitions.find(pid);
+    if (it == partitions.end())
+        return Status(ErrorCode::NotFound,
+                      "no partition " + std::to_string(pid));
+    return &it->second;
+}
+
+Result<const Partition *>
+Spm::partition(PartitionId pid) const
+{
+    auto it = partitions.find(pid);
+    if (it == partitions.end())
+        return Status(ErrorCode::NotFound,
+                      "no partition " + std::to_string(pid));
+    return &it->second;
+}
+
+Result<PartitionId>
+Spm::createPartition(const MosImage &image,
+                     const std::string &device_name,
+                     uint64_t mem_bytes)
+{
+    if (!sm.booted())
+        return Status(ErrorCode::InvalidState,
+                      "SPM requires secure boot");
+    if (nextPid > 255)
+        return Status(ErrorCode::ResourceExhausted,
+                      "eid reserves 8 bits for the mOS id");
+    /* Devices map 1:1 to partitions. */
+    for (const auto &[pid, p] : partitions) {
+        if (p.deviceName == device_name)
+            return Status(ErrorCode::InvalidState,
+                          "device '" + device_name +
+                          "' already managed by partition " +
+                          std::to_string(pid));
+    }
+    if (sm.deviceTree().find(device_name) == nullptr)
+        return Status(ErrorCode::NotFound,
+                      "device '" + device_name + "' not in DT");
+
+    uint64_t bytes = hw::pageAlignUp(mem_bytes);
+    hw::Platform &plat = sm.platform();
+    if (nextSecureAlloc + bytes >
+        plat.secureBase() + plat.secureSize())
+        return Status(ErrorCode::ResourceExhausted,
+                      "secure memory exhausted");
+
+    Partition p;
+    p.id = nextPid++;
+    p.deviceName = device_name;
+    p.memBase = nextSecureAlloc;
+    p.memBytes = bytes;
+    p.image = image;
+    p.mosHash = image.measure();
+    nextSecureAlloc += bytes;
+
+    for (uint64_t off = 0; off < bytes; off += hw::kPageSize) {
+        Status s = p.stage2.map(p.memBase + off, p.memBase + off,
+                                hw::PagePerms::rw());
+        CRONUS_ASSERT(s.isOk(), "stage2 identity map failed");
+    }
+
+    /* mOS boot cost is paid at system startup (§III-A: mOSes run at
+     * startup so mEnclaves need not wait). */
+    plat.clock().advance(plat.costs().mosBootNs);
+    stats.counter("partitions_created").inc();
+
+    PartitionId pid = p.id;
+    partitions.emplace(pid, std::move(p));
+    return pid;
+}
+
+Status
+Spm::heartbeat(PartitionId pid)
+{
+    auto p = mutablePartition(pid);
+    if (!p.isOk())
+        return p.status();
+    ++p.value()->heartbeat;
+    return Status::ok();
+}
+
+std::vector<PartitionId>
+Spm::pollHangs()
+{
+    sm.platform().clock().advance(sm.platform().costs().hangPollNs);
+    std::vector<PartitionId> failed;
+    for (auto &[pid, p] : partitions) {
+        if (p.state != PartitionState::Ready)
+            continue;
+        auto it = lastHeartbeat.find(pid);
+        if (it != lastHeartbeat.end() &&
+            it->second == p.heartbeat) {
+            /* No progress since last poll: hang. */
+            failPartition(pid);
+            failed.push_back(pid);
+        }
+        lastHeartbeat[pid] = p.heartbeat;
+    }
+    return failed;
+}
+
+Status
+Spm::panic(PartitionId pid)
+{
+    stats.counter("panics").inc();
+    return failPartition(pid);
+}
+
+Status
+Spm::requestRestart(PartitionId pid, const MosImage &new_image)
+{
+    CRONUS_RETURN_IF_ERROR(failPartition(pid));
+    return recoverPartition(pid, new_image);
+}
+
+Status
+Spm::failPartition(PartitionId pid)
+{
+    auto pr = mutablePartition(pid);
+    if (!pr.isOk())
+        return pr.status();
+    Partition &p = *pr.value();
+    if (p.state == PartitionState::Failed)
+        return Status(ErrorCode::InvalidState, "already failed");
+
+    hw::Platform &plat = sm.platform();
+    const CostModel &costs = plat.costs();
+
+    /* Step 1: invalidate surviving partitions' stage-2 and SMMU
+     * entries for every page shared with pid. */
+    for (auto &[gid, g] : grants) {
+        if (!g.active || (g.owner != pid && g.peer != pid))
+            continue;
+        PartitionId survivor_id = g.owner == pid ? g.peer : g.owner;
+        auto survivor = mutablePartition(survivor_id);
+        if (survivor.isOk() &&
+            survivor.value()->state == PartitionState::Ready) {
+            for (uint64_t i = 0; i < g.pages; ++i) {
+                survivor.value()->stage2.invalidate(
+                    g.base + i * hw::kPageSize);
+                plat.clock().advance(costs.pageTableUpdateNs);
+            }
+            plat.clock().advance(costs.tlbInvalidateNs);
+        }
+        plat.smmu().invalidateByTag(gid);
+        plat.clock().advance(costs.smmuUpdateNs);
+        g.pendingTrap = true;
+        g.failedSide = pid;
+    }
+
+    /* Mark r_f = 1: new sharing requests involving pid blocked. */
+    p.rf = true;
+    p.state = PartitionState::Failed;
+    stats.counter("partitions_failed").inc();
+    return Status::ok();
+}
+
+SimTime
+Spm::recoveryCost(const Partition &p) const
+{
+    const CostModel &costs = sm.platform().costs();
+    uint64_t mib = (p.memBytes + (1 << 20) - 1) >> 20;
+    hw::Device *dev = const_cast<SecureMonitor &>(sm)
+                          .platform().findDevice(p.deviceName);
+    uint64_t dev_mib = dev == nullptr
+                           ? 0
+                           : (dev->memoryBytes() + (1 << 20) - 1) >> 20;
+    return (mib + dev_mib) * costs.deviceClearNsPerMiB +
+           costs.mosBootNs;
+}
+
+void
+Spm::scrubPartition(Partition &p, const MosImage &image)
+{
+    hw::Platform &plat = sm.platform();
+    /* Clear D_f: device contents of the failed partition, and drop
+     * its stale SMMU mappings so the old incarnation's DMA windows
+     * die with it. */
+    if (hw::Device *dev = plat.findDevice(p.deviceName)) {
+        dev->reset(true);
+        plat.smmu().streamTable(dev->streamId()).clear();
+    }
+    /* Clear the partition's memory, including smem it owned. */
+    plat.dram().clear(p.memBase, p.memBytes);
+
+    /* Reload the mOS and rebuild a fresh identity stage-2 map. */
+    p.stage2.clear();
+    for (uint64_t off = 0; off < p.memBytes; off += hw::kPageSize) {
+        Status s = p.stage2.map(p.memBase + off, p.memBase + off,
+                                hw::PagePerms::rw());
+        CRONUS_ASSERT(s.isOk(), "stage2 rebuild failed");
+    }
+    p.image = image;
+    p.mosHash = image.measure();
+    p.heartbeat = 0;
+    lastHeartbeat.erase(p.id);
+    ++p.incarnation;
+    p.rf = false;
+    p.state = PartitionState::Ready;
+
+    /* Grants of the old incarnation do not survive the reboot: the
+     * rebuilt stage-2 no longer maps them. Retire them; pages owned
+     * by the scrubbed partition return to the share-once budget,
+     * while a surviving owner's pages stay reserved until its
+     * pending trap resolves. */
+    for (auto &[gid, g] : grants) {
+        if (!g.active || (g.owner != p.id && g.peer != p.id))
+            continue;
+        g.active = false;
+        if (g.owner == p.id && !g.pendingTrap) {
+            for (uint64_t i = 0; i < g.pages; ++i)
+                pageShareCount[g.base + i * hw::kPageSize] = 0;
+        }
+    }
+}
+
+Result<SimTime>
+Spm::recoveryEstimate(PartitionId pid) const
+{
+    auto pr = partition(pid);
+    if (!pr.isOk())
+        return pr.status();
+    return recoveryCost(*pr.value());
+}
+
+Status
+Spm::recoverPartition(PartitionId pid, const MosImage &image,
+                      bool charge_clock)
+{
+    auto pr = mutablePartition(pid);
+    if (!pr.isOk())
+        return pr.status();
+    Partition &p = *pr.value();
+    if (p.state != PartitionState::Failed)
+        return Status(ErrorCode::InvalidState,
+                      "recover requires a failed partition");
+
+    if (charge_clock)
+        sm.platform().clock().advance(recoveryCost(p));
+    scrubPartition(p, image);
+
+    /* Release this partition's share of the share-once budget for
+     * grants it owned; surviving peers' traps remain pending. */
+    stats.counter("partitions_recovered").inc();
+    return Status::ok();
+}
+
+Status
+Spm::recoverConcurrently(const std::vector<PartitionId> &pids,
+                         const std::vector<MosImage> &images)
+{
+    if (pids.size() != images.size())
+        return Status(ErrorCode::InvalidArgument,
+                      "pids/images size mismatch");
+    SimTime max_cost = 0;
+    for (PartitionId pid : pids) {
+        auto pr = mutablePartition(pid);
+        if (!pr.isOk())
+            return pr.status();
+        if (pr.value()->state != PartitionState::Failed)
+            return Status(ErrorCode::InvalidState,
+                          "recover requires failed partitions");
+        max_cost = std::max(max_cost, recoveryCost(*pr.value()));
+    }
+    sm.platform().clock().advance(max_cost);
+    for (size_t i = 0; i < pids.size(); ++i) {
+        Partition &p = *mutablePartition(pids[i]).value();
+        scrubPartition(p, images[i]);
+        stats.counter("partitions_recovered").inc();
+    }
+    return Status::ok();
+}
+
+Status
+Spm::handleInvalidatedAccess(Partition &accessor, PhysAddr addr)
+{
+    hw::Platform &plat = sm.platform();
+    plat.clock().advance(plat.costs().trapHandleNs);
+    stats.counter("share_traps").inc();
+
+    /* Find the grant covering this page. */
+    for (auto &[gid, g] : grants) {
+        if (!g.pendingTrap)
+            continue;
+        bool covers = addr >= g.base &&
+                      addr < g.base + g.pages * hw::kPageSize;
+        bool involves = g.owner == accessor.id ||
+                        g.peer == accessor.id;
+        if (!covers || !involves)
+            continue;
+
+        for (uint64_t i = 0; i < g.pages; ++i) {
+            PhysAddr page = g.base + i * hw::kPageSize;
+            if (g.owner == accessor.id) {
+                /* Pages owned by the accessor: recover access. */
+                accessor.stage2.revalidate(page);
+            } else {
+                /* Foreign pages: drop the mapping entirely. */
+                accessor.stage2.unmap(page);
+            }
+            plat.clock().advance(plat.costs().pageTableUpdateNs);
+        }
+        g.pendingTrap = false;
+        g.active = false;
+        for (uint64_t i = 0; i < g.pages; ++i)
+            pageShareCount[g.base + i * hw::kPageSize] = 0;
+
+        if (trapHandler)
+            trapHandler(TrapSignal{accessor.id, g.failedSide, gid,
+                                   addr});
+        return Status(ErrorCode::PeerFailed,
+                      "shared-memory peer partition failed");
+    }
+    return Status(ErrorCode::AccessFault,
+                  "access to invalidated page without grant");
+}
+
+Result<Bytes>
+Spm::read(PartitionId pid, PhysAddr addr, uint64_t len)
+{
+    auto pr = mutablePartition(pid);
+    if (!pr.isOk())
+        return pr.status();
+    Partition &p = *pr.value();
+    if (p.state != PartitionState::Ready)
+        return Status(ErrorCode::InvalidState, "partition not ready");
+    hw::Translation t = p.stage2.translate(addr, len, false);
+    if (t.fault == hw::FaultKind::Invalidated)
+        return handleInvalidatedAccess(p, addr);
+    if (!t.ok())
+        return Status(ErrorCode::AccessFault,
+                      "stage-2 fault on read");
+    return sm.platform().busRead(hw::World::Secure, t.phys, len);
+}
+
+Status
+Spm::write(PartitionId pid, PhysAddr addr, const uint8_t *data,
+           uint64_t len)
+{
+    auto pr = mutablePartition(pid);
+    if (!pr.isOk())
+        return pr.status();
+    Partition &p = *pr.value();
+    if (p.state != PartitionState::Ready)
+        return Status(ErrorCode::InvalidState, "partition not ready");
+    hw::Translation t = p.stage2.translate(addr, len, true);
+    if (t.fault == hw::FaultKind::Invalidated)
+        return handleInvalidatedAccess(p, addr);
+    if (!t.ok())
+        return Status(ErrorCode::AccessFault,
+                      "stage-2 fault on write");
+    return sm.platform().busWrite(hw::World::Secure, t.phys, data,
+                                  len);
+}
+
+Status
+Spm::write(PartitionId pid, PhysAddr addr, const Bytes &data)
+{
+    return write(pid, addr, data.data(), data.size());
+}
+
+Result<uint64_t>
+Spm::sharePages(PartitionId owner, PartitionId peer, PhysAddr base,
+                uint64_t pages)
+{
+    if (owner == peer)
+        return Status(ErrorCode::InvalidArgument,
+                      "cannot share with self");
+    auto owner_p = mutablePartition(owner);
+    if (!owner_p.isOk())
+        return owner_p.status();
+    auto peer_p = mutablePartition(peer);
+    if (!peer_p.isOk())
+        return peer_p.status();
+    Partition &po = *owner_p.value();
+    Partition &pp = *peer_p.value();
+    /* r_f blocks all new sharing with a failing partition. */
+    if (po.rf || po.state != PartitionState::Ready)
+        return Status(ErrorCode::PeerFailed, "owner partition failed");
+    if (pp.rf || pp.state != PartitionState::Ready)
+        return Status(ErrorCode::PeerFailed, "peer partition failed");
+    if (!hw::isPageAligned(base) || pages == 0)
+        return Status(ErrorCode::InvalidArgument,
+                      "share range must be whole pages");
+    if (base < po.memBase ||
+        base + pages * hw::kPageSize > po.memBase + po.memBytes)
+        return Status(ErrorCode::PermissionDenied,
+                      "share range outside owner's memory");
+
+    /* Share-once rule (§IV-D): a page may be shared only once. */
+    for (uint64_t i = 0; i < pages; ++i) {
+        if (pageShareCount[base + i * hw::kPageSize] != 0)
+            return Status(ErrorCode::InvalidState,
+                          "page already shared (share-once rule)");
+    }
+
+    uint64_t gid = nextGrant++;
+    hw::Platform &plat = sm.platform();
+    for (uint64_t i = 0; i < pages; ++i) {
+        PhysAddr page = base + i * hw::kPageSize;
+        Status s = pp.stage2.map(page, page, hw::PagePerms::rw(), gid);
+        if (!s.isOk())
+            return Status(ErrorCode::InvalidState,
+                          "peer stage-2 collision: " + s.toString());
+        /* Re-tag the owner's identity entry so failure handling can
+         * find it. */
+        po.stage2.unmap(page);
+        Status s2 = po.stage2.map(page, page, hw::PagePerms::rw(),
+                                  gid);
+        CRONUS_ASSERT(s2.isOk(), "owner retag failed");
+        pageShareCount[page] = 1;
+        plat.clock().advance(plat.costs().pageTableUpdateNs);
+    }
+    plat.clock().advance(plat.costs().tlbInvalidateNs);
+
+    ShareGrant g;
+    g.id = gid;
+    g.owner = owner;
+    g.peer = peer;
+    g.base = base;
+    g.pages = pages;
+    g.active = true;
+    grants.emplace(gid, g);
+    stats.counter("grants_created").inc();
+    return gid;
+}
+
+Status
+Spm::revokeGrant(uint64_t grant_id, PartitionId requester)
+{
+    auto it = grants.find(grant_id);
+    if (it == grants.end())
+        return Status(ErrorCode::NotFound, "no such grant");
+    ShareGrant &g = it->second;
+    if (g.owner != requester && g.peer != requester)
+        return Status(ErrorCode::PermissionDenied,
+                      "not a party to this grant");
+    if (!g.active)
+        return Status(ErrorCode::InvalidState, "grant not active");
+
+    auto peer_p = mutablePartition(g.peer);
+    if (peer_p.isOk()) {
+        for (uint64_t i = 0; i < g.pages; ++i)
+            peer_p.value()->stage2.unmap(g.base + i * hw::kPageSize);
+    }
+    for (uint64_t i = 0; i < g.pages; ++i)
+        pageShareCount[g.base + i * hw::kPageSize] = 0;
+    g.active = false;
+    return Status::ok();
+}
+
+Result<const ShareGrant *>
+Spm::grant(uint64_t grant_id) const
+{
+    auto it = grants.find(grant_id);
+    if (it == grants.end())
+        return Status(ErrorCode::NotFound, "no such grant");
+    return &it->second;
+}
+
+std::vector<uint64_t>
+Spm::grantsOf(PartitionId pid) const
+{
+    std::vector<uint64_t> out;
+    for (const auto &[gid, g] : grants) {
+        if (g.active && (g.owner == pid || g.peer == pid))
+            out.push_back(gid);
+    }
+    return out;
+}
+
+bool
+Spm::validateMosId(PartitionId pid) const
+{
+    auto it = partitions.find(pid);
+    return it != partitions.end() &&
+           it->second.state == PartitionState::Ready;
+}
+
+} // namespace cronus::tee

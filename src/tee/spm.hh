@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Secure Partition Manager (S-EL2) model.
+ *
+ * The SPM isolates the secure world into partitions, each running
+ * one MicroOS that manages exactly one device (§III-A). It owns the
+ * stage-2 page tables, implements the inter-mOS shared-memory
+ * workflow of Fig. 6 (including the page-shared-only-once rule), and
+ * drives the proceed-trap failure recovery of §IV-D:
+ *
+ *   step 1  on failure, invalidate every surviving partition's
+ *           stage-2 (and SMMU) entries for memory shared with the
+ *           failed partition, then set r_f = 1 to block new shares;
+ *   step 2  run the failure-clearing logic (scrub device + shared
+ *           memory), reload the mOS, set r_f = 0;
+ *   step 3  subsequent accesses to invalidated shared pages trap;
+ *           the SPM unmaps/recovers the page and signals the
+ *           accessing mEnclave so it neither leaks data (A1) nor
+ *           deadlocks (A2).
+ */
+
+#ifndef CRONUS_TEE_SPM_HH
+#define CRONUS_TEE_SPM_HH
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "crypto/sha256.hh"
+#include "hw/page_table.hh"
+#include "secure_monitor.hh"
+
+namespace cronus::tee
+{
+
+using hw::PartitionId;
+using hw::PhysAddr;
+
+/** A MicroOS image, provided by the normal world and measured. */
+struct MosImage
+{
+    std::string name;        ///< e.g. "cudav3.mos"
+    std::string deviceType;  ///< "cpu" | "gpu" | "npu"
+    Bytes code;              ///< opaque payload, measured
+
+    crypto::Digest measure() const;
+};
+
+enum class PartitionState
+{
+    Ready,
+    Failed,
+};
+
+/** An inter-mOS shared-memory grant. */
+struct ShareGrant
+{
+    uint64_t id = 0;
+    PartitionId owner = 0;
+    PartitionId peer = 0;
+    PhysAddr base = 0;       ///< page-aligned, inside owner's range
+    uint64_t pages = 0;
+    bool active = false;
+    /** Set by failure step 1; cleared when the trap is delivered. */
+    bool pendingTrap = false;
+    /** Which side failed (valid while pendingTrap). */
+    PartitionId failedSide = 0;
+};
+
+/** Everything the SPM tracks about one partition. */
+struct Partition
+{
+    PartitionId id = 0;
+    std::string deviceName;
+    PhysAddr memBase = 0;
+    uint64_t memBytes = 0;
+    hw::PageTable stage2;
+    PartitionState state = PartitionState::Ready;
+    MosImage image;
+    crypto::Digest mosHash{};
+    /** r_f: blocks new memory sharing while set (§IV-D). */
+    bool rf = false;
+    /** Incremented on every (re)boot: a restarted partition is a
+     *  different instance (TOCTOU defense surfaces this). */
+    uint64_t incarnation = 1;
+    /** Liveness counter ticked by the mOS; used by hang detection. */
+    uint64_t heartbeat = 0;
+};
+
+/**
+ * Delivered to the fault-signal handler when a trapped shared-memory
+ * access is resolved (step 3).
+ */
+struct TrapSignal
+{
+    PartitionId accessor = 0;
+    PartitionId failedPeer = 0;
+    uint64_t grantId = 0;
+    PhysAddr addr = 0;
+};
+
+class Spm
+{
+  public:
+    explicit Spm(SecureMonitor &monitor);
+
+    /* ---------------- partition lifecycle ---------------- */
+
+    /**
+     * Create a partition running @p image and managing
+     * @p device_name. Each device is managed by exactly one
+     * partition and vice versa (§III-A).
+     */
+    Result<PartitionId> createPartition(const MosImage &image,
+                                        const std::string &device_name,
+                                        uint64_t mem_bytes);
+
+    Result<const Partition *> partition(PartitionId pid) const;
+    size_t partitionCount() const { return partitions.size(); }
+
+    /** mOS liveness tick (hang detection input). */
+    Status heartbeat(PartitionId pid);
+
+    /**
+     * Hang detection: compare each Ready partition's heartbeat with
+     * the last poll; a partition that made no progress is failed.
+     * Returns the list of newly failed partitions.
+     */
+    std::vector<PartitionId> pollHangs();
+
+    /** A partition panicked (hardware/software failure). */
+    Status panic(PartitionId pid);
+
+    /**
+     * The normal world (or the partition itself) requests a restart,
+     * e.g. for an mOS update. Runs fail + recover with @p new_image.
+     */
+    Status requestRestart(PartitionId pid, const MosImage &new_image);
+
+    /** Failure step 1 (see file comment). */
+    Status failPartition(PartitionId pid);
+
+    /** Failure step 2. Loads @p image (pass the old image for plain
+     *  crash recovery, a new one for updates). @p charge_clock may
+     *  be false when the caller already accounted the recovery time
+     *  on the virtual clock (e.g. while simulating work proceeding
+     *  concurrently on other partitions). */
+    Status recoverPartition(PartitionId pid, const MosImage &image,
+                            bool charge_clock = true);
+
+    /** Deterministic virtual-time cost of recovering @p pid. */
+    Result<SimTime> recoveryEstimate(PartitionId pid) const;
+
+    /**
+     * Recover several failed partitions; step 1 must already have
+     * run for each. Step-2 work proceeds concurrently, so the clock
+     * advances by the *maximum* single recovery cost (§IV-D,
+     * "handling concurrent failures").
+     */
+    Status recoverConcurrently(const std::vector<PartitionId> &pids,
+                               const std::vector<MosImage> &images);
+
+    /* ---------------- checked memory access ---------------- */
+
+    /**
+     * Memory access issued from @p pid. Translated by the
+     * partition's stage-2 table; an access to an invalidated shared
+     * page takes the trap path and returns PeerFailed.
+     */
+    Result<Bytes> read(PartitionId pid, PhysAddr addr, uint64_t len);
+    Status write(PartitionId pid, PhysAddr addr, const Bytes &data);
+    Status write(PartitionId pid, PhysAddr addr, const uint8_t *data,
+                 uint64_t len);
+
+    /* ---------------- shared memory (Fig. 6) ---------------- */
+
+    /**
+     * Owner shares @p pages pages at @p base (inside its own range)
+     * with @p peer. Enforces the share-once rule. Returns grant id.
+     */
+    Result<uint64_t> sharePages(PartitionId owner, PartitionId peer,
+                                PhysAddr base, uint64_t pages);
+
+    /** Tear down an active grant (normal termination path). */
+    Status revokeGrant(uint64_t grant_id, PartitionId requester);
+
+    Result<const ShareGrant *> grant(uint64_t grant_id) const;
+    std::vector<uint64_t> grantsOf(PartitionId pid) const;
+
+    /* ---------------- fault signals ---------------- */
+
+    using TrapHandler = std::function<void(const TrapSignal &)>;
+    void setTrapHandler(TrapHandler handler)
+    {
+        trapHandler = std::move(handler);
+    }
+
+    SecureMonitor &monitor() { return sm; }
+    StatGroup &statistics() { return stats; }
+
+    /** Cross-mOS message validation: the mOS part of an eid must
+     *  name an existing Ready partition (§IV-A). */
+    bool validateMosId(PartitionId pid) const;
+
+  private:
+    Result<Partition *> mutablePartition(PartitionId pid);
+    Status handleInvalidatedAccess(Partition &accessor, PhysAddr addr);
+    SimTime recoveryCost(const Partition &p) const;
+    void scrubPartition(Partition &p, const MosImage &image);
+
+    SecureMonitor &sm;
+    std::map<PartitionId, Partition> partitions;
+    std::map<uint64_t, ShareGrant> grants;
+    std::map<PhysAddr, uint64_t> pageShareCount;
+    std::map<PartitionId, uint64_t> lastHeartbeat;
+    PartitionId nextPid = 1;
+    uint64_t nextGrant = 1;
+    PhysAddr nextSecureAlloc;
+    StatGroup stats;
+    TrapHandler trapHandler;
+};
+
+} // namespace cronus::tee
+
+#endif // CRONUS_TEE_SPM_HH

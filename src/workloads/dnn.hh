@@ -1,0 +1,92 @@
+/**
+ * @file
+ * DNN training workloads (§VI-C, Fig. 8 / Fig. 11).
+ *
+ * Models the paper's PyTorch training runs: LeNet-2 on MNIST,
+ * ResNet50 and VGG16 on CIFAR-10, DenseNet on ImageNet. Each model
+ * is described by its real per-sample FLOP count and parameter
+ * sizes; the trainer issues the same call pattern PyTorch's CUDA
+ * backend generates per iteration -- batch HtoD copy, one kernel
+ * launch per layer forward, two per layer backward, optimizer
+ * update launches, and a small loss DtoH read (the synchronization
+ * point). Functional math runs on small proxy tensors; the timing
+ * model charges the real FLOPs.
+ */
+
+#ifndef CRONUS_WORKLOADS_DNN_HH
+#define CRONUS_WORKLOADS_DNN_HH
+
+#include <string>
+#include <vector>
+
+#include "baseline/compute_backend.hh"
+
+namespace cronus::workloads
+{
+
+/** One layer of a model. */
+struct LayerSpec
+{
+    std::string name;
+    /** Forward FLOPs per sample. */
+    uint64_t flopsPerSample = 0;
+    uint64_t paramBytes = 0;
+};
+
+struct ModelSpec
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+
+    uint64_t totalFlopsPerSample() const;
+    uint64_t totalParamBytes() const;
+};
+
+struct DatasetSpec
+{
+    std::string name;
+    uint64_t sampleBytes = 0;  ///< input tensor bytes per sample
+    uint64_t samples = 0;
+};
+
+/* Model factories with published per-sample FLOP magnitudes. */
+ModelSpec lenet2();
+ModelSpec resnet50();
+ModelSpec vgg16();
+ModelSpec densenet121();
+
+DatasetSpec mnist();
+DatasetSpec cifar10();
+DatasetSpec imagenet();
+
+/** Register the generic "dnn_op" GPU kernel (idempotent). */
+void registerDnnKernels();
+const std::vector<std::string> &dnnKernelNames();
+
+struct TrainConfig
+{
+    uint32_t batchSize = 32;
+    uint32_t iterations = 8;
+};
+
+struct TrainResult
+{
+    std::string model;
+    std::string dataset;
+    /** Virtual time of the measured iterations (excl. warm-up). */
+    SimTime totalTimeNs = 0;
+    SimTime perIterationNs = 0;
+    uint64_t kernelLaunches = 0;
+    /** Proxy loss read back each iteration (sanity signal). */
+    float finalLoss = 0.0f;
+};
+
+/** Run a PyTorch-like training loop against @p backend. */
+Result<TrainResult> trainModel(baseline::ComputeBackend &backend,
+                               const ModelSpec &model,
+                               const DatasetSpec &dataset,
+                               const TrainConfig &config);
+
+} // namespace cronus::workloads
+
+#endif // CRONUS_WORKLOADS_DNN_HH

@@ -1,0 +1,224 @@
+#include "failover.hh"
+
+#include "accel/builtin_kernels.hh"
+#include "core/auto_partition.hh"
+#include "core/system.hh"
+
+namespace cronus::workloads
+{
+
+using namespace core;
+
+namespace
+{
+
+std::string
+gpuManifest(const Bytes &image_bytes)
+{
+    Manifest m;
+    m.deviceType = "gpu";
+    m.images["mat.cubin"] =
+        crypto::digestHex(crypto::sha256(image_bytes));
+    for (const auto &fn : CudaRuntime::apiSurface())
+        m.mEcalls.push_back(
+            {fn, AutoPartitioner::cudaCallIsAsync(fn)});
+    m.memoryBytes = 4ull << 20;
+    return m.toJson();
+}
+
+std::string
+cpuManifest(const Bytes &image_bytes)
+{
+    Manifest m;
+    m.deviceType = "cpu";
+    m.images["mat.so"] =
+        crypto::digestHex(crypto::sha256(image_bytes));
+    m.mEcalls.push_back({"fo_noop", false});
+    m.memoryBytes = 4ull << 20;
+    return m.toJson();
+}
+
+/** One matrix task bound to a GPU partition. */
+struct MatrixTask
+{
+    CronusSystem *system = nullptr;
+    std::string device;
+    AppHandle cpu;
+    AppHandle enclave;
+    std::unique_ptr<SrpcChannel> channel;
+    uint64_t vaA = 0, vaB = 0, vaC = 0;
+    uint64_t dim = 0;
+    bool alive = false;
+
+    Status
+    start(CronusSystem &sys, const AppHandle &cpu_enclave,
+          const std::string &device_name, uint64_t matrix_dim)
+    {
+        system = &sys;
+        cpu = cpu_enclave;
+        device = device_name;
+        dim = matrix_dim;
+
+        accel::GpuModuleImage module{"mat.cubin",
+                                     {"matmul_f32", "fill_f32"}};
+        Bytes image = module.serialize();
+        auto handle = sys.createEnclave(gpuManifest(image),
+                                        "mat.cubin", image,
+                                        device_name);
+        if (!handle.isOk())
+            return handle.status();
+        enclave = handle.value();
+        auto ch = sys.connect(cpu, enclave);
+        if (!ch.isOk())
+            return ch.status();
+        channel = std::move(ch.value());
+
+        uint64_t bytes = dim * dim * sizeof(float);
+        for (uint64_t *va : {&vaA, &vaB, &vaC}) {
+            auto r = channel->callSync(
+                "cuMemAlloc", CudaRuntime::encodeMemAlloc(bytes));
+            if (!r.isOk())
+                return r.status();
+            *va = CudaRuntime::decodeU64Result(r.value()).value();
+        }
+        uint32_t one_bits = 0x3f800000;  /* 1.0f */
+        for (uint64_t va : {vaA, vaB}) {
+            auto r = channel->call(
+                "cuLaunchKernel",
+                CudaRuntime::encodeLaunchKernel(
+                    "fill_f32", {va, dim * dim, one_bits},
+                    dim * dim));
+            if (!r.isOk())
+                return r.status();
+        }
+        alive = true;
+        return Status::ok();
+    }
+
+    /** One task step: a matmul + sync. */
+    Status
+    step()
+    {
+        if (!alive)
+            return Status(ErrorCode::InvalidState, "task down");
+        auto launch = channel->call(
+            "cuLaunchKernel",
+            CudaRuntime::encodeLaunchKernel(
+                "matmul_f32", {vaA, vaB, vaC, dim, dim, dim},
+                dim * dim * dim));
+        if (!launch.isOk()) {
+            alive = false;
+            return launch.status();
+        }
+        auto sync = channel->call("cuCtxSynchronize", Bytes{});
+        if (!sync.isOk()) {
+            alive = false;
+            return sync.status();
+        }
+        return Status::ok();
+    }
+};
+
+} // namespace
+
+Result<FailoverTimeline>
+runFailoverTimeline(const FailoverConfig &config)
+{
+    Logger::instance().setQuiet(true);
+    accel::registerBuiltinKernels();
+    auto &reg = CpuFunctionRegistry::instance();
+    if (!reg.has("fo_noop")) {
+        reg.registerFunction("fo_noop", [](CpuCallContext &ctx) {
+            ctx.charge(1);
+            return Result<Bytes>(Bytes{});
+        });
+    }
+
+    CronusConfig cfg;
+    cfg.numGpus = 2;
+    cfg.withNpu = false;
+    CronusSystem system(cfg);
+
+    CpuImage cpu_image;
+    cpu_image.exports = {"fo_noop"};
+    Bytes cpu_bytes = cpu_image.serialize();
+    auto cpu = system.createEnclave(cpuManifest(cpu_bytes), "mat.so",
+                                    cpu_bytes);
+    if (!cpu.isOk())
+        return cpu.status();
+
+    MatrixTask task_a, task_b;
+    CRONUS_RETURN_IF_ERROR(
+        task_a.start(system, cpu.value(), "gpu0", config.matrixDim));
+    CRONUS_RETURN_IF_ERROR(
+        task_b.start(system, cpu.value(), "gpu1", config.matrixDim));
+
+    hw::Platform &plat = system.platform();
+    SimTime origin = plat.clock().now();
+    SimTime crash_at = origin + config.crashAtNs;
+    SimTime end_at = origin + config.runForNs;
+
+    ThroughputSeries series_a(config.bucketNs);
+    ThroughputSeries series_b(config.bucketNs);
+    FailoverTimeline timeline;
+
+    bool crashed = false;
+    SimTime recovered_at = 0;
+    while (plat.clock().now() < end_at) {
+        SimTime now = plat.clock().now();
+
+        if (!crashed && now >= crash_at) {
+            /* A hardware/software fault panics gpu0's mOS. */
+            CRONUS_RETURN_IF_ERROR(system.injectPanic("gpu0"));
+            task_a.alive = false;
+            crashed = true;
+
+            /* Proceed-trap recovery runs concurrently with task B:
+             * the SPM clears + reloads gpu0's partition while gpu1
+             * keeps serving. Task B steps fill the recovery window,
+             * then the (already-elapsed) recovery completes without
+             * charging the clock twice. */
+            auto estimate = system.recoveryEstimate("gpu0");
+            if (!estimate.isOk())
+                return estimate.status();
+            SimTime recover_start = plat.clock().now();
+            SimTime done_at = recover_start + estimate.value();
+            while (plat.clock().now() < done_at &&
+                   plat.clock().now() < end_at) {
+                if (!task_b.step().isOk())
+                    break;
+                series_b.record(plat.clock().now() - origin);
+                ++timeline.taskBStepsDuringOutage;
+            }
+            plat.clock().advanceTo(done_at);
+            CRONUS_RETURN_IF_ERROR(system.recover("gpu0", false));
+            CRONUS_RETURN_IF_ERROR(task_a.start(
+                system, cpu.value(), "gpu0", config.matrixDim));
+            recovered_at = plat.clock().now();
+            timeline.recoveryNs = recovered_at - recover_start;
+            continue;
+        }
+
+        /* Alternate the two tasks. */
+        if (task_a.alive) {
+            if (task_a.step().isOk())
+                series_a.record(plat.clock().now() - origin);
+        }
+        if (task_b.alive) {
+            if (task_b.step().isOk()) {
+                SimTime when = plat.clock().now() - origin;
+                series_b.record(when);
+                if (crashed && recovered_at != 0 &&
+                    plat.clock().now() <= recovered_at)
+                    ++timeline.taskBStepsDuringOutage;
+            }
+        }
+    }
+
+    timeline.taskARate = series_a.ratesPerSecond(config.runForNs);
+    timeline.taskBRate = series_b.ratesPerSecond(config.runForNs);
+    timeline.machineRebootNs = plat.costs().machineRebootNs;
+    return timeline;
+}
+
+} // namespace cronus::workloads

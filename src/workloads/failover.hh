@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Failover timeline driver (§VI-D, Fig. 9).
+ *
+ * Two matrix-computing tasks run on separate S-EL2 partitions (two
+ * GPUs). Mid-run, one partition is crashed. CRONUS's proceed-trap
+ * recovery restarts only the fault-inducing partition (hundreds of
+ * ms) and the other task is never interrupted; the monolithic
+ * comparator reboots the whole machine (minutes) and loses both.
+ */
+
+#ifndef CRONUS_WORKLOADS_FAILOVER_HH
+#define CRONUS_WORKLOADS_FAILOVER_HH
+
+#include "base/stats.hh"
+#include "base/status.hh"
+
+namespace cronus::workloads
+{
+
+struct FailoverConfig
+{
+    SimTime runForNs = 3 * kNsPerSec;
+    SimTime crashAtNs = 1 * kNsPerSec;
+    SimTime bucketNs = 100 * kNsPerMs;
+    /** Matrix dimension per task step. */
+    uint64_t matrixDim = 48;
+};
+
+struct FailoverTimeline
+{
+    /** Completed task steps per second, per time bucket. */
+    std::vector<double> taskARate;
+    std::vector<double> taskBRate;
+    /** Virtual time from crash to task A serving again. */
+    SimTime recoveryNs = 0;
+    /** The monolithic comparator: whole-machine reboot time. */
+    SimTime machineRebootNs = 0;
+    /** Task B steps completed while A was down (isolation proof). */
+    uint64_t taskBStepsDuringOutage = 0;
+};
+
+Result<FailoverTimeline> runFailoverTimeline(
+    const FailoverConfig &config);
+
+} // namespace cronus::workloads
+
+#endif // CRONUS_WORKLOADS_FAILOVER_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Rodinia-like GPU microbenchmarks (§VI-B, Fig. 7).
+ *
+ * Nine kernels modeled on the Rodinia suite the paper evaluates
+ * (gaussian, hotspot, pathfinder, bfs, nw, srad, backprop, lud,
+ * kmeans). Kernel bodies are real computations over simulated GPU
+ * memory; every driver verifies the device result against a host
+ * reference before reporting time, so the benches cannot silently
+ * measure wrong code.
+ */
+
+#ifndef CRONUS_WORKLOADS_RODINIA_HH
+#define CRONUS_WORKLOADS_RODINIA_HH
+
+#include <string>
+#include <vector>
+
+#include "base/sim_clock.hh"
+#include "base/status.hh"
+#include "baseline/compute_backend.hh"
+
+namespace cronus::workloads
+{
+
+/** Register the rodinia kernels with the GPU registry (idempotent). */
+void registerRodiniaKernels();
+
+/** Kernel names, for loading modules. */
+const std::vector<std::string> &rodiniaKernelNames();
+
+/** Problem scale knob shared by all benchmarks. */
+struct RodiniaSize
+{
+    /** Elements / matrix dimension / node count, per benchmark. */
+    uint64_t scale = 256;
+    uint32_t iterations = 4;
+};
+
+struct RodiniaResult
+{
+    std::string benchmark;
+    /** Virtual computation time (end-to-end on the backend). */
+    SimTime computeTimeNs = 0;
+    bool verified = false;
+};
+
+/** The benchmark names runRodinia accepts. */
+const std::vector<std::string> &rodiniaBenchmarks();
+
+/**
+ * Run one benchmark on @p backend. The backend must have the
+ * rodinia kernels loaded (all provided backends load kernel lists
+ * passed at construction; use rodiniaKernelNames()).
+ */
+Result<RodiniaResult> runRodinia(baseline::ComputeBackend &backend,
+                                 const std::string &benchmark,
+                                 const RodiniaSize &size);
+
+} // namespace cronus::workloads
+
+#endif // CRONUS_WORKLOADS_RODINIA_HH

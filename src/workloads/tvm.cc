@@ -1,0 +1,188 @@
+#include "tvm.hh"
+
+#include <algorithm>
+
+#include "base/rng.hh"
+
+namespace cronus::workloads
+{
+
+using accel::NpuBank;
+using accel::NpuInsn;
+using accel::NpuOp;
+using accel::NpuProgram;
+
+uint64_t
+TvmModel::totalTiles() const
+{
+    uint64_t total = 0;
+    for (uint32_t tiles : tilesPerLayer)
+        total += tiles;
+    return total;
+}
+
+uint64_t
+TvmModel::totalMacs() const
+{
+    return totalTiles() * uint64_t(tileDim) * tileDim * tileDim;
+}
+
+namespace
+{
+
+TvmModel
+makeModel(const std::string &name, uint64_t total_mmacs,
+          int layer_count)
+{
+    TvmModel m;
+    m.name = name;
+    uint64_t tile_macs =
+        uint64_t(m.tileDim) * m.tileDim * m.tileDim;
+    /* Scale published MACs down by 1000x so functional simulation
+     * stays fast; relative magnitudes are preserved. */
+    uint64_t tiles = std::max<uint64_t>(
+        total_mmacs * 1000ull / tile_macs, layer_count);
+    for (int i = 0; i < layer_count; ++i)
+        m.tilesPerLayer.push_back(
+            static_cast<uint32_t>(tiles / layer_count + 1));
+    return m;
+}
+
+} // namespace
+
+/* Published per-inference multiply-accumulate counts:
+ * ResNet18 ~0.9 GMACs, ResNet50 ~2 GMACs, YoloV3 ~32 GMACs. */
+TvmModel
+tvmResnet18()
+{
+    return makeModel("ResNet18", 900, 18);
+}
+
+TvmModel
+tvmResnet50()
+{
+    return makeModel("ResNet50", 2000, 50);
+}
+
+TvmModel
+tvmYolov3()
+{
+    return makeModel("YoloV3", 32000, 75);
+}
+
+Result<InferenceResult>
+runInferenceNpu(baseline::ComputeBackend &backend,
+                const TvmModel &model)
+{
+    uint32_t dim = model.tileDim;
+    uint64_t tile_bytes = uint64_t(dim) * dim;
+
+    Rng rng(0x77);
+    std::vector<int8_t> act(tile_bytes), wgt(tile_bytes);
+    for (auto &v : act)
+        v = static_cast<int8_t>(rng.nextBelow(5)) - 2;
+    for (auto &v : wgt)
+        v = static_cast<int8_t>(rng.nextBelow(5)) - 2;
+
+    auto act_buf = backend.npuAllocBuffer(tile_bytes);
+    if (!act_buf.isOk())
+        return act_buf.status();
+    auto wgt_buf = backend.npuAllocBuffer(tile_bytes);
+    if (!wgt_buf.isOk())
+        return wgt_buf.status();
+    auto out_buf = backend.npuAllocBuffer(tile_bytes);
+    if (!out_buf.isOk())
+        return out_buf.status();
+
+    Bytes act_bytes(reinterpret_cast<uint8_t *>(act.data()),
+                    reinterpret_cast<uint8_t *>(act.data()) +
+                        tile_bytes);
+    Bytes wgt_bytes(reinterpret_cast<uint8_t *>(wgt.data()),
+                    reinterpret_cast<uint8_t *>(wgt.data()) +
+                        tile_bytes);
+    CRONUS_RETURN_IF_ERROR(
+        backend.npuWriteBuffer(act_buf.value(), 0, act_bytes));
+    CRONUS_RETURN_IF_ERROR(
+        backend.npuWriteBuffer(wgt_buf.value(), 0, wgt_bytes));
+
+    SimTime start = backend.now();
+    /* The compiler emits one program per layer: load weights once
+     * per layer, then the layer's GEMM tiles + activation. */
+    for (uint32_t tiles : model.tilesPerLayer) {
+        NpuProgram program;
+        NpuInsn load_a;
+        load_a.op = NpuOp::Load;
+        load_a.buffer = act_buf.value();
+        load_a.bank = NpuBank::Input;
+        load_a.length = tile_bytes;
+        program.insns.push_back(load_a);
+        NpuInsn load_w = load_a;
+        load_w.buffer = wgt_buf.value();
+        load_w.bank = NpuBank::Weight;
+        program.insns.push_back(load_w);
+        for (uint32_t t = 0; t < tiles; ++t) {
+            NpuInsn gemm;
+            gemm.op = NpuOp::Gemm;
+            gemm.rows = dim;
+            gemm.cols = dim;
+            gemm.inner = dim;
+            gemm.resetAccum = true;
+            program.insns.push_back(gemm);
+        }
+        NpuInsn relu;
+        relu.op = NpuOp::Alu;
+        relu.aluOp = accel::NpuAluOp::Relu;
+        relu.aluElems = tile_bytes;
+        program.insns.push_back(relu);
+        NpuInsn store;
+        store.op = NpuOp::Store;
+        store.buffer = out_buf.value();
+        store.length = tile_bytes;
+        program.insns.push_back(store);
+        CRONUS_RETURN_IF_ERROR(backend.npuRun(program));
+    }
+
+    InferenceResult result;
+    result.model = model.name;
+    result.target = "npu";
+    result.latencyNs = backend.now() - start;
+
+    /* Verify the final layer's tile against the host reference. */
+    auto out = backend.npuReadBuffer(out_buf.value(), 0, tile_bytes);
+    if (!out.isOk())
+        return out.status();
+    bool ok = true;
+    for (uint32_t i = 0; i < dim && ok; ++i) {
+        for (uint32_t j = 0; j < dim && ok; ++j) {
+            int32_t acc = 0;
+            for (uint32_t k = 0; k < dim; ++k)
+                acc += int32_t(act[i * dim + k]) *
+                       int32_t(wgt[j * dim + k]);
+            acc = std::max(acc, 0);
+            acc = std::clamp(acc, -128, 127);
+            if (static_cast<int8_t>(out.value()[i * dim + j]) !=
+                static_cast<int8_t>(acc))
+                ok = false;
+        }
+    }
+    result.verified = ok;
+    return result;
+}
+
+Result<InferenceResult>
+runInferenceCpu(baseline::ComputeBackend &backend,
+                const TvmModel &model)
+{
+    /* Scalar CPU: ~1 ns per MAC (no tensor unit); charge through
+     * the backend's CPU path. */
+    SimTime start = backend.now();
+    CRONUS_RETURN_IF_ERROR(backend.cpuWork(model.totalMacs()));
+    InferenceResult result;
+    result.model = model.name;
+    result.target = "cpu";
+    result.latencyNs = backend.now() - start;
+    result.verified = true;
+    return result;
+}
+
+} // namespace cronus::workloads

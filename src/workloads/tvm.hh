@@ -1,0 +1,54 @@
+/**
+ * @file
+ * TVM-like model compiler and inference driver (§VI-C, Fig. 10b).
+ *
+ * Lowers a DNN model into a VTA instruction stream (tiled int8
+ * GEMMs + RELUs), the way TVM compiles models for the VTA NPU, and
+ * measures inference latency on the NPU path or a scalar-CPU
+ * fallback. Models: ResNet18, ResNet50, YoloV3 with relative FLOP
+ * magnitudes matching the real networks.
+ */
+
+#ifndef CRONUS_WORKLOADS_TVM_HH
+#define CRONUS_WORKLOADS_TVM_HH
+
+#include "baseline/compute_backend.hh"
+
+namespace cronus::workloads
+{
+
+/** A model as the TVM-like frontend sees it. */
+struct TvmModel
+{
+    std::string name;
+    /** GEMM tiles per layer (each tile is tileDim^3 MACs). */
+    std::vector<uint32_t> tilesPerLayer;
+    uint32_t tileDim = 16;
+
+    uint64_t totalTiles() const;
+    uint64_t totalMacs() const;
+};
+
+TvmModel tvmResnet18();
+TvmModel tvmResnet50();
+TvmModel tvmYolov3();
+
+struct InferenceResult
+{
+    std::string model;
+    std::string target;  ///< "npu" | "cpu"
+    SimTime latencyNs = 0;
+    bool verified = false;
+};
+
+/** Compile @p model to a VTA program per layer and run on the NPU. */
+Result<InferenceResult> runInferenceNpu(
+    baseline::ComputeBackend &backend, const TvmModel &model);
+
+/** Same network on the CPU (scalar int8 GEMM, cost via cpuWork). */
+Result<InferenceResult> runInferenceCpu(
+    baseline::ComputeBackend &backend, const TvmModel &model);
+
+} // namespace cronus::workloads
+
+#endif // CRONUS_WORKLOADS_TVM_HH

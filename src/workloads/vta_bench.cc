@@ -1,0 +1,117 @@
+#include "vta_bench.hh"
+
+#include <algorithm>
+
+#include "base/rng.hh"
+
+namespace cronus::workloads
+{
+
+using accel::NpuBank;
+using accel::NpuInsn;
+using accel::NpuOp;
+using accel::NpuProgram;
+
+Result<VtaBenchResult>
+runVtaBench(baseline::ComputeBackend &backend,
+            const VtaBenchConfig &config)
+{
+    uint32_t dim = config.gemmDim;
+    uint64_t tile_bytes = uint64_t(dim) * dim;
+
+    Rng rng(0x7a5e);
+    std::vector<int8_t> inp(tile_bytes), wgt(tile_bytes);
+    for (auto &v : inp)
+        v = static_cast<int8_t>(rng.nextBelow(7)) - 3;
+    for (auto &v : wgt)
+        v = static_cast<int8_t>(rng.nextBelow(7)) - 3;
+
+    auto in_buf = backend.npuAllocBuffer(tile_bytes);
+    if (!in_buf.isOk())
+        return in_buf.status();
+    auto w_buf = backend.npuAllocBuffer(tile_bytes);
+    if (!w_buf.isOk())
+        return w_buf.status();
+    auto out_buf = backend.npuAllocBuffer(tile_bytes);
+    if (!out_buf.isOk())
+        return out_buf.status();
+
+    Bytes in_bytes(reinterpret_cast<uint8_t *>(inp.data()),
+                   reinterpret_cast<uint8_t *>(inp.data()) +
+                       tile_bytes);
+    Bytes w_bytes(reinterpret_cast<uint8_t *>(wgt.data()),
+                  reinterpret_cast<uint8_t *>(wgt.data()) +
+                      tile_bytes);
+    CRONUS_RETURN_IF_ERROR(
+        backend.npuWriteBuffer(in_buf.value(), 0, in_bytes));
+    CRONUS_RETURN_IF_ERROR(
+        backend.npuWriteBuffer(w_buf.value(), 0, w_bytes));
+
+    /* One batch = load tiles, then opsPerBatch x (GEMM + RELU),
+     * then store. */
+    NpuProgram program;
+    NpuInsn load_in;
+    load_in.op = NpuOp::Load;
+    load_in.buffer = in_buf.value();
+    load_in.bank = NpuBank::Input;
+    load_in.length = tile_bytes;
+    program.insns.push_back(load_in);
+    NpuInsn load_w = load_in;
+    load_w.buffer = w_buf.value();
+    load_w.bank = NpuBank::Weight;
+    program.insns.push_back(load_w);
+    for (uint32_t op = 0; op < config.opsPerBatch; ++op) {
+        NpuInsn gemm;
+        gemm.op = NpuOp::Gemm;
+        gemm.rows = dim;
+        gemm.cols = dim;
+        gemm.inner = dim;
+        gemm.resetAccum = true;
+        program.insns.push_back(gemm);
+        NpuInsn relu;
+        relu.op = NpuOp::Alu;
+        relu.aluOp = accel::NpuAluOp::Relu;
+        relu.aluElems = uint64_t(dim) * dim;
+        program.insns.push_back(relu);
+    }
+    NpuInsn store;
+    store.op = NpuOp::Store;
+    store.buffer = out_buf.value();
+    store.length = tile_bytes;
+    program.insns.push_back(store);
+
+    SimTime start = backend.now();
+    for (uint32_t batch = 0; batch < config.batches; ++batch)
+        CRONUS_RETURN_IF_ERROR(backend.npuRun(program));
+    VtaBenchResult result;
+    result.totalTimeNs = backend.now() - start;
+    uint64_t total_gemms =
+        uint64_t(config.opsPerBatch) * config.batches;
+    result.gemmOpsPerSecond =
+        result.totalTimeNs == 0
+            ? 0.0
+            : total_gemms * double(kNsPerSec) / result.totalTimeNs;
+
+    /* Verify the output tile against a host int8 reference. */
+    auto out = backend.npuReadBuffer(out_buf.value(), 0, tile_bytes);
+    if (!out.isOk())
+        return out.status();
+    bool ok = true;
+    for (uint32_t i = 0; i < dim && ok; ++i) {
+        for (uint32_t j = 0; j < dim && ok; ++j) {
+            int32_t acc = 0;
+            for (uint32_t k = 0; k < dim; ++k)
+                acc += int32_t(inp[i * dim + k]) *
+                       int32_t(wgt[j * dim + k]);
+            acc = std::max(acc, 0);          /* relu */
+            acc = std::clamp(acc, -128, 127); /* store clamp */
+            if (static_cast<int8_t>(out.value()[i * dim + j]) !=
+                static_cast<int8_t>(acc))
+                ok = false;
+        }
+    }
+    result.verified = ok;
+    return result;
+}
+
+} // namespace cronus::workloads

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * vta-bench: the NPU microbenchmark suite (§VI-B, Fig. 10a).
+ *
+ * Generates VTA GEMM/ALU instruction mixes, runs them through a
+ * backend's NPU path and reports throughput. The first batch's
+ * output tile is verified against a host int8 reference.
+ */
+
+#ifndef CRONUS_WORKLOADS_VTA_BENCH_HH
+#define CRONUS_WORKLOADS_VTA_BENCH_HH
+
+#include "baseline/compute_backend.hh"
+
+namespace cronus::workloads
+{
+
+struct VtaBenchConfig
+{
+    uint32_t gemmDim = 16;     ///< square GEMM tile dimension
+    uint32_t opsPerBatch = 8;  ///< GEMM+RELU pairs per program
+    uint32_t batches = 8;
+};
+
+struct VtaBenchResult
+{
+    SimTime totalTimeNs = 0;
+    double gemmOpsPerSecond = 0.0;
+    bool verified = false;
+};
+
+Result<VtaBenchResult> runVtaBench(baseline::ComputeBackend &backend,
+                                   const VtaBenchConfig &config);
+
+} // namespace cronus::workloads
+
+#endif // CRONUS_WORKLOADS_VTA_BENCH_HH

@@ -1,0 +1,236 @@
+/** Unit tests for the simulated GPU. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "accel/builtin_kernels.hh"
+#include "accel/gpu.hh"
+
+namespace cronus::accel
+{
+namespace
+{
+
+class GpuTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        registerBuiltinKernels();
+        ctx = gpu.createContext().value();
+        GpuModuleImage image{"test.cubin",
+                             {"fill_f32", "vec_add_f32",
+                              "matmul_f32", "reduce_sum_f32"}};
+        ASSERT_TRUE(gpu.loadModule(ctx, image).isOk());
+    }
+
+    GpuVa
+    upload(const std::vector<float> &data)
+    {
+        GpuVa va = gpu.malloc(ctx, data.size() * 4).value();
+        EXPECT_TRUE(gpu.write(ctx, va,
+                              reinterpret_cast<const uint8_t *>(
+                                  data.data()),
+                              data.size() * 4).isOk());
+        return va;
+    }
+
+    std::vector<float>
+    download(GpuVa va, size_t n)
+    {
+        std::vector<float> out(n);
+        EXPECT_TRUE(gpu.read(ctx, va,
+                             reinterpret_cast<uint8_t *>(out.data()),
+                             n * 4).isOk());
+        return out;
+    }
+
+    GpuDevice gpu;
+    GpuContextId ctx = 0;
+};
+
+TEST_F(GpuTest, MallocWriteReadRoundTrip)
+{
+    std::vector<float> data = {1.5f, -2.0f, 3.25f};
+    GpuVa va = upload(data);
+    EXPECT_EQ(download(va, 3), data);
+}
+
+TEST_F(GpuTest, VecAddKernelComputes)
+{
+    GpuVa a = upload({1, 2, 3, 4});
+    GpuVa b = upload({10, 20, 30, 40});
+    GpuVa out = gpu.malloc(ctx, 16).value();
+    auto done = gpu.launch(ctx, "vec_add_f32", {a, b, out, 4},
+                           LaunchDims{4}, 0);
+    ASSERT_TRUE(done.isOk()) << done.status().toString();
+    EXPECT_EQ(download(out, 4),
+              (std::vector<float>{11, 22, 33, 44}));
+}
+
+TEST_F(GpuTest, MatmulKernelComputes)
+{
+    /* 2x3 * 3x2 */
+    GpuVa a = upload({1, 2, 3, 4, 5, 6});
+    GpuVa b = upload({7, 8, 9, 10, 11, 12});
+    GpuVa c = gpu.malloc(ctx, 4 * 4).value();
+    auto done = gpu.launch(ctx, "matmul_f32", {a, b, c, 2, 3, 2},
+                           LaunchDims{2 * 3 * 2}, 0);
+    ASSERT_TRUE(done.isOk());
+    EXPECT_EQ(download(c, 4),
+              (std::vector<float>{58, 64, 139, 154}));
+}
+
+TEST_F(GpuTest, LaunchRequiresLoadedKernel)
+{
+    GpuVa buf = gpu.malloc(ctx, 16).value();
+    EXPECT_EQ(gpu.launch(ctx, "saxpy_f32", {0, buf, buf, 4},
+                         LaunchDims{4}, 0).code(),
+              ErrorCode::PermissionDenied);
+}
+
+TEST_F(GpuTest, ModuleRejectsUnknownKernel)
+{
+    GpuModuleImage bad{"bad.cubin", {"no_such_kernel"}};
+    EXPECT_EQ(gpu.loadModule(ctx, bad).code(), ErrorCode::NotFound);
+}
+
+TEST_F(GpuTest, ContextIsolationBlocksForeignVa)
+{
+    GpuVa va = upload({1, 2, 3, 4});
+    GpuContextId other = gpu.createContext().value();
+    uint8_t buf[16];
+    /* The same VA in another context is unmapped: isolation. */
+    EXPECT_EQ(gpu.read(other, va, buf, 16).code(),
+              ErrorCode::AccessFault);
+}
+
+TEST_F(GpuTest, KernelCannotReadOutOfBounds)
+{
+    GpuVa a = upload({1, 2});
+    GpuVa b = upload({1, 2});
+    GpuVa out = gpu.malloc(ctx, 8).value();
+    /* Claim a larger n than allocated: the kernel's span fails. */
+    auto r = gpu.launch(ctx, "vec_add_f32", {a, b, out, 1 << 20},
+                        LaunchDims{4}, 0);
+    EXPECT_EQ(r.code(), ErrorCode::AccessFault);
+}
+
+TEST_F(GpuTest, OutOfMemoryReported)
+{
+    EXPECT_EQ(gpu.malloc(ctx, gpu.config().vramBytes + 1).code(),
+              ErrorCode::ResourceExhausted);
+}
+
+TEST_F(GpuTest, FreeListReuse)
+{
+    uint64_t before = gpu.freeVram();
+    GpuVa va = gpu.malloc(ctx, 1 << 20).value();
+    EXPECT_LT(gpu.freeVram(), before);
+    ASSERT_TRUE(gpu.free(ctx, va).isOk());
+    EXPECT_EQ(gpu.freeVram(), before);
+    /* Reallocation succeeds from the free list. */
+    EXPECT_TRUE(gpu.malloc(ctx, 1 << 20).isOk());
+}
+
+TEST_F(GpuTest, DestroyContextScrubsVram)
+{
+    std::vector<float> secret = {42.0f, 43.0f};
+    GpuVa va = upload(secret);
+    (void)va;
+    ASSERT_TRUE(gpu.destroyContext(ctx, true).isOk());
+
+    /* A new context allocating the same VRAM must see zeros. */
+    GpuContextId fresh = gpu.createContext().value();
+    GpuVa nva = gpu.malloc(fresh, 4096).value();
+    std::vector<float> out(2);
+    ASSERT_TRUE(gpu.read(fresh, nva,
+                         reinterpret_cast<uint8_t *>(out.data()),
+                         8).isOk());
+    EXPECT_EQ(out, (std::vector<float>{0.0f, 0.0f}));
+    ctx = fresh;  /* keep TearDown happy */
+}
+
+TEST_F(GpuTest, AsyncTimingAccumulatesOnStream)
+{
+    GpuVa a = upload(std::vector<float>(1024, 1.0f));
+    GpuVa b = upload(std::vector<float>(1024, 2.0f));
+    GpuVa out = gpu.malloc(ctx, 4096).value();
+
+    auto t1 = gpu.launch(ctx, "vec_add_f32", {a, b, out, 1024},
+                         LaunchDims{1024}, 0);
+    ASSERT_TRUE(t1.isOk());
+    auto t2 = gpu.launch(ctx, "vec_add_f32", {a, b, out, 1024},
+                         LaunchDims{1024}, 0);
+    ASSERT_TRUE(t2.isOk());
+    EXPECT_GT(t2.value(), t1.value());
+    EXPECT_EQ(gpu.streamBusyUntil(ctx), t2.value());
+    EXPECT_EQ(gpu.activeContexts(0), 1u);
+    EXPECT_EQ(gpu.activeContexts(t2.value()), 0u);
+}
+
+TEST_F(GpuTest, SpatialSharingPacksLowUtilizationKernels)
+{
+    /* Two contexts running u=0.5 kernels concurrently should not
+     * slow each other down much (aggregate throughput gain). */
+    GpuContextId ctx2 = gpu.createContext().value();
+    GpuModuleImage image{"m", {"vec_add_f32"}};
+    ASSERT_TRUE(gpu.loadModule(ctx2, image).isOk());
+
+    GpuVa a1 = upload(std::vector<float>(1024, 1.0f));
+    GpuVa o1 = gpu.malloc(ctx, 4096).value();
+    GpuVa a2 = gpu.malloc(ctx2, 4096).value();
+    GpuVa o2 = gpu.malloc(ctx2, 4096).value();
+
+    auto solo = gpu.launch(ctx, "vec_add_f32", {a1, a1, o1, 1024},
+                           LaunchDims{1024}, 0);
+    ASSERT_TRUE(solo.isOk());
+    SimTime solo_duration = solo.value();
+
+    /* Launch on ctx2 while ctx is still busy. */
+    auto packed = gpu.launch(ctx2, "vec_add_f32", {a2, a2, o2, 1024},
+                             LaunchDims{1024}, 0);
+    ASSERT_TRUE(packed.isOk());
+    SimTime packed_duration = packed.value();
+
+    /* u=0.5+0.5=1.0: no dilation beyond the contention penalty. */
+    EXPECT_LT(packed_duration,
+              static_cast<SimTime>(solo_duration * 1.2));
+}
+
+TEST_F(GpuTest, MmioRegisters)
+{
+    EXPECT_EQ(gpu.mmioRead(0x0).value(), 0x47505553u);
+    EXPECT_EQ(gpu.mmioRead(0x8).value(), 1u);
+    EXPECT_FALSE(gpu.mmioRead(0x9999).isOk());
+    EXPECT_TRUE(gpu.mmioWrite(0x0, 1).isOk());
+    EXPECT_FALSE(gpu.mmioWrite(0x9999, 1).isOk());
+}
+
+TEST_F(GpuTest, AttestationSignatureVerifies)
+{
+    Bytes challenge = {1, 2, 3};
+    auto sig = gpu.attestConfig(challenge);
+    ByteWriter w;
+    w.putString(gpu.config().name);
+    w.putString("nvidia,gtx2080-sim");
+    w.putU64(gpu.config().vramBytes);
+    w.putBytes(challenge);
+    EXPECT_TRUE(crypto::verify(gpu.devicePublicKey(), w.take(), sig));
+}
+
+TEST_F(GpuTest, ModuleImageSerializationRoundTrip)
+{
+    GpuModuleImage image{"net.cubin", {"a", "b", "c"}};
+    auto back = GpuModuleImage::deserialize(image.serialize());
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back.value().name, "net.cubin");
+    EXPECT_EQ(back.value().kernels,
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_FALSE(GpuModuleImage::deserialize(Bytes{1}).isOk());
+}
+
+} // namespace
+} // namespace cronus::accel

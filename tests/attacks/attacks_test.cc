@@ -1,0 +1,47 @@
+/** Security test suite: every in-scope attack must be blocked. */
+
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.hh"
+
+namespace cronus::attacks
+{
+namespace
+{
+
+class AttackTest
+    : public ::testing::TestWithParam<AttackOutcome (*)()>
+{
+};
+
+TEST_P(AttackTest, IsBlocked)
+{
+    AttackOutcome result = GetParam()();
+    EXPECT_TRUE(result.blocked)
+        << result.name << ": " << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    InScopeAttacks, AttackTest,
+    ::testing::Values(
+        &attackNormalWorldReadsSmem, &attackNormalWorldTampersSmem,
+        &attackReplayEcall, &attackTamperEcallArgs,
+        &attackMisdispatch, &attackDropRpcByStall,
+        &attackFabricatedAccelerator, &attackMaliciousDeviceTree,
+        &attackMosSubstitution, &attackCrashLeak,
+        &attackDeadLockOnFailure, &attackUndeclaredCall,
+        &attackCrossContextGpuRead),
+    [](const ::testing::TestParamInfo<AttackOutcome (*)()> &info) {
+        return "attack_" + std::to_string(info.index);
+    });
+
+TEST(AttackSuite, AllThirteenScenariosBlocked)
+{
+    auto results = runAllAttacks();
+    EXPECT_EQ(results.size(), 13u);
+    for (const auto &r : results)
+        EXPECT_TRUE(r.blocked) << r.name << ": " << r.detail;
+}
+
+} // namespace
+} // namespace cronus::attacks

@@ -1,0 +1,113 @@
+/** Unit tests for byte-buffer helpers and serialization. */
+
+#include <gtest/gtest.h>
+
+#include "base/bytes.hh"
+
+namespace cronus
+{
+namespace
+{
+
+TEST(BytesTest, HexRoundTrip)
+{
+    Bytes data = {0x00, 0x01, 0xab, 0xff};
+    EXPECT_EQ(toHex(data), "0001abff");
+    auto back = fromHex("0001abff");
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back.value(), data);
+}
+
+TEST(BytesTest, HexAcceptsUpperCase)
+{
+    auto v = fromHex("ABCDEF");
+    ASSERT_TRUE(v.isOk());
+    EXPECT_EQ(toHex(v.value()), "abcdef");
+}
+
+TEST(BytesTest, HexRejectsBadInput)
+{
+    EXPECT_EQ(fromHex("abc").code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(fromHex("zz").code(), ErrorCode::InvalidArgument);
+}
+
+TEST(BytesTest, ConstantTimeEqual)
+{
+    Bytes a = {1, 2, 3};
+    Bytes b = {1, 2, 3};
+    Bytes c = {1, 2, 4};
+    Bytes d = {1, 2};
+    EXPECT_TRUE(constantTimeEqual(a, b));
+    EXPECT_FALSE(constantTimeEqual(a, c));
+    EXPECT_FALSE(constantTimeEqual(a, d));
+}
+
+TEST(BytesTest, WriterReaderRoundTrip)
+{
+    ByteWriter w;
+    w.putU8(0xab);
+    w.putU16(0x1234);
+    w.putU32(0xdeadbeef);
+    w.putU64(0x0123456789abcdefULL);
+    w.putBytes({9, 8, 7});
+    w.putString("cronus");
+
+    ByteReader r(w.data());
+    EXPECT_EQ(r.getU8().value(), 0xab);
+    EXPECT_EQ(r.getU16().value(), 0x1234);
+    EXPECT_EQ(r.getU32().value(), 0xdeadbeefu);
+    EXPECT_EQ(r.getU64().value(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.getBytes().value(), (Bytes{9, 8, 7}));
+    EXPECT_EQ(r.getString().value(), "cronus");
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(BytesTest, ReaderRejectsTruncation)
+{
+    ByteWriter w;
+    w.putU32(7);
+    Bytes data = w.take();
+    data.pop_back();
+    ByteReader r(data);
+    EXPECT_EQ(r.getU32().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(BytesTest, ReaderRejectsOversizedLengthPrefix)
+{
+    /* A length prefix larger than the remaining payload must not
+     * read out of bounds. */
+    ByteWriter w;
+    w.putU32(1000);
+    w.putU8(1);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.getBytes().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(StatusTest, ToStringAndPredicates)
+{
+    Status ok = Status::ok();
+    EXPECT_TRUE(ok.isOk());
+    EXPECT_EQ(ok.toString(), "Ok");
+
+    Status err = makeError(ErrorCode::AuthFailed, "bad sig");
+    EXPECT_FALSE(err.isOk());
+    EXPECT_EQ(err.code(), ErrorCode::AuthFailed);
+    EXPECT_EQ(err.toString(), "AuthFailed: bad sig");
+}
+
+TEST(StatusTest, ResultValueAndError)
+{
+    Result<int> good(42);
+    EXPECT_TRUE(good.isOk());
+    EXPECT_EQ(good.value(), 42);
+    EXPECT_EQ(good.valueOr(0), 42);
+
+    Result<int> bad(ErrorCode::NotFound, "nope");
+    EXPECT_FALSE(bad.isOk());
+    EXPECT_EQ(bad.code(), ErrorCode::NotFound);
+    EXPECT_EQ(bad.valueOr(-1), -1);
+    EXPECT_THROW(bad.value(), PanicError);
+}
+
+} // namespace
+} // namespace cronus

@@ -1,0 +1,109 @@
+/** Unit tests for the JSON parser/writer. */
+
+#include <gtest/gtest.h>
+
+#include "base/json.hh"
+
+namespace cronus
+{
+namespace
+{
+
+TEST(JsonTest, ParsesPrimitives)
+{
+    EXPECT_TRUE(parseJson("null").value().isNull());
+    EXPECT_TRUE(parseJson("true").value().asBool());
+    EXPECT_FALSE(parseJson("false").value().asBool());
+    EXPECT_EQ(parseJson("42").value().asInt(), 42);
+    EXPECT_EQ(parseJson("-7").value().asInt(), -7);
+    EXPECT_DOUBLE_EQ(parseJson("2.5").value().asDouble(), 2.5);
+    EXPECT_DOUBLE_EQ(parseJson("1e3").value().asDouble(), 1000.0);
+    EXPECT_EQ(parseJson("\"hi\"").value().asString(), "hi");
+}
+
+TEST(JsonTest, ParsesManifestShape)
+{
+    /* The paper's Fig. 3 manifest for a CUDA mEnclave. */
+    const char *manifest = R"({
+        "device_type": "gpu",
+        "images": {
+            "mat.cubin": "654c28186756aa92",
+            "cudart.so": "2814c867aa955265",
+            "cudav3.mos": "de92d2f587d10a6"
+        },
+        "mEcalls": "mat.edl",
+        "resources": { "memory": "1G" }
+    })";
+    auto result = parseJson(manifest);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    const JsonValue &v = result.value();
+    EXPECT_EQ(v["device_type"].asString(), "gpu");
+    EXPECT_EQ(v["images"]["mat.cubin"].asString(),
+              "654c28186756aa92");
+    EXPECT_EQ(v["resources"]["memory"].asString(), "1G");
+    EXPECT_TRUE(v["missing"].isNull());
+}
+
+TEST(JsonTest, ParsesNestedArrays)
+{
+    auto v = parseJson("[1, [2, 3], {\"a\": [4]}]");
+    ASSERT_TRUE(v.isOk());
+    const JsonArray &arr = v.value().asArray();
+    ASSERT_EQ(arr.size(), 3u);
+    EXPECT_EQ(arr[0].asInt(), 1);
+    EXPECT_EQ(arr[1].asArray()[1].asInt(), 3);
+    EXPECT_EQ(arr[2]["a"].asArray()[0].asInt(), 4);
+}
+
+TEST(JsonTest, ParsesStringEscapes)
+{
+    auto v = parseJson(R"("a\"b\\c\ndA")");
+    ASSERT_TRUE(v.isOk());
+    EXPECT_EQ(v.value().asString(), "a\"b\\c\ndA");
+}
+
+TEST(JsonTest, RejectsMalformedInput)
+{
+    EXPECT_FALSE(parseJson("").isOk());
+    EXPECT_FALSE(parseJson("{").isOk());
+    EXPECT_FALSE(parseJson("[1,]").isOk());
+    EXPECT_FALSE(parseJson("{\"a\" 1}").isOk());
+    EXPECT_FALSE(parseJson("tru").isOk());
+    EXPECT_FALSE(parseJson("1 2").isOk());
+    EXPECT_FALSE(parseJson("\"unterminated").isOk());
+    EXPECT_FALSE(parseJson("\"bad \\x escape\"").isOk());
+}
+
+TEST(JsonTest, RejectsDeepNesting)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    EXPECT_FALSE(parseJson(deep).isOk());
+}
+
+TEST(JsonTest, DumpRoundTrips)
+{
+    const char *doc =
+        R"({"b":[1,2.5,"x"],"a":{"k":true},"n":null})";
+    auto v = parseJson(doc);
+    ASSERT_TRUE(v.isOk());
+    auto again = parseJson(v.value().dump());
+    ASSERT_TRUE(again.isOk());
+    EXPECT_TRUE(v.value() == again.value());
+}
+
+TEST(JsonTest, TypedGetters)
+{
+    auto v = parseJson(R"({"s":"x","i":3,"o":{},"a":[]})").value();
+    EXPECT_EQ(v.getString("s").value(), "x");
+    EXPECT_EQ(v.getInt("i").value(), 3);
+    EXPECT_TRUE(v.getObject("o").isOk());
+    EXPECT_TRUE(v.getArray("a").isOk());
+    EXPECT_EQ(v.getString("i").code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(v.getInt("missing").code(), ErrorCode::InvalidArgument);
+    EXPECT_TRUE(v.has("s"));
+    EXPECT_FALSE(v.has("zz"));
+}
+
+} // namespace
+} // namespace cronus

@@ -1,0 +1,51 @@
+/** Unit tests for logging and error reporting. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+namespace cronus
+{
+namespace
+{
+
+TEST(LoggingTest, PanicThrowsPanicError)
+{
+    Logger::instance().setQuiet(true);
+    EXPECT_THROW(panic("boom"), PanicError);
+    try {
+        panic("with message");
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "with message");
+    }
+}
+
+TEST(LoggingTest, FatalThrowsFatalError)
+{
+    Logger::instance().setQuiet(true);
+    EXPECT_THROW(fatal("bad config"), FatalError);
+}
+
+TEST(LoggingTest, WarnCountsWarnings)
+{
+    Logger::instance().setQuiet(true);
+    Logger::instance().resetCounters();
+    warn("one");
+    warn("two");
+    EXPECT_EQ(Logger::instance().warnCount(), 2u);
+}
+
+TEST(LoggingTest, AssertMacro)
+{
+    Logger::instance().setQuiet(true);
+    EXPECT_NO_THROW(CRONUS_ASSERT(1 + 1 == 2, "math"));
+    EXPECT_THROW(CRONUS_ASSERT(false, "nope"), PanicError);
+}
+
+TEST(LoggingTest, FormatString)
+{
+    EXPECT_EQ(detail::formatString("%d-%s", 7, "x"), "7-x");
+}
+
+} // namespace
+} // namespace cronus

@@ -1,0 +1,220 @@
+/** Parameterized conformance tests across all four systems. */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "baseline/cronus_backend.hh"
+#include "baseline/hix_tz.hh"
+#include "baseline/monolithic_tz.hh"
+#include "baseline/native.hh"
+
+namespace cronus::baseline
+{
+namespace
+{
+
+using Factory = std::function<std::unique_ptr<ComputeBackend>()>;
+
+const std::vector<std::string> kKernels = {"fill_f32", "vec_add_f32",
+                                           "matmul_f32"};
+
+std::unique_ptr<ComputeBackend>
+makeBackend(const std::string &which)
+{
+    Logger::instance().setQuiet(true);
+    if (which == "native") {
+        NativeConfig c;
+        c.gpuKernels = kKernels;
+        return std::make_unique<NativeBackend>(c);
+    }
+    if (which == "tz") {
+        MonolithicConfig c;
+        c.gpuKernels = kKernels;
+        return std::make_unique<MonolithicTzBackend>(c);
+    }
+    if (which == "hix") {
+        HixConfig c;
+        c.gpuKernels = kKernels;
+        return std::make_unique<HixTzBackend>(c);
+    }
+    CronusBackendConfig c;
+    c.gpuKernels = kKernels;
+    return std::make_unique<CronusBackend>(c);
+}
+
+class BackendConformanceTest
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void SetUp() override { backend = makeBackend(GetParam()); }
+
+    std::unique_ptr<ComputeBackend> backend;
+};
+
+TEST_P(BackendConformanceTest, GpuRoundTripComputesVecAdd)
+{
+    auto &b = *backend;
+    auto va_a = b.gpuAlloc(16);
+    auto va_b = b.gpuAlloc(16);
+    auto va_c = b.gpuAlloc(16);
+    ASSERT_TRUE(va_a.isOk()) << va_a.status().toString();
+
+    std::vector<float> a = {1, 2, 3, 4}, bb = {10, 20, 30, 40};
+    Bytes a_bytes(reinterpret_cast<uint8_t *>(a.data()),
+                  reinterpret_cast<uint8_t *>(a.data()) + 16);
+    Bytes b_bytes(reinterpret_cast<uint8_t *>(bb.data()),
+                  reinterpret_cast<uint8_t *>(bb.data()) + 16);
+    ASSERT_TRUE(b.copyToGpu(va_a.value(), a_bytes).isOk());
+    ASSERT_TRUE(b.copyToGpu(va_b.value(), b_bytes).isOk());
+    ASSERT_TRUE(b.launchKernel("vec_add_f32",
+                               {va_a.value(), va_b.value(),
+                                va_c.value(), 4},
+                               4).isOk());
+    auto out = b.copyFromGpu(va_c.value(), 16);
+    ASSERT_TRUE(out.isOk()) << out.status().toString();
+    const float *c =
+        reinterpret_cast<const float *>(out.value().data());
+    EXPECT_EQ(c[0], 11);
+    EXPECT_EQ(c[3], 44);
+}
+
+TEST_P(BackendConformanceTest, LargeCopyRoundTrips)
+{
+    auto &b = *backend;
+    Bytes big(64 * 1024);
+    for (size_t i = 0; i < big.size(); ++i)
+        big[i] = static_cast<uint8_t>(i * 31);
+    auto va = b.gpuAlloc(big.size());
+    ASSERT_TRUE(va.isOk());
+    ASSERT_TRUE(b.copyToGpu(va.value(), big).isOk());
+    auto back = b.copyFromGpu(va.value(), big.size());
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back.value(), big);
+}
+
+TEST_P(BackendConformanceTest, TimeAdvancesMonotonically)
+{
+    auto &b = *backend;
+    SimTime t0 = b.now();
+    auto va = b.gpuAlloc(4096);
+    ASSERT_TRUE(va.isOk());
+    ASSERT_TRUE(b.copyToGpu(va.value(), Bytes(4096, 1)).isOk());
+    ASSERT_TRUE(b.gpuSynchronize().isOk());
+    EXPECT_GT(b.now(), t0);
+}
+
+TEST_P(BackendConformanceTest, FaultAndRecoverRestoresService)
+{
+    auto &b = *backend;
+    ASSERT_TRUE(b.gpuAlloc(4096).isOk());
+    ASSERT_TRUE(b.injectGpuFault().isOk());
+    EXPECT_FALSE(b.gpuAlloc(4096).isOk());
+    auto cost = b.recoverGpu();
+    ASSERT_TRUE(cost.isOk()) << cost.status().toString();
+    EXPECT_GT(cost.value(), 0u);
+    EXPECT_TRUE(b.gpuAlloc(4096).isOk());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, BackendConformanceTest,
+    ::testing::Values("native", "tz", "hix", "cronus"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(BaselineContrast, CronusRecoveryIsOrdersOfMagnitudeFaster)
+{
+    auto cronus = makeBackend("cronus");
+    auto tz = makeBackend("tz");
+    ASSERT_TRUE(cronus->gpuAlloc(4096).isOk());
+    ASSERT_TRUE(tz->gpuAlloc(4096).isOk());
+    ASSERT_TRUE(cronus->injectGpuFault().isOk());
+    ASSERT_TRUE(tz->injectGpuFault().isOk());
+    SimTime cronus_cost = cronus->recoverGpu().value();
+    SimTime tz_cost = tz->recoverGpu().value();
+    /* Hundreds of ms vs ~2 minutes. */
+    EXPECT_LT(cronus_cost * 50, tz_cost);
+}
+
+TEST(BaselineContrast, OnlyCronusKeepsOthersAliveThroughGpuFault)
+{
+    auto cronus = makeBackend("cronus");
+    auto tz = makeBackend("tz");
+    auto native = makeBackend("native");
+    for (auto *b : {cronus.get(), tz.get(), native.get()})
+        ASSERT_TRUE(b->injectGpuFault().isOk());
+    EXPECT_TRUE(cronus->othersAlive());   /* R3.1 holds */
+    EXPECT_FALSE(tz->othersAlive());      /* monolithic dies whole */
+    EXPECT_FALSE(native->othersAlive());
+}
+
+TEST(BaselineContrast, HixTrafficIsVisibleButEncrypted)
+{
+    HixConfig c;
+    c.gpuKernels = kKernels;
+    HixTzBackend hix(c);
+    Bytes plaintext = toBytes(
+        "super-secret-model-weights-0123456789abcdef");
+    auto va = hix.gpuAlloc(plaintext.size());
+    ASSERT_TRUE(va.isOk());
+    ASSERT_TRUE(hix.copyToGpu(va.value(), plaintext).isOk());
+
+    /* The untrusted OS observed traffic (timing side channel HIX
+     * cannot hide)... */
+    ASSERT_FALSE(hix.observedMessages().empty());
+    /* ...but the bytes are ciphertext. */
+    for (const auto &msg : hix.observedMessages()) {
+        std::string view(msg.ciphertext.begin(),
+                         msg.ciphertext.end());
+        EXPECT_EQ(view.find("super-secret"), std::string::npos);
+    }
+}
+
+TEST(BaselineContrast, MonolithicTrustsAllDrivers)
+{
+    MonolithicConfig c;
+    c.gpuKernels = kKernels;
+    MonolithicTzBackend tz(c);
+    Bytes secret = toBytes("tenant-a-data!!!");
+    auto va = tz.gpuAlloc(secret.size());
+    ASSERT_TRUE(va.isOk());
+    ASSERT_TRUE(tz.copyToGpu(va.value(), secret).isOk());
+    /* The "NPU driver" reads tenant GPU data: monolithic design
+     * violates R3.2. CRONUS structurally prevents this (foreign
+     * partitions cannot map GPU state; see SpmTest). */
+    auto stolen = tz.maliciousDriverReadsGpu(va.value(),
+                                             secret.size());
+    ASSERT_TRUE(stolen.isOk());
+    EXPECT_EQ(stolen.value(), secret);
+}
+
+TEST(BaselineContrast, CronusStreamsWithFewerRoundTrips)
+{
+    auto cronus_b = makeBackend("cronus");
+    HixConfig c;
+    c.gpuKernels = kKernels;
+    HixTzBackend hix(c);
+
+    auto run = [](ComputeBackend &b) {
+        /* Warm up (builds channels, boots mOSes), then measure the
+         * steady-state streaming cost only. */
+        auto va = b.gpuAlloc(4096).value();
+        SimTime start = b.now();
+        Bytes data(512, 3);
+        for (int i = 0; i < 32; ++i) {
+            EXPECT_TRUE(b.copyToGpu(va, data).isOk());
+            EXPECT_TRUE(b.launchKernel("fill_f32", {va, 128, 0},
+                                       128).isOk());
+        }
+        EXPECT_TRUE(b.gpuSynchronize().isOk());
+        return b.now() - start;
+    };
+    SimTime cronus_time = run(*cronus_b);
+    SimTime hix_time = run(hix);
+    /* Control-plane-heavy streams: CRONUS is clearly faster. */
+    EXPECT_LT(cronus_time, hix_time);
+}
+
+} // namespace
+} // namespace cronus::baseline

@@ -1,0 +1,112 @@
+/** Unit tests for manifest parsing and measurement. */
+
+#include <gtest/gtest.h>
+
+#include "core/manifest.hh"
+
+namespace cronus::core
+{
+namespace
+{
+
+const char *kGoodManifest = R"({
+    "device_type": "gpu",
+    "images": {
+        "mat.cubin": "654c28186756aa92",
+        "cudart.so": "2814c867aa955265"
+    },
+    "mEcalls": [
+        {"name": "cuLaunchKernel", "async": true},
+        {"name": "cuMemcpyDtoH", "async": false},
+        "cuCtxSynchronize"
+    ],
+    "resources": { "memory": "1G" }
+})";
+
+TEST(ManifestTest, ParsesPaperStyleManifest)
+{
+    auto m = Manifest::fromJson(kGoodManifest);
+    ASSERT_TRUE(m.isOk()) << m.status().toString();
+    EXPECT_EQ(m.value().deviceType, "gpu");
+    EXPECT_EQ(m.value().images.at("mat.cubin"), "654c28186756aa92");
+    EXPECT_EQ(m.value().memoryBytes, 1ull << 30);
+    EXPECT_TRUE(m.value().declaresCall("cuLaunchKernel"));
+    EXPECT_TRUE(m.value().isAsync("cuLaunchKernel"));
+    EXPECT_FALSE(m.value().isAsync("cuMemcpyDtoH"));
+    EXPECT_FALSE(m.value().isAsync("cuCtxSynchronize"));
+    EXPECT_FALSE(m.value().declaresCall("cuEvil"));
+}
+
+TEST(ManifestTest, MemorySizeParsing)
+{
+    EXPECT_EQ(Manifest::parseMemorySize("4096").value(), 4096u);
+    EXPECT_EQ(Manifest::parseMemorySize("16K").value(), 16384u);
+    EXPECT_EQ(Manifest::parseMemorySize("2M").value(), 2u << 20);
+    EXPECT_EQ(Manifest::parseMemorySize("1GB").value(), 1ull << 30);
+    EXPECT_FALSE(Manifest::parseMemorySize("").isOk());
+    EXPECT_FALSE(Manifest::parseMemorySize("G").isOk());
+    EXPECT_FALSE(Manifest::parseMemorySize("1T").isOk());
+    EXPECT_FALSE(Manifest::parseMemorySize("99999999999999999999")
+                     .isOk());
+}
+
+TEST(ManifestTest, RejectsBadManifests)
+{
+    EXPECT_FALSE(Manifest::fromJson("not json").isOk());
+    EXPECT_FALSE(Manifest::fromJson("{}").isOk());
+    /* Unknown device type. */
+    EXPECT_FALSE(Manifest::fromJson(R"({
+        "device_type": "fpga",
+        "mEcalls": ["x"],
+        "resources": {"memory": "1M"}
+    })").isOk());
+    /* No mECalls. */
+    EXPECT_FALSE(Manifest::fromJson(R"({
+        "device_type": "cpu",
+        "mEcalls": [],
+        "resources": {"memory": "1M"}
+    })").isOk());
+    /* Missing memory. */
+    EXPECT_FALSE(Manifest::fromJson(R"({
+        "device_type": "cpu",
+        "mEcalls": ["f"],
+        "resources": {}
+    })").isOk());
+    /* Zero memory. */
+    EXPECT_FALSE(Manifest::fromJson(R"({
+        "device_type": "cpu",
+        "mEcalls": ["f"],
+        "resources": {"memory": "0"}
+    })").isOk());
+    /* Bad mEcall entry. */
+    EXPECT_FALSE(Manifest::fromJson(R"({
+        "device_type": "cpu",
+        "mEcalls": [42],
+        "resources": {"memory": "1M"}
+    })").isOk());
+}
+
+TEST(ManifestTest, RoundTripPreservesMeasurement)
+{
+    auto m = Manifest::fromJson(kGoodManifest).value();
+    auto again = Manifest::fromJson(m.toJson());
+    ASSERT_TRUE(again.isOk());
+    EXPECT_EQ(crypto::digestHex(m.measure()),
+              crypto::digestHex(again.value().measure()));
+}
+
+TEST(ManifestTest, MeasurementSensitiveToContent)
+{
+    auto a = Manifest::fromJson(kGoodManifest).value();
+    auto b = a;
+    b.images["mat.cubin"] = "ffffffffffffffff";
+    EXPECT_NE(crypto::digestHex(a.measure()),
+              crypto::digestHex(b.measure()));
+    auto c = a;
+    c.mEcalls[0].async = false;
+    EXPECT_NE(crypto::digestHex(a.measure()),
+              crypto::digestHex(c.measure()));
+}
+
+} // namespace
+} // namespace cronus::core

@@ -1,0 +1,167 @@
+/** Edge-case tests for sRPC channel lifecycle and concurrency. */
+
+#include "test_fixtures.hh"
+
+#include "workloads/sharing.hh"
+
+namespace cronus::core
+{
+namespace
+{
+
+using testing::CronusTest;
+
+class SrpcEdgeTest : public CronusTest
+{
+  protected:
+    void
+    SetUp() override
+    {
+        CronusTest::SetUp();
+        cpu = makeCpuEnclave().value();
+        gpu = makeGpuEnclave().value();
+    }
+
+    AppHandle cpu, gpu;
+};
+
+TEST_F(SrpcEdgeTest, ConnectToNonexistentCalleeFails)
+{
+    AppHandle ghost = gpu;
+    ghost.eid = makeEid(mosIdOf(gpu.eid), 999);
+    auto channel = system->connect(cpu, ghost);
+    EXPECT_EQ(channel.code(), ErrorCode::NotFound);
+}
+
+TEST_F(SrpcEdgeTest, TwoChannelsToSamePartitionAreIndependent)
+{
+    auto gpu2 = makeGpuEnclave().value();
+    auto ch1 = std::move(system->connect(cpu, gpu).value());
+    auto ch2 = std::move(system->connect(cpu, gpu2).value());
+    EXPECT_NE(ch1->grantId(), ch2->grantId());
+
+    auto va1 = ch1->callSync("cuMemAlloc",
+                             CudaRuntime::encodeMemAlloc(64));
+    auto va2 = ch2->callSync("cuMemAlloc",
+                             CudaRuntime::encodeMemAlloc(64));
+    ASSERT_TRUE(va1.isOk());
+    ASSERT_TRUE(va2.isOk());
+    ASSERT_TRUE(ch1->close().isOk());
+    /* ch2 unaffected by ch1's closure. */
+    EXPECT_TRUE(ch2->callSync("cuMemAlloc",
+                              CudaRuntime::encodeMemAlloc(64))
+                    .isOk());
+    ASSERT_TRUE(ch2->close().isOk());
+}
+
+TEST_F(SrpcEdgeTest, ResultOfValidation)
+{
+    auto channel = std::move(system->connect(cpu, gpu).value());
+    EXPECT_EQ(channel->resultOf(0).code(),
+              ErrorCode::InvalidArgument);  /* never issued */
+
+    auto rid = channel->callAsync("cuMemAlloc",
+                                  CudaRuntime::encodeMemAlloc(64));
+    ASSERT_TRUE(rid.isOk());
+    EXPECT_EQ(channel->resultOf(rid.value()).code(),
+              ErrorCode::InvalidState);  /* not yet executed */
+    ASSERT_TRUE(channel->drain().isOk());
+    EXPECT_TRUE(channel->resultOf(rid.value()).isOk());
+
+    /* Recycle the slot by issuing more than a ring's worth. */
+    SrpcConfig cfg;
+    for (uint64_t i = 0; i < cfg.slots + 2; ++i)
+        ASSERT_TRUE(channel->callAsync(
+            "cuMemAlloc", CudaRuntime::encodeMemAlloc(64)).isOk());
+    ASSERT_TRUE(channel->drain().isOk());
+    EXPECT_EQ(channel->resultOf(rid.value()).code(),
+              ErrorCode::NotFound);  /* slot recycled */
+}
+
+TEST_F(SrpcEdgeTest, DoubleCloseRejected)
+{
+    auto channel = std::move(system->connect(cpu, gpu).value());
+    ASSERT_TRUE(channel->close().isOk());
+    EXPECT_EQ(channel->close().code(), ErrorCode::InvalidState);
+}
+
+TEST_F(SrpcEdgeTest, ShareOnceExhaustionIsOrderly)
+{
+    /* Channels consume partition memory + grants; opening and
+     * closing many must not leak the share-once budget. */
+    for (int round = 0; round < 8; ++round) {
+        auto channel = system->connect(cpu, gpu);
+        ASSERT_TRUE(channel.isOk()) << "round " << round << ": "
+                                    << channel.status().toString();
+        ASSERT_TRUE(channel.value()->close().isOk());
+    }
+}
+
+TEST_F(SrpcEdgeTest, EmptyArgsAndEmptyResponse)
+{
+    auto channel = std::move(system->connect(cpu, gpu).value());
+    /* cuCtxSynchronize takes no args and returns no payload. */
+    auto r = channel->callSync("cuCtxSynchronize", Bytes{});
+    ASSERT_TRUE(r.isOk());
+    EXPECT_TRUE(r.value().empty());
+}
+
+TEST_F(SrpcEdgeTest, PerThreadStreamsToOneEnclave)
+{
+    /* §IV-C: each caller thread creates its own stream. Two
+     * channels to the SAME callee enclave act as two independent,
+     * individually-ordered streams. */
+    auto stream1 = system->connect(cpu, gpu);
+    auto stream2 = system->connect(cpu, gpu);
+    ASSERT_TRUE(stream1.isOk()) << stream1.status().toString();
+    ASSERT_TRUE(stream2.isOk()) << stream2.status().toString();
+
+    auto va = stream1.value()->callSync(
+        "cuMemAlloc", CudaRuntime::encodeMemAlloc(16));
+    uint64_t buf = CudaRuntime::decodeU64Result(va.value()).value();
+
+    /* Interleave fills from both streams; each stream's own order
+     * is preserved, and both target the same enclave context. */
+    auto fill = [&](SrpcChannel &ch, float v) {
+        uint32_t bits;
+        std::memcpy(&bits, &v, 4);
+        return ch.call("cuLaunchKernel",
+                       CudaRuntime::encodeLaunchKernel(
+                           "fill_f32", {buf, 4, bits}, 4));
+    };
+    ASSERT_TRUE(fill(*stream1.value(), 1.0f).isOk());
+    ASSERT_TRUE(fill(*stream2.value(), 2.0f).isOk());
+    ASSERT_TRUE(stream1.value()->drain().isOk());
+    ASSERT_TRUE(stream2.value()->drain().isOk());
+
+    auto out = stream1.value()->call(
+        "cuMemcpyDtoH", CudaRuntime::encodeMemcpyDtoH(buf, 16));
+    ASSERT_TRUE(out.isOk());
+    const float *result =
+        reinterpret_cast<const float *>(out.value().data());
+    /* One of the two fills won; memory is consistent either way. */
+    EXPECT_TRUE(result[0] == 1.0f || result[0] == 2.0f);
+    EXPECT_EQ(result[0], result[3]);
+    ASSERT_TRUE(stream1.value()->close().isOk());
+    ASSERT_TRUE(stream2.value()->close().isOk());
+}
+
+TEST(SpatialTemporalTest, TemporalModeGainsNothing)
+{
+    workloads::SpatialConfig spatial;
+    spatial.enclaves = 2;
+    spatial.iterationsPerEnclave = 3;
+    workloads::SpatialConfig temporal = spatial;
+    temporal.temporal = true;
+
+    auto s = workloads::runSpatialSharing(spatial);
+    auto t = workloads::runSpatialSharing(temporal);
+    ASSERT_TRUE(s.isOk());
+    ASSERT_TRUE(t.isOk());
+    /* Spatial packing clearly beats dedicated/serialized turns. */
+    EXPECT_GT(s.value().imagesPerSecond,
+              t.value().imagesPerSecond * 1.2);
+}
+
+} // namespace
+} // namespace cronus::core

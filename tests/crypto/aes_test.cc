@@ -1,0 +1,111 @@
+/** AES-128 tests against FIPS-197 vectors, plus sealed messages. */
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hh"
+
+namespace cronus::crypto
+{
+namespace
+{
+
+TEST(AesTest, Fips197Vector)
+{
+    /* FIPS-197 Appendix B. */
+    AesKey key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                  0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+    uint8_t block[16] = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30,
+                         0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+                         0x07, 0x34};
+    Aes128 aes(key);
+    aes.encryptBlock(block);
+    EXPECT_EQ(toHex(block, 16),
+              "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(AesTest, Fips197AppendixCVector)
+{
+    AesKey key = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                  0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+    uint8_t block[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66,
+                         0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+                         0xee, 0xff};
+    Aes128 aes(key);
+    aes.encryptBlock(block);
+    EXPECT_EQ(toHex(block, 16),
+              "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesTest, CtrRoundTrip)
+{
+    AesKey key{};
+    Aes128 aes(key);
+    Bytes plaintext = toBytes("streaming rpc payload, not 16-aligned");
+    Bytes ciphertext = aes.ctr(plaintext, 0x1234);
+    EXPECT_NE(toHex(ciphertext), toHex(plaintext));
+    Bytes back = aes.ctr(ciphertext, 0x1234);
+    EXPECT_EQ(back, plaintext);
+}
+
+TEST(AesTest, CtrNonceMatters)
+{
+    AesKey key{};
+    Aes128 aes(key);
+    Bytes plaintext(48, 0x41);
+    EXPECT_NE(toHex(aes.ctr(plaintext, 1)),
+              toHex(aes.ctr(plaintext, 2)));
+}
+
+TEST(SealTest, SealOpenRoundTrip)
+{
+    Bytes secret(32, 0x7);
+    Bytes msg = toBytes("ecall args");
+    Bytes sealed = sealMessage(secret, 42, msg);
+    auto open = openMessage(secret, sealed);
+    ASSERT_TRUE(open.isOk()) << open.status().toString();
+    EXPECT_EQ(open.value(), msg);
+}
+
+TEST(SealTest, OpenRejectsTamperedCiphertext)
+{
+    Bytes secret(32, 0x7);
+    Bytes sealed = sealMessage(secret, 42, toBytes("payload"));
+    sealed[10] ^= 1;
+    EXPECT_EQ(openMessage(secret, sealed).code(),
+              ErrorCode::IntegrityViolation);
+}
+
+TEST(SealTest, OpenRejectsTamperedTag)
+{
+    Bytes secret(32, 0x7);
+    Bytes sealed = sealMessage(secret, 42, toBytes("payload"));
+    sealed.back() ^= 1;
+    EXPECT_EQ(openMessage(secret, sealed).code(),
+              ErrorCode::IntegrityViolation);
+}
+
+TEST(SealTest, OpenRejectsWrongSecret)
+{
+    Bytes sealed = sealMessage(Bytes(32, 0x7), 42, toBytes("data"));
+    EXPECT_EQ(openMessage(Bytes(32, 0x8), sealed).code(),
+              ErrorCode::IntegrityViolation);
+}
+
+TEST(SealTest, OpenRejectsTruncated)
+{
+    Bytes tiny = {1, 2, 3};
+    EXPECT_EQ(openMessage(Bytes(32, 0), tiny).code(),
+              ErrorCode::IntegrityViolation);
+}
+
+TEST(SealTest, EmptyPlaintext)
+{
+    Bytes secret(32, 0x9);
+    Bytes sealed = sealMessage(secret, 1, Bytes{});
+    auto open = openMessage(secret, sealed);
+    ASSERT_TRUE(open.isOk());
+    EXPECT_TRUE(open.value().empty());
+}
+
+} // namespace
+} // namespace cronus::crypto

@@ -1,0 +1,150 @@
+/** SHA-256 and HMAC-SHA256 tests against published vectors. */
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hh"
+
+namespace cronus::crypto
+{
+namespace
+{
+
+TEST(Sha256Test, EmptyString)
+{
+    EXPECT_EQ(digestHex(sha256(std::string(""))),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc)
+{
+    EXPECT_EQ(digestHex(sha256(std::string("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage)
+{
+    EXPECT_EQ(digestHex(sha256(std::string(
+                  "abcdbcdecdefdefgefghfghighijhijk"
+                  "ijkljklmklmnlmnomnopnopq"))),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs)
+{
+    Sha256 ctx;
+    std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        ctx.update(chunk);
+    EXPECT_EQ(digestHex(ctx.finalize()),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot)
+{
+    std::string msg = "The quick brown fox jumps over the lazy dog";
+    Sha256 ctx;
+    for (char c : msg)
+        ctx.update(std::string(1, c));
+    EXPECT_EQ(digestHex(ctx.finalize()),
+              digestHex(sha256(msg)));
+}
+
+TEST(Sha256Test, PaddingBoundaries)
+{
+    /* Exercise lengths around the 56/64-byte padding edges. */
+    for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+        std::string msg(len, 'x');
+        Digest one_shot = sha256(msg);
+        Sha256 ctx;
+        ctx.update(msg.substr(0, len / 2));
+        ctx.update(msg.substr(len / 2));
+        EXPECT_EQ(digestHex(ctx.finalize()), digestHex(one_shot))
+            << "length " << len;
+    }
+}
+
+TEST(Sha256Test, FinalizeTwicePanics)
+{
+    Logger::instance().setQuiet(true);
+    Sha256 ctx;
+    ctx.finalize();
+    EXPECT_THROW(ctx.finalize(), PanicError);
+}
+
+TEST(HmacTest, Rfc4231Case1)
+{
+    Bytes key(20, 0x0b);
+    Bytes msg = toBytes("Hi There");
+    EXPECT_EQ(toHex(digestToBytes(hmacSha256(key, msg))),
+              "b0344c61d8db38535ca8afceaf0bf12b"
+              "881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2)
+{
+    Bytes key = toBytes("Jefe");
+    Bytes msg = toBytes("what do ya want for nothing?");
+    EXPECT_EQ(toHex(digestToBytes(hmacSha256(key, msg))),
+              "5bdcc146bf60754e6a042426089575c7"
+              "5a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231LongKey)
+{
+    Bytes key(131, 0xaa);
+    Bytes msg = toBytes(
+        "Test Using Larger Than Block-Size Key - Hash Key First");
+    EXPECT_EQ(toHex(digestToBytes(hmacSha256(key, msg))),
+              "60e431591ee0b67f0d8a26aacbf5b77f"
+              "8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Sha256Test, Fips180LongVector)
+{
+    /* FIPS 180-4 two of the standard byte-oriented test strings. */
+    EXPECT_EQ(digestHex(sha256(std::string(
+                  "abcdefghbcdefghicdefghijdefghijkefghijklfghijklm"
+                  "ghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrs"
+                  "mnopqrstnopqrstu"))),
+              "cf5b16a778af8380036ce59e7b049237"
+              "0b249b11e8f07a51afac45037afee9d1");
+    EXPECT_EQ(digestHex(sha256(std::string("a"))),
+              "ca978112ca1bbdcafac231b39a23dc4d"
+              "a786eff8147c4e72b9807785afee48bb");
+}
+
+TEST(HmacTest, Rfc4231Case3)
+{
+    /* Key and data both 0xaa/0xdd repeated. */
+    Bytes key(20, 0xaa);
+    Bytes msg(50, 0xdd);
+    EXPECT_EQ(toHex(digestToBytes(hmacSha256(key, msg))),
+              "773ea91e36800e46854db8ebd09181a7"
+              "2959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231Case4)
+{
+    Bytes key;
+    for (uint8_t b = 0x01; b <= 0x19; ++b)
+        key.push_back(b);
+    Bytes msg(50, 0xcd);
+    EXPECT_EQ(toHex(digestToBytes(hmacSha256(key, msg))),
+              "82558a389a443c0ea4cc819899f2083a"
+              "85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacTest, KeySensitivity)
+{
+    Bytes msg = toBytes("payload");
+    Digest a = hmacSha256(toBytes("key-a"), msg);
+    Digest b = hmacSha256(toBytes("key-b"), msg);
+    EXPECT_NE(digestHex(a), digestHex(b));
+}
+
+} // namespace
+} // namespace cronus::crypto

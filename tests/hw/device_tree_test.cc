@@ -1,0 +1,103 @@
+/** Unit tests for device-tree validation and measurement. */
+
+#include <gtest/gtest.h>
+
+#include "hw/device_tree.hh"
+
+namespace cronus::hw
+{
+namespace
+{
+
+DtNode
+node(const std::string &name, PhysAddr base, uint64_t size,
+     uint32_t irq)
+{
+    DtNode n;
+    n.name = name;
+    n.compatible = "test," + name;
+    n.mmioBase = base;
+    n.mmioSize = size;
+    n.irq = irq;
+    return n;
+}
+
+TEST(DeviceTreeTest, ValidTreeAccepted)
+{
+    DeviceTree dt;
+    dt.addNode(node("gpu0", 0x1000, 0x1000, 32));
+    dt.addNode(node("npu0", 0x2000, 0x1000, 33));
+    EXPECT_TRUE(dt.validate().isOk());
+}
+
+TEST(DeviceTreeTest, RejectsMmioOverlap)
+{
+    DeviceTree dt;
+    dt.addNode(node("gpu0", 0x1000, 0x2000, 32));
+    dt.addNode(node("npu0", 0x2000, 0x1000, 33));
+    EXPECT_EQ(dt.validate().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(DeviceTreeTest, RejectsDuplicateIrq)
+{
+    DeviceTree dt;
+    dt.addNode(node("gpu0", 0x1000, 0x1000, 32));
+    dt.addNode(node("npu0", 0x3000, 0x1000, 32));
+    EXPECT_EQ(dt.validate().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(DeviceTreeTest, RejectsDuplicateNameAndEmptyWindow)
+{
+    DeviceTree dup;
+    dup.addNode(node("gpu0", 0x1000, 0x1000, 32));
+    dup.addNode(node("gpu0", 0x3000, 0x1000, 33));
+    EXPECT_FALSE(dup.validate().isOk());
+
+    DeviceTree empty;
+    empty.addNode(node("gpu0", 0x1000, 0, 32));
+    EXPECT_FALSE(empty.validate().isOk());
+}
+
+TEST(DeviceTreeTest, SerializeRoundTrip)
+{
+    DeviceTree dt;
+    DtNode n = node("gpu0", 0x1000, 0x1000, 32);
+    n.world = World::Secure;
+    n.memBytes = 1 << 20;
+    dt.addNode(n);
+
+    auto back = DeviceTree::deserialize(dt.serialize());
+    ASSERT_TRUE(back.isOk()) << back.status().toString();
+    const DtNode *restored = back.value().find("gpu0");
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->compatible, "test,gpu0");
+    EXPECT_EQ(restored->world, World::Secure);
+    EXPECT_EQ(restored->memBytes, 1u << 20);
+    EXPECT_EQ(back.value().measure(), dt.measure());
+}
+
+TEST(DeviceTreeTest, MeasurementDetectsTamper)
+{
+    DeviceTree dt;
+    dt.addNode(node("gpu0", 0x1000, 0x1000, 32));
+    crypto::Digest original = dt.measure();
+
+    DeviceTree tampered;
+    DtNode n = node("gpu0", 0x1000, 0x1000, 32);
+    n.compatible = "evil,gpu0";
+    tampered.addNode(n);
+    EXPECT_NE(crypto::digestHex(original),
+              crypto::digestHex(tampered.measure()));
+}
+
+TEST(DeviceTreeTest, DeserializeRejectsGarbage)
+{
+    EXPECT_FALSE(DeviceTree::deserialize("not json").isOk());
+    EXPECT_FALSE(DeviceTree::deserialize("{}").isOk());
+    EXPECT_FALSE(
+        DeviceTree::deserialize("{\"nodes\":[{\"name\":\"x\"}]}")
+            .isOk());
+}
+
+} // namespace
+} // namespace cronus::hw

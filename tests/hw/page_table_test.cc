@@ -1,0 +1,134 @@
+/** Unit tests for page table translation and invalidation. */
+
+#include <gtest/gtest.h>
+
+#include "hw/page_table.hh"
+#include "hw/smmu.hh"
+
+namespace cronus::hw
+{
+namespace
+{
+
+TEST(PageTableTest, MapTranslateUnmap)
+{
+    PageTable pt;
+    ASSERT_TRUE(pt.map(0x1000, 0x80000, PagePerms::rw()).isOk());
+    Translation t = pt.translate(0x1234, 8, false);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t.phys, 0x80234u);
+
+    ASSERT_TRUE(pt.unmap(0x1000).isOk());
+    EXPECT_EQ(pt.translate(0x1234, 8, false).fault,
+              FaultKind::Unmapped);
+}
+
+TEST(PageTableTest, AlignmentEnforced)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.map(0x1001, 0x80000, PagePerms::rw()).code(),
+              ErrorCode::InvalidArgument);
+    EXPECT_EQ(pt.map(0x1000, 0x80001, PagePerms::rw()).code(),
+              ErrorCode::InvalidArgument);
+}
+
+TEST(PageTableTest, DoubleMapRejected)
+{
+    PageTable pt;
+    ASSERT_TRUE(pt.map(0x1000, 0x80000, PagePerms::rw()).isOk());
+    EXPECT_EQ(pt.map(0x1000, 0x90000, PagePerms::rw()).code(),
+              ErrorCode::InvalidState);
+}
+
+TEST(PageTableTest, PermissionChecks)
+{
+    PageTable pt;
+    ASSERT_TRUE(pt.map(0x1000, 0x80000, PagePerms::ro()).isOk());
+    EXPECT_TRUE(pt.translate(0x1000, 8, false).ok());
+    EXPECT_EQ(pt.translate(0x1000, 8, true).fault,
+              FaultKind::Permission);
+}
+
+TEST(PageTableTest, InvalidateGeneratesDistinctFault)
+{
+    PageTable pt;
+    ASSERT_TRUE(pt.map(0x1000, 0x80000, PagePerms::rw()).isOk());
+    ASSERT_TRUE(pt.invalidate(0x1000).isOk());
+    EXPECT_EQ(pt.translate(0x1000, 8, false).fault,
+              FaultKind::Invalidated);
+    ASSERT_TRUE(pt.revalidate(0x1000).isOk());
+    EXPECT_TRUE(pt.translate(0x1000, 8, false).ok());
+}
+
+TEST(PageTableTest, CrossPageContiguous)
+{
+    PageTable pt;
+    ASSERT_TRUE(pt.map(0x1000, 0x80000, PagePerms::rw()).isOk());
+    ASSERT_TRUE(pt.map(0x2000, 0x81000, PagePerms::rw()).isOk());
+    /* Physically contiguous: single translation succeeds. */
+    Translation t = pt.translate(0x1ff0, 32, true);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t.phys, 0x80ff0u);
+
+    /* Non-contiguous physical backing faults. */
+    PageTable pt2;
+    ASSERT_TRUE(pt2.map(0x1000, 0x80000, PagePerms::rw()).isOk());
+    ASSERT_TRUE(pt2.map(0x2000, 0x90000, PagePerms::rw()).isOk());
+    EXPECT_FALSE(pt2.translate(0x1ff0, 32, true).ok());
+}
+
+TEST(PageTableTest, ShareTagBulkOperations)
+{
+    PageTable pt;
+    ASSERT_TRUE(pt.map(0x1000, 0x80000, PagePerms::rw(), 7).isOk());
+    ASSERT_TRUE(pt.map(0x2000, 0x81000, PagePerms::rw(), 7).isOk());
+    ASSERT_TRUE(pt.map(0x3000, 0x82000, PagePerms::rw(), 9).isOk());
+
+    EXPECT_EQ(pt.invalidateByTag(7), 2u);
+    EXPECT_EQ(pt.translate(0x1000, 8, false).fault,
+              FaultKind::Invalidated);
+    EXPECT_TRUE(pt.translate(0x3000, 8, false).ok());
+
+    EXPECT_EQ(pt.unmapByTag(7), 2u);
+    EXPECT_EQ(pt.entryCount(), 1u);
+}
+
+TEST(PageTableTest, LookupAndIntrospection)
+{
+    PageTable pt;
+    ASSERT_TRUE(pt.map(0x1000, 0x80000, PagePerms::rw(), 3).isOk());
+    auto entry = pt.lookup(0x1500);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->phys, 0x80000u);
+    EXPECT_EQ(entry->shareTag, 3u);
+    EXPECT_FALSE(pt.lookup(0x9000).has_value());
+
+    size_t visited = 0;
+    pt.forEach([&](VirtAddr va, const PageEntry &e) {
+        EXPECT_EQ(va, 0x1000u);
+        EXPECT_EQ(e.phys, 0x80000u);
+        ++visited;
+    });
+    EXPECT_EQ(visited, 1u);
+}
+
+TEST(SmmuTest, TranslateAndInvalidate)
+{
+    Smmu smmu;
+    EXPECT_FALSE(smmu.hasStream(1));
+    EXPECT_EQ(smmu.translate(1, 0x1000, 8, false).fault,
+              FaultKind::Unmapped);
+
+    ASSERT_TRUE(smmu.streamTable(1).map(0x1000, 0x40000,
+                                        PagePerms::rw(), 5).isOk());
+    ASSERT_TRUE(smmu.streamTable(2).map(0x1000, 0x50000,
+                                        PagePerms::rw(), 5).isOk());
+    EXPECT_TRUE(smmu.translate(1, 0x1000, 8, true).ok());
+
+    EXPECT_EQ(smmu.invalidateByTag(5), 2u);
+    EXPECT_EQ(smmu.translate(1, 0x1000, 8, true).fault,
+              FaultKind::Invalidated);
+}
+
+} // namespace
+} // namespace cronus::hw

@@ -1,0 +1,73 @@
+/** Unit tests for sparse physical memory. */
+
+#include <gtest/gtest.h>
+
+#include "hw/phys_memory.hh"
+
+namespace cronus::hw
+{
+namespace
+{
+
+TEST(PhysMemoryTest, ReadWriteRoundTrip)
+{
+    PhysicalMemory mem(1 << 20);
+    Bytes data = {1, 2, 3, 4, 5};
+    ASSERT_TRUE(mem.write(0x1000, data).isOk());
+    auto back = mem.read(0x1000, data.size());
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back.value(), data);
+}
+
+TEST(PhysMemoryTest, UnwrittenReadsZero)
+{
+    PhysicalMemory mem(1 << 20);
+    auto v = mem.read(0x5000, 16);
+    ASSERT_TRUE(v.isOk());
+    EXPECT_EQ(v.value(), Bytes(16, 0));
+    EXPECT_EQ(mem.residentPages(), 0u);
+}
+
+TEST(PhysMemoryTest, CrossPageAccess)
+{
+    PhysicalMemory mem(1 << 20);
+    Bytes data(kPageSize + 100, 0xab);
+    ASSERT_TRUE(mem.write(kPageSize - 50, data).isOk());
+    auto back = mem.read(kPageSize - 50, data.size());
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back.value(), data);
+    EXPECT_EQ(mem.residentPages(), 3u);
+}
+
+TEST(PhysMemoryTest, OutOfRangeRejected)
+{
+    PhysicalMemory mem(0x2000);
+    Bytes data(16);
+    EXPECT_EQ(mem.write(0x2000, data).code(), ErrorCode::AccessFault);
+    EXPECT_EQ(mem.write(0x1ff8, data).code(), ErrorCode::AccessFault);
+    EXPECT_EQ(mem.read(0x3000, 1).code(), ErrorCode::AccessFault);
+    /* Overflow-safe bounds check. */
+    EXPECT_EQ(mem.read(~0ull, 16).code(), ErrorCode::AccessFault);
+}
+
+TEST(PhysMemoryTest, ClearScrubsData)
+{
+    PhysicalMemory mem(1 << 20);
+    Bytes secret(256, 0x77);
+    ASSERT_TRUE(mem.write(0x4000, secret).isOk());
+    ASSERT_TRUE(mem.clear(0x4000, 256).isOk());
+    auto back = mem.read(0x4000, 256);
+    EXPECT_EQ(back.value(), Bytes(256, 0));
+}
+
+TEST(PhysMemoryTest, SparseLargeAddressSpace)
+{
+    /* A multi-GiB map must not allocate backing store up front. */
+    PhysicalMemory mem(8ull << 30);
+    Bytes data = {9};
+    ASSERT_TRUE(mem.write((8ull << 30) - 1, data).isOk());
+    EXPECT_EQ(mem.residentPages(), 1u);
+}
+
+} // namespace
+} // namespace cronus::hw

@@ -1,0 +1,159 @@
+/** Tests for the RISC-V PMP model and the §VII-A adaptation. */
+
+#include <gtest/gtest.h>
+
+#include "hw/pmp.hh"
+
+namespace cronus::hw
+{
+namespace
+{
+
+TEST(PmpTest, NapotEncodeDecodeRoundTrip)
+{
+    for (uint64_t size : {8ull, 4096ull, 1ull << 20, 16ull << 20}) {
+        PhysAddr base = size * 3;  /* naturally aligned */
+        auto encoded = Pmp::napotEncode(base, size);
+        ASSERT_TRUE(encoded.isOk()) << size;
+        auto [dbase, dsize] = Pmp::napotDecode(encoded.value());
+        EXPECT_EQ(dbase, base);
+        EXPECT_EQ(dsize, size);
+    }
+}
+
+TEST(PmpTest, NapotRejectsBadShapes)
+{
+    EXPECT_FALSE(Pmp::napotEncode(0, 4).isOk());      /* too small */
+    EXPECT_FALSE(Pmp::napotEncode(0, 24).isOk());     /* not pow2 */
+    EXPECT_FALSE(Pmp::napotEncode(100, 4096).isOk()); /* misaligned */
+}
+
+TEST(PmpTest, DefaultDeny)
+{
+    Pmp pmp;
+    EXPECT_EQ(pmp.check(0x1000, 8, PmpAccess::Read).code(),
+              ErrorCode::AccessFault);
+}
+
+TEST(PmpTest, NapotEntryGrantsItsRangeOnly)
+{
+    Pmp pmp;
+    PmpEntry entry;
+    entry.mode = PmpMode::Napot;
+    entry.addr = Pmp::napotEncode(0x10000, 0x1000).value();
+    entry.read = true;
+    entry.write = true;
+    ASSERT_TRUE(pmp.configure(0, entry).isOk());
+
+    EXPECT_TRUE(pmp.check(0x10000, 8, PmpAccess::Read).isOk());
+    EXPECT_TRUE(pmp.check(0x10ff8, 8, PmpAccess::Write).isOk());
+    EXPECT_FALSE(pmp.check(0xff00, 8, PmpAccess::Read).isOk());
+    EXPECT_FALSE(pmp.check(0x11000, 8, PmpAccess::Read).isOk());
+    /* Straddling the top: whole access must be inside. */
+    EXPECT_FALSE(pmp.check(0x10ffc, 8, PmpAccess::Read).isOk());
+    /* Exec not granted. */
+    EXPECT_FALSE(pmp.check(0x10000, 4, PmpAccess::Exec).isOk());
+}
+
+TEST(PmpTest, TorUsesPreviousEntryAsBase)
+{
+    Pmp pmp;
+    PmpEntry lo;
+    lo.mode = PmpMode::Off;
+    lo.addr = 0x8000 >> 2;
+    ASSERT_TRUE(pmp.configure(0, lo).isOk());
+    PmpEntry hi;
+    hi.mode = PmpMode::Tor;
+    hi.addr = 0xc000 >> 2;
+    hi.read = true;
+    ASSERT_TRUE(pmp.configure(1, hi).isOk());
+
+    EXPECT_TRUE(pmp.check(0x8000, 8, PmpAccess::Read).isOk());
+    EXPECT_TRUE(pmp.check(0xbff8, 8, PmpAccess::Read).isOk());
+    EXPECT_FALSE(pmp.check(0x7ff8, 8, PmpAccess::Read).isOk());
+    EXPECT_FALSE(pmp.check(0xc000, 8, PmpAccess::Read).isOk());
+}
+
+TEST(PmpTest, LowestNumberedEntryWins)
+{
+    Pmp pmp;
+    /* Entry 0 denies writes to a subrange entry 1 would allow. */
+    PmpEntry deny;
+    deny.mode = PmpMode::Napot;
+    deny.addr = Pmp::napotEncode(0x10000, 0x1000).value();
+    deny.read = true;
+    deny.write = false;
+    ASSERT_TRUE(pmp.configure(0, deny).isOk());
+    PmpEntry allow;
+    allow.mode = PmpMode::Napot;
+    allow.addr = Pmp::napotEncode(0x10000, 0x10000).value();
+    allow.read = true;
+    allow.write = true;
+    ASSERT_TRUE(pmp.configure(1, allow).isOk());
+
+    EXPECT_FALSE(pmp.check(0x10800, 8, PmpAccess::Write).isOk());
+    EXPECT_TRUE(pmp.check(0x12000, 8, PmpAccess::Write).isOk());
+}
+
+TEST(PmpTest, LockedEntriesSurviveReset)
+{
+    Pmp pmp;
+    PmpEntry entry;
+    entry.mode = PmpMode::Napot;
+    entry.addr = Pmp::napotEncode(0x10000, 0x1000).value();
+    entry.read = true;
+    entry.locked = true;
+    ASSERT_TRUE(pmp.configure(0, entry).isOk());
+    EXPECT_EQ(pmp.configure(0, PmpEntry{}).code(),
+              ErrorCode::PermissionDenied);
+    pmp.reset();
+    EXPECT_TRUE(pmp.check(0x10000, 8, PmpAccess::Read).isOk());
+}
+
+TEST(PmpTest, PartitionAdapterMirrorsSpmSemantics)
+{
+    /* Two partitions: A owns [1M, 2M), B owns [2M, 3M); A shares a
+     * page at 1M with B (overlapped PMP configuration, §VII-A). */
+    PhysAddr a_base = 1ull << 20, b_base = 2ull << 20;
+    uint64_t part_size = 1ull << 20;
+    PhysAddr shared = a_base;
+
+    auto pmp_a = pmpForPartition({{a_base, part_size, true}});
+    auto pmp_b = pmpForPartition(
+        {{b_base, part_size, true}, {shared, kPageSize, true}});
+    ASSERT_TRUE(pmp_a.isOk());
+    ASSERT_TRUE(pmp_b.isOk());
+
+    /* Own memory: allowed. */
+    EXPECT_TRUE(pmp_a.value()
+                    .check(a_base + 64, 8, PmpAccess::Write).isOk());
+    EXPECT_TRUE(pmp_b.value()
+                    .check(b_base + 64, 8, PmpAccess::Write).isOk());
+    /* Foreign memory: denied -- same outcome as the stage-2 test. */
+    EXPECT_FALSE(pmp_a.value()
+                     .check(b_base, 8, PmpAccess::Read).isOk());
+    /* Shared page: both sides reach it. */
+    EXPECT_TRUE(pmp_a.value()
+                    .check(shared, 8, PmpAccess::Write).isOk());
+    EXPECT_TRUE(pmp_b.value()
+                    .check(shared, 8, PmpAccess::Write).isOk());
+    /* Failure step 1 on PMP: drop B's overlap entry; B's next
+     * access faults, like the invalidated stage-2 entry. */
+    Pmp &b = pmp_b.value();
+    PmpEntry off;
+    off.mode = PmpMode::Off;
+    ASSERT_TRUE(b.configure(1, off).isOk());
+    EXPECT_FALSE(b.check(shared, 8, PmpAccess::Read).isOk());
+    EXPECT_TRUE(b.check(b_base, 8, PmpAccess::Read).isOk());
+}
+
+TEST(PmpTest, AdapterRejectsTooManyRegions)
+{
+    std::vector<PmpRegion> regions(Pmp::kEntries + 1,
+                                   {0x10000, 4096, true});
+    EXPECT_EQ(pmpForPartition(regions).code(),
+              ErrorCode::ResourceExhausted);
+}
+
+} // namespace
+} // namespace cronus::hw

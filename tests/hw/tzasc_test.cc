@@ -1,0 +1,115 @@
+/** Unit tests for TZASC/TZPC world filtering. */
+
+#include <gtest/gtest.h>
+
+#include "hw/tzasc.hh"
+
+namespace cronus::hw
+{
+namespace
+{
+
+Tzasc
+makeController()
+{
+    Tzasc tz;
+    EXPECT_TRUE(tz.addRegion({"normal", 0, 0x10000, World::Normal},
+                             World::Secure).isOk());
+    EXPECT_TRUE(tz.addRegion({"secure", 0x10000, 0x10000,
+                              World::Secure},
+                             World::Secure).isOk());
+    return tz;
+}
+
+TEST(TzascTest, SecureWorldSeesEverything)
+{
+    Tzasc tz = makeController();
+    EXPECT_TRUE(tz.checkAccess(0x0, 16, World::Secure).isOk());
+    EXPECT_TRUE(tz.checkAccess(0x10000, 16, World::Secure).isOk());
+}
+
+TEST(TzascTest, NormalWorldBlockedFromSecureRegion)
+{
+    Tzasc tz = makeController();
+    EXPECT_TRUE(tz.checkAccess(0x100, 16, World::Normal).isOk());
+    EXPECT_EQ(tz.checkAccess(0x10000, 16, World::Normal).code(),
+              ErrorCode::AccessFault);
+    /* Access straddling the boundary also faults. */
+    EXPECT_EQ(tz.checkAccess(0xfff8, 16, World::Normal).code(),
+              ErrorCode::AccessFault);
+}
+
+TEST(TzascTest, IsSecurePredicate)
+{
+    Tzasc tz = makeController();
+    EXPECT_FALSE(tz.isSecure(0x100, 16));
+    EXPECT_TRUE(tz.isSecure(0x10000, 0x10000));
+    EXPECT_FALSE(tz.isSecure(0xff00, 0x200));  /* straddles */
+}
+
+TEST(TzascTest, OnlySecureWorldConfigures)
+{
+    Tzasc tz;
+    EXPECT_EQ(tz.addRegion({"x", 0, 0x1000, World::Secure},
+                           World::Normal).code(),
+              ErrorCode::PermissionDenied);
+}
+
+TEST(TzascTest, RejectsOverlapAndLockdown)
+{
+    Tzasc tz = makeController();
+    EXPECT_EQ(tz.addRegion({"overlap", 0x8000, 0x10000,
+                            World::Secure},
+                           World::Secure).code(),
+              ErrorCode::InvalidArgument);
+    tz.lockDown();
+    EXPECT_EQ(tz.addRegion({"late", 0x40000, 0x1000, World::Secure},
+                           World::Secure).code(),
+              ErrorCode::InvalidState);
+}
+
+TEST(TzascTest, ZeroSizeRegionRejected)
+{
+    Tzasc tz;
+    EXPECT_EQ(tz.addRegion({"zero", 0, 0, World::Secure},
+                           World::Secure).code(),
+              ErrorCode::InvalidArgument);
+}
+
+TEST(TzascTest, FindRegion)
+{
+    Tzasc tz = makeController();
+    const MemRegion *r = tz.findRegion(0x10500);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->name, "secure");
+    EXPECT_EQ(tz.findRegion(0x999999), nullptr);
+}
+
+TEST(TzpcTest, GatesSecureDevices)
+{
+    Tzpc tzpc;
+    ASSERT_TRUE(tzpc.assignDevice("gpu0", World::Secure,
+                                  World::Secure).isOk());
+    EXPECT_TRUE(tzpc.checkAccess("gpu0", World::Secure).isOk());
+    EXPECT_EQ(tzpc.checkAccess("gpu0", World::Normal).code(),
+              ErrorCode::AccessFault);
+    /* Unassigned devices default to the normal world. */
+    EXPECT_TRUE(tzpc.checkAccess("uart", World::Normal).isOk());
+    EXPECT_EQ(tzpc.deviceWorld("gpu0"), World::Secure);
+    EXPECT_EQ(tzpc.deviceWorld("uart"), World::Normal);
+}
+
+TEST(TzpcTest, ConfigRules)
+{
+    Tzpc tzpc;
+    EXPECT_EQ(tzpc.assignDevice("gpu0", World::Secure,
+                                World::Normal).code(),
+              ErrorCode::PermissionDenied);
+    tzpc.lockDown();
+    EXPECT_EQ(tzpc.assignDevice("gpu0", World::Secure,
+                                World::Secure).code(),
+              ErrorCode::InvalidState);
+}
+
+} // namespace
+} // namespace cronus::hw

@@ -1,0 +1,227 @@
+/** Tests for the shim kernel (driver LibOS) and the HALs. */
+
+#include <gtest/gtest.h>
+
+#include "accel/builtin_kernels.hh"
+#include "mos/cpu_hal.hh"
+#include "mos/gpu_hal.hh"
+#include "mos/npu_hal.hh"
+#include "tee/normal_world.hh"
+
+namespace cronus::mos
+{
+namespace
+{
+
+class MosTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Logger::instance().setQuiet(true);
+        accel::registerBuiltinKernels();
+        platform = std::make_unique<hw::Platform>();
+        platform->registerDevice(
+            std::make_unique<accel::GpuDevice>(), 40);
+        platform->registerDevice(
+            std::make_unique<accel::NpuDevice>(), 60);
+        platform->registerDevice(
+            std::make_unique<accel::CpuDevice>(), 32);
+
+        monitor = std::make_unique<tee::SecureMonitor>(*platform);
+        hw::DeviceTree dt;
+        hw::DeviceTree discovered = platform->buildDeviceTree();
+        for (auto node : discovered.all()) {
+            node.world = hw::World::Secure;
+            dt.addNode(node);
+        }
+        ASSERT_TRUE(monitor->boot(dt).isOk());
+        spm = std::make_unique<tee::Spm>(*monitor);
+        tee::MosImage image{"gpu0.mos", "gpu", toBytes("x")};
+        pid = spm->createPartition(image, "gpu0",
+                                   4ull << 20).value();
+    }
+
+    std::unique_ptr<hw::Platform> platform;
+    std::unique_ptr<tee::SecureMonitor> monitor;
+    std::unique_ptr<tee::Spm> spm;
+    tee::PartitionId pid = 0;
+};
+
+TEST_F(MosTest, AllocPagesExhaustsPartitionBudget)
+{
+    ShimKernel shim(*spm, pid);
+    /* 4 MiB partition, 64 pages reserved for the mOS. */
+    uint64_t available = (4ull << 20) / hw::kPageSize - 64;
+    auto first = shim.allocPages(available);
+    ASSERT_TRUE(first.isOk());
+    EXPECT_EQ(shim.allocPages(1).code(),
+              ErrorCode::ResourceExhausted);
+}
+
+TEST_F(MosTest, ShimMemoryAccessGoesThroughStage2)
+{
+    ShimKernel shim(*spm, pid);
+    auto page = shim.allocPages(1).value();
+    ASSERT_TRUE(shim.write(page, Bytes{1, 2, 3}).isOk());
+    EXPECT_EQ(shim.read(page, 3).value(), (Bytes{1, 2, 3}));
+    /* Outside the partition: stage-2 fault. */
+    EXPECT_EQ(shim.read(0x0, 8).code(), ErrorCode::AccessFault);
+}
+
+TEST_F(MosTest, IoremapFindsSecureDevices)
+{
+    ShimKernel shim(*spm, pid);
+    EXPECT_TRUE(shim.ioremap("gpu0").isOk());
+    EXPECT_EQ(shim.ioremap("nope").code(), ErrorCode::NotFound);
+}
+
+TEST_F(MosTest, SpinlockRoundTrip)
+{
+    ShimKernel shim(*spm, pid);
+    auto lock = shim.allocPages(1).value();
+    ASSERT_TRUE(shim.spinLock(lock).isOk());
+    /* Locked: a second take spins out. */
+    EXPECT_EQ(shim.spinLock(lock).code(), ErrorCode::Timeout);
+    ASSERT_TRUE(shim.spinUnlock(lock).isOk());
+    EXPECT_TRUE(shim.spinLock(lock).isOk());
+}
+
+TEST_F(MosTest, DmaMapInstallsSmmuEntries)
+{
+    ShimKernel shim(*spm, pid);
+    auto page = shim.allocPages(2).value();
+    hw::Device *gpu = platform->findDevice("gpu0");
+    ASSERT_TRUE(shim.dmaMap(gpu->streamId(), 0x4000, page, 2,
+                            99).isOk());
+    EXPECT_TRUE(platform->smmu()
+                    .translate(gpu->streamId(), 0x4000, 8, true)
+                    .ok());
+    EXPECT_EQ(platform->smmu().invalidateByTag(99), 2u);
+}
+
+TEST_F(MosTest, HeartbeatReachesSpm)
+{
+    ShimKernel shim(*spm, pid);
+    uint64_t before = spm->partition(pid).value()->heartbeat;
+    shim.heartbeat();
+    EXPECT_EQ(spm->partition(pid).value()->heartbeat, before + 1);
+}
+
+TEST_F(MosTest, NouveauProbeChecksDeviceKind)
+{
+    ShimKernel shim(*spm, pid);
+    /* Probing the NPU with the GPU driver fails cleanly. */
+    NouveauDriver wrong(shim, "npu0");
+    EXPECT_EQ(wrong.probe().code(), ErrorCode::InvalidArgument);
+    NouveauDriver right(shim, "gpu0");
+    EXPECT_TRUE(right.probe().isOk());
+    EXPECT_TRUE(right.probed());
+}
+
+TEST_F(MosTest, VtaProbeChecksDeviceKind)
+{
+    ShimKernel shim(*spm, pid);
+    VtaDriver wrong(shim, "gpu0");
+    EXPECT_EQ(wrong.probe().code(), ErrorCode::InvalidArgument);
+    VtaDriver right(shim, "npu0");
+    EXPECT_TRUE(right.probe().isOk());
+}
+
+TEST_F(MosTest, GpuHalLifecycle)
+{
+    ShimKernel shim(*spm, pid);
+    GpuHal hal(shim, "gpu0");
+    EXPECT_EQ(hal.deviceType(), "gpu");
+    auto ctx = hal.createDeviceContext();
+    ASSERT_TRUE(ctx.isOk());
+
+    auto va = hal.memAlloc(ctx.value(), 64);
+    ASSERT_TRUE(va.isOk());
+    Bytes data = {9, 8, 7, 6};
+    ASSERT_TRUE(hal.memcpyHtoD(ctx.value(), va.value(),
+                               data).isOk());
+    auto back = hal.memcpyDtoH(ctx.value(), va.value(), 4);
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back.value(), data);
+    ASSERT_TRUE(hal.memFree(ctx.value(), va.value()).isOk());
+    ASSERT_TRUE(hal.destroyDeviceContext(ctx.value(), true).isOk());
+}
+
+TEST_F(MosTest, GpuHalAttestsRealHardware)
+{
+    ShimKernel shim(*spm, pid);
+    GpuHal hal(shim, "gpu0");
+    auto att = hal.attestDevice(toBytes("challenge"));
+    ASSERT_TRUE(att.isOk()) << att.status().toString();
+    auto *gpu = dynamic_cast<accel::GpuDevice *>(
+        platform->findDevice("gpu0"));
+    EXPECT_TRUE(att.value().devicePublicKey ==
+                gpu->devicePublicKey());
+}
+
+TEST_F(MosTest, GpuCopiesFlowThroughTheSmmu)
+{
+    ShimKernel shim(*spm, pid);
+    GpuHal hal(shim, "gpu0");
+    auto ctx = hal.createDeviceContext().value();
+    hw::Device *gpu = platform->findDevice("gpu0");
+
+    /* Creating the context mapped the DMA staging window. */
+    EXPECT_TRUE(platform->smmu().hasStream(gpu->streamId()));
+    EXPECT_TRUE(platform->smmu()
+                    .translate(gpu->streamId(), hal.bounceBase(), 8,
+                               true)
+                    .ok());
+
+    /* A real copy round-trips through it. */
+    auto va = hal.memAlloc(ctx, 64).value();
+    Bytes data = {1, 2, 3, 4};
+    ASSERT_TRUE(hal.memcpyHtoD(ctx, va, data).isOk());
+    EXPECT_EQ(hal.memcpyDtoH(ctx, va, 4).value(), data);
+
+    /* Failure step 2 drops the old incarnation's SMMU windows. */
+    ASSERT_TRUE(spm->failPartition(pid).isOk());
+    tee::MosImage image{"gpu0.mos", "gpu", toBytes("x")};
+    ASSERT_TRUE(spm->recoverPartition(pid, image).isOk());
+    EXPECT_FALSE(platform->smmu()
+                     .translate(gpu->streamId(), hal.bounceBase(),
+                                8, true)
+                     .ok());
+}
+
+TEST_F(MosTest, LargeCopySpansBounceWindows)
+{
+    ShimKernel shim(*spm, pid);
+    GpuHal hal(shim, "gpu0");
+    auto ctx = hal.createDeviceContext().value();
+    /* 600 KiB > the 256 KiB staging window: multiple DMA passes. */
+    Bytes big(600 * 1024);
+    for (size_t i = 0; i < big.size(); ++i)
+        big[i] = static_cast<uint8_t>(i * 13);
+    auto va = hal.memAlloc(ctx, big.size()).value();
+    ASSERT_TRUE(hal.memcpyHtoD(ctx, va, big).isOk());
+    EXPECT_EQ(hal.memcpyDtoH(ctx, va, big.size()).value(), big);
+}
+
+TEST_F(MosTest, HalChargesDriverCosts)
+{
+    ShimKernel shim(*spm, pid);
+    GpuHal hal(shim, "gpu0");
+    auto ctx = hal.createDeviceContext().value();
+    accel::GpuModuleImage module{"m", {"fill_f32"}};
+    ASSERT_TRUE(hal.loadModule(ctx, module).isOk());
+    auto va = hal.memAlloc(ctx, 64).value();
+
+    SimTime before = platform->clock().now();
+    ASSERT_TRUE(hal.launchKernel(ctx, "fill_f32", {va, 16, 0},
+                                 16).isOk());
+    /* Launch submission cost is charged to the CPU clock even
+     * though the kernel runs asynchronously. */
+    EXPECT_GE(platform->clock().now() - before,
+              platform->costs().gpuSubmitNs);
+}
+
+} // namespace
+} // namespace cronus::mos

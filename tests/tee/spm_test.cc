@@ -1,0 +1,328 @@
+/** Tests for the Secure Partition Manager and failure recovery. */
+
+#include <gtest/gtest.h>
+
+#include "accel/gpu.hh"
+#include "tee/normal_world.hh"
+#include "tee/spm.hh"
+
+namespace cronus::tee
+{
+namespace
+{
+
+class SpmTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Logger::instance().setQuiet(true);
+        platform = std::make_unique<hw::Platform>();
+        accel::GpuConfig gc;
+        gc.name = "gpu0";
+        platform->registerDevice(
+            std::make_unique<accel::GpuDevice>(gc), 40);
+        accel::GpuConfig gc2;
+        gc2.name = "gpu1";
+        gc2.rotSeed = {'g', '1'};
+        platform->registerDevice(
+            std::make_unique<accel::GpuDevice>(gc2), 41);
+
+        monitor = std::make_unique<SecureMonitor>(*platform);
+        hw::DeviceTree dt = platform->buildDeviceTree();
+        /* Mark devices secure in the DT. */
+        hw::DeviceTree secure_dt;
+        for (auto node : dt.all()) {
+            node.world = hw::World::Secure;
+            secure_dt.addNode(node);
+        }
+        ASSERT_TRUE(monitor->boot(secure_dt).isOk());
+        spm = std::make_unique<Spm>(*monitor);
+    }
+
+    MosImage
+    image(const std::string &name)
+    {
+        return MosImage{name, "gpu", toBytes("code-of-" + name)};
+    }
+
+    PartitionId
+    makePartition(const std::string &device,
+                  uint64_t mem = 1 << 20)
+    {
+        auto pid = spm->createPartition(image(device + ".mos"),
+                                        device, mem);
+        EXPECT_TRUE(pid.isOk()) << pid.status().toString();
+        return pid.value();
+    }
+
+    std::unique_ptr<hw::Platform> platform;
+    std::unique_ptr<SecureMonitor> monitor;
+    std::unique_ptr<Spm> spm;
+};
+
+TEST_F(SpmTest, CreatePartitionBasics)
+{
+    PartitionId pid = makePartition("gpu0");
+    auto p = spm->partition(pid);
+    ASSERT_TRUE(p.isOk());
+    EXPECT_EQ(p.value()->deviceName, "gpu0");
+    EXPECT_EQ(p.value()->state, PartitionState::Ready);
+    EXPECT_EQ(p.value()->incarnation, 1u);
+    EXPECT_TRUE(spm->validateMosId(pid));
+    EXPECT_FALSE(spm->validateMosId(99));
+}
+
+TEST_F(SpmTest, DevicePartitionOneToOne)
+{
+    makePartition("gpu0");
+    auto dup = spm->createPartition(image("x"), "gpu0", 1 << 20);
+    EXPECT_EQ(dup.code(), ErrorCode::InvalidState);
+    auto unknown = spm->createPartition(image("x"), "tpu9", 1 << 20);
+    EXPECT_EQ(unknown.code(), ErrorCode::NotFound);
+}
+
+TEST_F(SpmTest, PartitionMemoryReadWrite)
+{
+    PartitionId pid = makePartition("gpu0");
+    PhysAddr base = spm->partition(pid).value()->memBase;
+    Bytes data = {1, 2, 3, 4};
+    ASSERT_TRUE(spm->write(pid, base + 0x100, data).isOk());
+    auto back = spm->read(pid, base + 0x100, 4);
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back.value(), data);
+}
+
+TEST_F(SpmTest, PartitionCannotTouchForeignMemory)
+{
+    PartitionId a = makePartition("gpu0");
+    PartitionId b = makePartition("gpu1");
+    PhysAddr b_base = spm->partition(b).value()->memBase;
+    /* Partition a's stage-2 has no mapping for b's memory. */
+    EXPECT_EQ(spm->read(a, b_base, 16).code(),
+              ErrorCode::AccessFault);
+    EXPECT_EQ(spm->write(a, b_base, Bytes{1}).code(),
+              ErrorCode::AccessFault);
+}
+
+TEST_F(SpmTest, NormalWorldCannotReadSecureMemory)
+{
+    PartitionId pid = makePartition("gpu0");
+    PhysAddr base = spm->partition(pid).value()->memBase;
+    ASSERT_TRUE(spm->write(pid, base, Bytes{42}).isOk());
+    EXPECT_EQ(platform->busRead(hw::World::Normal, base, 1).code(),
+              ErrorCode::AccessFault);
+}
+
+TEST_F(SpmTest, SharePagesAndCommunicate)
+{
+    PartitionId a = makePartition("gpu0");
+    PartitionId b = makePartition("gpu1");
+    PhysAddr a_base = spm->partition(a).value()->memBase;
+
+    auto gid = spm->sharePages(a, b, a_base, 2);
+    ASSERT_TRUE(gid.isOk()) << gid.status().toString();
+
+    Bytes msg = {0xde, 0xad};
+    ASSERT_TRUE(spm->write(a, a_base, msg).isOk());
+    auto seen = spm->read(b, a_base, 2);
+    ASSERT_TRUE(seen.isOk()) << seen.status().toString();
+    EXPECT_EQ(seen.value(), msg);
+
+    /* Both directions work. */
+    Bytes reply = {0xbe, 0xef};
+    ASSERT_TRUE(spm->write(b, a_base, reply).isOk());
+    EXPECT_EQ(spm->read(a, a_base, 2).value(), reply);
+}
+
+TEST_F(SpmTest, ShareOnceRuleEnforced)
+{
+    PartitionId a = makePartition("gpu0");
+    PartitionId b = makePartition("gpu1");
+    PhysAddr a_base = spm->partition(a).value()->memBase;
+    ASSERT_TRUE(spm->sharePages(a, b, a_base, 1).isOk());
+    EXPECT_EQ(spm->sharePages(a, b, a_base, 1).code(),
+              ErrorCode::InvalidState);
+}
+
+TEST_F(SpmTest, ShareValidation)
+{
+    PartitionId a = makePartition("gpu0");
+    PartitionId b = makePartition("gpu1");
+    PhysAddr a_base = spm->partition(a).value()->memBase;
+    EXPECT_EQ(spm->sharePages(a, a, a_base, 1).code(),
+              ErrorCode::InvalidArgument);
+    EXPECT_EQ(spm->sharePages(a, b, a_base + 1, 1).code(),
+              ErrorCode::InvalidArgument);
+    EXPECT_EQ(spm->sharePages(a, b, a_base, 0).code(),
+              ErrorCode::InvalidArgument);
+    /* Range outside the owner's memory. */
+    PhysAddr b_base = spm->partition(b).value()->memBase;
+    EXPECT_EQ(spm->sharePages(a, b, b_base, 1).code(),
+              ErrorCode::PermissionDenied);
+}
+
+TEST_F(SpmTest, FailureInvalidatesSurvivorAccess)
+{
+    PartitionId a = makePartition("gpu0");
+    PartitionId b = makePartition("gpu1");
+    PhysAddr a_base = spm->partition(a).value()->memBase;
+    ASSERT_TRUE(spm->sharePages(a, b, a_base, 1).isOk());
+
+    /* a fails. b's next access to the shared page traps and gets a
+     * PeerFailed signal -- never stale data (A1) nor a hang (A2). */
+    ASSERT_TRUE(spm->failPartition(a).isOk());
+    bool signaled = false;
+    spm->setTrapHandler([&](const TrapSignal &sig) {
+        EXPECT_EQ(sig.accessor, b);
+        EXPECT_EQ(sig.failedPeer, a);
+        signaled = true;
+    });
+    EXPECT_EQ(spm->read(b, a_base, 8).code(), ErrorCode::PeerFailed);
+    EXPECT_TRUE(signaled);
+
+    /* After the trap the mapping is gone entirely. */
+    EXPECT_EQ(spm->read(b, a_base, 8).code(), ErrorCode::AccessFault);
+}
+
+TEST_F(SpmTest, OwnerRecoversOwnPagesAfterPeerFailure)
+{
+    PartitionId a = makePartition("gpu0");
+    PartitionId b = makePartition("gpu1");
+    PhysAddr a_base = spm->partition(a).value()->memBase;
+    ASSERT_TRUE(spm->sharePages(a, b, a_base, 1).isOk());
+    ASSERT_TRUE(spm->write(a, a_base, Bytes{7}).isOk());
+
+    /* The *peer* fails; the owner's first access traps, then access
+     * to its own page is restored. */
+    ASSERT_TRUE(spm->failPartition(b).isOk());
+    EXPECT_EQ(spm->read(a, a_base, 1).code(), ErrorCode::PeerFailed);
+    auto again = spm->read(a, a_base, 1);
+    ASSERT_TRUE(again.isOk()) << again.status().toString();
+    EXPECT_EQ(again.value(), Bytes{7});
+}
+
+TEST_F(SpmTest, RfBlocksNewSharingWithFailedPartition)
+{
+    PartitionId a = makePartition("gpu0");
+    PartitionId b = makePartition("gpu1");
+    PhysAddr b_base = spm->partition(b).value()->memBase;
+    ASSERT_TRUE(spm->failPartition(a).isOk());
+    EXPECT_EQ(spm->sharePages(b, a, b_base, 1).code(),
+              ErrorCode::PeerFailed);
+}
+
+TEST_F(SpmTest, RecoveryScrubsMemoryAndBumpsIncarnation)
+{
+    PartitionId a = makePartition("gpu0");
+    PhysAddr base = spm->partition(a).value()->memBase;
+    ASSERT_TRUE(spm->write(a, base, Bytes{0x55, 0x66}).isOk());
+
+    ASSERT_TRUE(spm->failPartition(a).isOk());
+    /* While failed, the partition cannot run. */
+    EXPECT_EQ(spm->read(a, base, 2).code(), ErrorCode::InvalidState);
+
+    ASSERT_TRUE(spm->recoverPartition(a, image("gpu0.mos")).isOk());
+    auto p = spm->partition(a);
+    EXPECT_EQ(p.value()->state, PartitionState::Ready);
+    EXPECT_EQ(p.value()->incarnation, 2u);
+    /* A3 defense: crashed data is cleared before the new mOS runs. */
+    EXPECT_EQ(spm->read(a, base, 2).value(), (Bytes{0, 0}));
+}
+
+TEST_F(SpmTest, RecoveryIsFasterThanMachineReboot)
+{
+    PartitionId a = makePartition("gpu0");
+    ASSERT_TRUE(spm->failPartition(a).isOk());
+    SimTime before = platform->clock().now();
+    ASSERT_TRUE(spm->recoverPartition(a, image("gpu0.mos")).isOk());
+    SimTime recovery = platform->clock().now() - before;
+    EXPECT_LT(recovery, platform->costs().machineRebootNs / 10);
+    /* "hundreds of milliseconds" */
+    EXPECT_GE(recovery, 100 * kNsPerMs);
+    EXPECT_LT(recovery, 1000 * kNsPerMs);
+}
+
+TEST_F(SpmTest, ConcurrentRecoveryChargesMaxCost)
+{
+    PartitionId a = makePartition("gpu0");
+    PartitionId b = makePartition("gpu1");
+    ASSERT_TRUE(spm->failPartition(a).isOk());
+    ASSERT_TRUE(spm->failPartition(b).isOk());
+
+    SimTime before = platform->clock().now();
+    ASSERT_TRUE(spm->recoverConcurrently(
+        {a, b}, {image("gpu0.mos"), image("gpu1.mos")}).isOk());
+    SimTime concurrent = platform->clock().now() - before;
+
+    /* Compare with two *serial* recoveries on a fresh setup: the
+     * concurrent path must be roughly half. */
+    SetUp();
+    PartitionId a2 = makePartition("gpu0");
+    PartitionId b2 = makePartition("gpu1");
+    ASSERT_TRUE(spm->failPartition(a2).isOk());
+    ASSERT_TRUE(spm->failPartition(b2).isOk());
+    before = platform->clock().now();
+    ASSERT_TRUE(spm->recoverPartition(a2, image("gpu0.mos")).isOk());
+    ASSERT_TRUE(spm->recoverPartition(b2, image("gpu1.mos")).isOk());
+    SimTime serial = platform->clock().now() - before;
+    EXPECT_LT(concurrent, serial);
+}
+
+TEST_F(SpmTest, HangDetection)
+{
+    PartitionId a = makePartition("gpu0");
+    ASSERT_TRUE(spm->heartbeat(a).isOk());
+    /* First poll records progress; partition stays alive. */
+    EXPECT_TRUE(spm->pollHangs().empty());
+    ASSERT_TRUE(spm->heartbeat(a).isOk());
+    EXPECT_TRUE(spm->pollHangs().empty());
+    /* No heartbeat between polls: hang detected, partition failed. */
+    auto failed = spm->pollHangs();
+    ASSERT_EQ(failed.size(), 1u);
+    EXPECT_EQ(failed[0], a);
+    EXPECT_EQ(spm->partition(a).value()->state,
+              PartitionState::Failed);
+}
+
+TEST_F(SpmTest, RevokeGrantRestoresShareBudget)
+{
+    PartitionId a = makePartition("gpu0");
+    PartitionId b = makePartition("gpu1");
+    PhysAddr a_base = spm->partition(a).value()->memBase;
+    uint64_t gid = spm->sharePages(a, b, a_base, 1).value();
+
+    EXPECT_EQ(spm->revokeGrant(gid, 99).code(),
+              ErrorCode::PermissionDenied);
+    ASSERT_TRUE(spm->revokeGrant(gid, a).isOk());
+    EXPECT_EQ(spm->read(b, a_base, 1).code(), ErrorCode::AccessFault);
+    /* The page can be shared again. */
+    EXPECT_TRUE(spm->sharePages(a, b, a_base, 1).isOk());
+}
+
+TEST_F(SpmTest, RequiresSecureBoot)
+{
+    hw::Platform fresh;
+    SecureMonitor unbooted(fresh);
+    Spm spm2(unbooted);
+    EXPECT_EQ(spm2.createPartition(image("x"), "gpu0",
+                                   1 << 20).code(),
+              ErrorCode::InvalidState);
+}
+
+TEST_F(SpmTest, GrantsOfListsActiveGrants)
+{
+    PartitionId a = makePartition("gpu0");
+    PartitionId b = makePartition("gpu1");
+    PhysAddr a_base = spm->partition(a).value()->memBase;
+    uint64_t gid = spm->sharePages(a, b, a_base, 1).value();
+    EXPECT_EQ(spm->grantsOf(a), std::vector<uint64_t>{gid});
+    EXPECT_EQ(spm->grantsOf(b), std::vector<uint64_t>{gid});
+    EXPECT_TRUE(spm->grantsOf(99).empty());
+    EXPECT_TRUE(spm->grant(gid).isOk());
+    EXPECT_FALSE(spm->grant(999).isOk());
+}
+
+} // namespace
+} // namespace cronus::tee
