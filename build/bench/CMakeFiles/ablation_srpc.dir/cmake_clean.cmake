@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_srpc.dir/ablation_srpc.cc.o"
+  "CMakeFiles/ablation_srpc.dir/ablation_srpc.cc.o.d"
+  "ablation_srpc"
+  "ablation_srpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_srpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

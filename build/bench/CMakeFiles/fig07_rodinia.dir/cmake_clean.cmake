@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_rodinia.dir/fig07_rodinia.cc.o"
+  "CMakeFiles/fig07_rodinia.dir/fig07_rodinia.cc.o.d"
+  "fig07_rodinia"
+  "fig07_rodinia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_rodinia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_dnn_training.dir/fig08_dnn_training.cc.o"
+  "CMakeFiles/fig08_dnn_training.dir/fig08_dnn_training.cc.o.d"
+  "fig08_dnn_training"
+  "fig08_dnn_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_dnn_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_dnn_training.
+# This may be replaced when dependencies are built.

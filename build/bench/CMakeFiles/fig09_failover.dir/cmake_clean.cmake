@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_failover.dir/fig09_failover.cc.o"
+  "CMakeFiles/fig09_failover.dir/fig09_failover.cc.o.d"
+  "fig09_failover"
+  "fig09_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_vta.dir/fig10a_vta.cc.o"
+  "CMakeFiles/fig10a_vta.dir/fig10a_vta.cc.o.d"
+  "fig10a_vta"
+  "fig10a_vta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_vta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

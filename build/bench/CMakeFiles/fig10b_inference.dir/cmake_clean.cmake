@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_inference.dir/fig10b_inference.cc.o"
+  "CMakeFiles/fig10b_inference.dir/fig10b_inference.cc.o.d"
+  "fig10b_inference"
+  "fig10b_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

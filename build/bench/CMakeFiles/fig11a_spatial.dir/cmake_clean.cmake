@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_spatial.dir/fig11a_spatial.cc.o"
+  "CMakeFiles/fig11a_spatial.dir/fig11a_spatial.cc.o.d"
+  "fig11a_spatial"
+  "fig11a_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

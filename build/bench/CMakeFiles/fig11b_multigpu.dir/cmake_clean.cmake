@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_multigpu.dir/fig11b_multigpu.cc.o"
+  "CMakeFiles/fig11b_multigpu.dir/fig11b_multigpu.cc.o.d"
+  "fig11b_multigpu"
+  "fig11b_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_tcb.dir/table3_tcb.cc.o"
+  "CMakeFiles/table3_tcb.dir/table3_tcb.cc.o.d"
+  "table3_tcb"
+  "table3_tcb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_tcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_training.dir/dnn_training.cpp.o"
+  "CMakeFiles/dnn_training.dir/dnn_training.cpp.o.d"
+  "dnn_training"
+  "dnn_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

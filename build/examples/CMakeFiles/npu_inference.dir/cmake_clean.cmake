@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npu_inference.dir/npu_inference.cpp.o"
+  "CMakeFiles/npu_inference.dir/npu_inference.cpp.o.d"
+  "npu_inference"
+  "npu_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npu_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

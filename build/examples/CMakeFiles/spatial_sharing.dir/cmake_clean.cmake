@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_sharing.dir/spatial_sharing.cpp.o"
+  "CMakeFiles/spatial_sharing.dir/spatial_sharing.cpp.o.d"
+  "spatial_sharing"
+  "spatial_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/builtin_kernels.cc" "src/accel/CMakeFiles/cronus_accel.dir/builtin_kernels.cc.o" "gcc" "src/accel/CMakeFiles/cronus_accel.dir/builtin_kernels.cc.o.d"
+  "/root/repo/src/accel/cpu.cc" "src/accel/CMakeFiles/cronus_accel.dir/cpu.cc.o" "gcc" "src/accel/CMakeFiles/cronus_accel.dir/cpu.cc.o.d"
+  "/root/repo/src/accel/gpu.cc" "src/accel/CMakeFiles/cronus_accel.dir/gpu.cc.o" "gcc" "src/accel/CMakeFiles/cronus_accel.dir/gpu.cc.o.d"
+  "/root/repo/src/accel/npu.cc" "src/accel/CMakeFiles/cronus_accel.dir/npu.cc.o" "gcc" "src/accel/CMakeFiles/cronus_accel.dir/npu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/cronus_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cronus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cronus_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

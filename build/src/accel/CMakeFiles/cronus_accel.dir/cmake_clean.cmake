@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronus_accel.dir/builtin_kernels.cc.o"
+  "CMakeFiles/cronus_accel.dir/builtin_kernels.cc.o.d"
+  "CMakeFiles/cronus_accel.dir/cpu.cc.o"
+  "CMakeFiles/cronus_accel.dir/cpu.cc.o.d"
+  "CMakeFiles/cronus_accel.dir/gpu.cc.o"
+  "CMakeFiles/cronus_accel.dir/gpu.cc.o.d"
+  "CMakeFiles/cronus_accel.dir/npu.cc.o"
+  "CMakeFiles/cronus_accel.dir/npu.cc.o.d"
+  "libcronus_accel.a"
+  "libcronus_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronus_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronus_attacks.dir/attacks.cc.o"
+  "CMakeFiles/cronus_attacks.dir/attacks.cc.o.d"
+  "libcronus_attacks.a"
+  "libcronus_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronus_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronus_base.dir/bytes.cc.o"
+  "CMakeFiles/cronus_base.dir/bytes.cc.o.d"
+  "CMakeFiles/cronus_base.dir/json.cc.o"
+  "CMakeFiles/cronus_base.dir/json.cc.o.d"
+  "CMakeFiles/cronus_base.dir/logging.cc.o"
+  "CMakeFiles/cronus_base.dir/logging.cc.o.d"
+  "CMakeFiles/cronus_base.dir/rng.cc.o"
+  "CMakeFiles/cronus_base.dir/rng.cc.o.d"
+  "CMakeFiles/cronus_base.dir/stats.cc.o"
+  "CMakeFiles/cronus_base.dir/stats.cc.o.d"
+  "CMakeFiles/cronus_base.dir/status.cc.o"
+  "CMakeFiles/cronus_base.dir/status.cc.o.d"
+  "libcronus_base.a"
+  "libcronus_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronus_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

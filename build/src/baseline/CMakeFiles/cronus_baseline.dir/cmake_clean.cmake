@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronus_baseline.dir/cronus_backend.cc.o"
+  "CMakeFiles/cronus_baseline.dir/cronus_backend.cc.o.d"
+  "CMakeFiles/cronus_baseline.dir/hix_tz.cc.o"
+  "CMakeFiles/cronus_baseline.dir/hix_tz.cc.o.d"
+  "CMakeFiles/cronus_baseline.dir/monolithic_tz.cc.o"
+  "CMakeFiles/cronus_baseline.dir/monolithic_tz.cc.o.d"
+  "CMakeFiles/cronus_baseline.dir/native.cc.o"
+  "CMakeFiles/cronus_baseline.dir/native.cc.o.d"
+  "libcronus_baseline.a"
+  "libcronus_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronus_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

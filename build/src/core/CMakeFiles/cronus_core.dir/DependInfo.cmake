@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attestation.cc" "src/core/CMakeFiles/cronus_core.dir/attestation.cc.o" "gcc" "src/core/CMakeFiles/cronus_core.dir/attestation.cc.o.d"
+  "/root/repo/src/core/auto_partition.cc" "src/core/CMakeFiles/cronus_core.dir/auto_partition.cc.o" "gcc" "src/core/CMakeFiles/cronus_core.dir/auto_partition.cc.o.d"
+  "/root/repo/src/core/dispatcher.cc" "src/core/CMakeFiles/cronus_core.dir/dispatcher.cc.o" "gcc" "src/core/CMakeFiles/cronus_core.dir/dispatcher.cc.o.d"
+  "/root/repo/src/core/enclave_runtime.cc" "src/core/CMakeFiles/cronus_core.dir/enclave_runtime.cc.o" "gcc" "src/core/CMakeFiles/cronus_core.dir/enclave_runtime.cc.o.d"
+  "/root/repo/src/core/manifest.cc" "src/core/CMakeFiles/cronus_core.dir/manifest.cc.o" "gcc" "src/core/CMakeFiles/cronus_core.dir/manifest.cc.o.d"
+  "/root/repo/src/core/micro_enclave.cc" "src/core/CMakeFiles/cronus_core.dir/micro_enclave.cc.o" "gcc" "src/core/CMakeFiles/cronus_core.dir/micro_enclave.cc.o.d"
+  "/root/repo/src/core/pipe.cc" "src/core/CMakeFiles/cronus_core.dir/pipe.cc.o" "gcc" "src/core/CMakeFiles/cronus_core.dir/pipe.cc.o.d"
+  "/root/repo/src/core/srpc.cc" "src/core/CMakeFiles/cronus_core.dir/srpc.cc.o" "gcc" "src/core/CMakeFiles/cronus_core.dir/srpc.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/cronus_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/cronus_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mos/CMakeFiles/cronus_mos.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cronus_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/cronus_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cronus_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cronus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cronus_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

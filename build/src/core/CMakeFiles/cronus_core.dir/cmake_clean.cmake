@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronus_core.dir/attestation.cc.o"
+  "CMakeFiles/cronus_core.dir/attestation.cc.o.d"
+  "CMakeFiles/cronus_core.dir/auto_partition.cc.o"
+  "CMakeFiles/cronus_core.dir/auto_partition.cc.o.d"
+  "CMakeFiles/cronus_core.dir/dispatcher.cc.o"
+  "CMakeFiles/cronus_core.dir/dispatcher.cc.o.d"
+  "CMakeFiles/cronus_core.dir/enclave_runtime.cc.o"
+  "CMakeFiles/cronus_core.dir/enclave_runtime.cc.o.d"
+  "CMakeFiles/cronus_core.dir/manifest.cc.o"
+  "CMakeFiles/cronus_core.dir/manifest.cc.o.d"
+  "CMakeFiles/cronus_core.dir/micro_enclave.cc.o"
+  "CMakeFiles/cronus_core.dir/micro_enclave.cc.o.d"
+  "CMakeFiles/cronus_core.dir/pipe.cc.o"
+  "CMakeFiles/cronus_core.dir/pipe.cc.o.d"
+  "CMakeFiles/cronus_core.dir/srpc.cc.o"
+  "CMakeFiles/cronus_core.dir/srpc.cc.o.d"
+  "CMakeFiles/cronus_core.dir/system.cc.o"
+  "CMakeFiles/cronus_core.dir/system.cc.o.d"
+  "libcronus_core.a"
+  "libcronus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

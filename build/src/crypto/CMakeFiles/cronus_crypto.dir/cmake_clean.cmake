@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronus_crypto.dir/aes.cc.o"
+  "CMakeFiles/cronus_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/cronus_crypto.dir/keys.cc.o"
+  "CMakeFiles/cronus_crypto.dir/keys.cc.o.d"
+  "CMakeFiles/cronus_crypto.dir/sha256.cc.o"
+  "CMakeFiles/cronus_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/cronus_crypto.dir/uint256.cc.o"
+  "CMakeFiles/cronus_crypto.dir/uint256.cc.o.d"
+  "libcronus_crypto.a"
+  "libcronus_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronus_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/device_tree.cc" "src/hw/CMakeFiles/cronus_hw.dir/device_tree.cc.o" "gcc" "src/hw/CMakeFiles/cronus_hw.dir/device_tree.cc.o.d"
+  "/root/repo/src/hw/page_table.cc" "src/hw/CMakeFiles/cronus_hw.dir/page_table.cc.o" "gcc" "src/hw/CMakeFiles/cronus_hw.dir/page_table.cc.o.d"
+  "/root/repo/src/hw/phys_memory.cc" "src/hw/CMakeFiles/cronus_hw.dir/phys_memory.cc.o" "gcc" "src/hw/CMakeFiles/cronus_hw.dir/phys_memory.cc.o.d"
+  "/root/repo/src/hw/platform.cc" "src/hw/CMakeFiles/cronus_hw.dir/platform.cc.o" "gcc" "src/hw/CMakeFiles/cronus_hw.dir/platform.cc.o.d"
+  "/root/repo/src/hw/pmp.cc" "src/hw/CMakeFiles/cronus_hw.dir/pmp.cc.o" "gcc" "src/hw/CMakeFiles/cronus_hw.dir/pmp.cc.o.d"
+  "/root/repo/src/hw/root_of_trust.cc" "src/hw/CMakeFiles/cronus_hw.dir/root_of_trust.cc.o" "gcc" "src/hw/CMakeFiles/cronus_hw.dir/root_of_trust.cc.o.d"
+  "/root/repo/src/hw/smmu.cc" "src/hw/CMakeFiles/cronus_hw.dir/smmu.cc.o" "gcc" "src/hw/CMakeFiles/cronus_hw.dir/smmu.cc.o.d"
+  "/root/repo/src/hw/tzasc.cc" "src/hw/CMakeFiles/cronus_hw.dir/tzasc.cc.o" "gcc" "src/hw/CMakeFiles/cronus_hw.dir/tzasc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cronus_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cronus_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

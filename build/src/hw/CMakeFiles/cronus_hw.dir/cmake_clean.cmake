@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronus_hw.dir/device_tree.cc.o"
+  "CMakeFiles/cronus_hw.dir/device_tree.cc.o.d"
+  "CMakeFiles/cronus_hw.dir/page_table.cc.o"
+  "CMakeFiles/cronus_hw.dir/page_table.cc.o.d"
+  "CMakeFiles/cronus_hw.dir/phys_memory.cc.o"
+  "CMakeFiles/cronus_hw.dir/phys_memory.cc.o.d"
+  "CMakeFiles/cronus_hw.dir/platform.cc.o"
+  "CMakeFiles/cronus_hw.dir/platform.cc.o.d"
+  "CMakeFiles/cronus_hw.dir/pmp.cc.o"
+  "CMakeFiles/cronus_hw.dir/pmp.cc.o.d"
+  "CMakeFiles/cronus_hw.dir/root_of_trust.cc.o"
+  "CMakeFiles/cronus_hw.dir/root_of_trust.cc.o.d"
+  "CMakeFiles/cronus_hw.dir/smmu.cc.o"
+  "CMakeFiles/cronus_hw.dir/smmu.cc.o.d"
+  "CMakeFiles/cronus_hw.dir/tzasc.cc.o"
+  "CMakeFiles/cronus_hw.dir/tzasc.cc.o.d"
+  "libcronus_hw.a"
+  "libcronus_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronus_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mos/cpu_hal.cc" "src/mos/CMakeFiles/cronus_mos.dir/cpu_hal.cc.o" "gcc" "src/mos/CMakeFiles/cronus_mos.dir/cpu_hal.cc.o.d"
+  "/root/repo/src/mos/gpu_hal.cc" "src/mos/CMakeFiles/cronus_mos.dir/gpu_hal.cc.o" "gcc" "src/mos/CMakeFiles/cronus_mos.dir/gpu_hal.cc.o.d"
+  "/root/repo/src/mos/npu_hal.cc" "src/mos/CMakeFiles/cronus_mos.dir/npu_hal.cc.o" "gcc" "src/mos/CMakeFiles/cronus_mos.dir/npu_hal.cc.o.d"
+  "/root/repo/src/mos/shim_kernel.cc" "src/mos/CMakeFiles/cronus_mos.dir/shim_kernel.cc.o" "gcc" "src/mos/CMakeFiles/cronus_mos.dir/shim_kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tee/CMakeFiles/cronus_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/cronus_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cronus_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cronus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cronus_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

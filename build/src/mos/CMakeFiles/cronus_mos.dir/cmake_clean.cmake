@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronus_mos.dir/cpu_hal.cc.o"
+  "CMakeFiles/cronus_mos.dir/cpu_hal.cc.o.d"
+  "CMakeFiles/cronus_mos.dir/gpu_hal.cc.o"
+  "CMakeFiles/cronus_mos.dir/gpu_hal.cc.o.d"
+  "CMakeFiles/cronus_mos.dir/npu_hal.cc.o"
+  "CMakeFiles/cronus_mos.dir/npu_hal.cc.o.d"
+  "CMakeFiles/cronus_mos.dir/shim_kernel.cc.o"
+  "CMakeFiles/cronus_mos.dir/shim_kernel.cc.o.d"
+  "libcronus_mos.a"
+  "libcronus_mos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronus_mos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tee/normal_world.cc" "src/tee/CMakeFiles/cronus_tee.dir/normal_world.cc.o" "gcc" "src/tee/CMakeFiles/cronus_tee.dir/normal_world.cc.o.d"
+  "/root/repo/src/tee/secure_monitor.cc" "src/tee/CMakeFiles/cronus_tee.dir/secure_monitor.cc.o" "gcc" "src/tee/CMakeFiles/cronus_tee.dir/secure_monitor.cc.o.d"
+  "/root/repo/src/tee/spm.cc" "src/tee/CMakeFiles/cronus_tee.dir/spm.cc.o" "gcc" "src/tee/CMakeFiles/cronus_tee.dir/spm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/cronus_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cronus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cronus_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronus_tee.dir/normal_world.cc.o"
+  "CMakeFiles/cronus_tee.dir/normal_world.cc.o.d"
+  "CMakeFiles/cronus_tee.dir/secure_monitor.cc.o"
+  "CMakeFiles/cronus_tee.dir/secure_monitor.cc.o.d"
+  "CMakeFiles/cronus_tee.dir/spm.cc.o"
+  "CMakeFiles/cronus_tee.dir/spm.cc.o.d"
+  "libcronus_tee.a"
+  "libcronus_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronus_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronus_workloads.dir/dnn.cc.o"
+  "CMakeFiles/cronus_workloads.dir/dnn.cc.o.d"
+  "CMakeFiles/cronus_workloads.dir/failover.cc.o"
+  "CMakeFiles/cronus_workloads.dir/failover.cc.o.d"
+  "CMakeFiles/cronus_workloads.dir/rodinia.cc.o"
+  "CMakeFiles/cronus_workloads.dir/rodinia.cc.o.d"
+  "CMakeFiles/cronus_workloads.dir/sharing.cc.o"
+  "CMakeFiles/cronus_workloads.dir/sharing.cc.o.d"
+  "CMakeFiles/cronus_workloads.dir/tvm.cc.o"
+  "CMakeFiles/cronus_workloads.dir/tvm.cc.o.d"
+  "CMakeFiles/cronus_workloads.dir/vta_bench.cc.o"
+  "CMakeFiles/cronus_workloads.dir/vta_bench.cc.o.d"
+  "libcronus_workloads.a"
+  "libcronus_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronus_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

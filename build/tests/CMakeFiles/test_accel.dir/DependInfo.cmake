@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accel/cpu_test.cc" "tests/CMakeFiles/test_accel.dir/accel/cpu_test.cc.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/cpu_test.cc.o.d"
+  "/root/repo/tests/accel/gpu_test.cc" "tests/CMakeFiles/test_accel.dir/accel/gpu_test.cc.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/gpu_test.cc.o.d"
+  "/root/repo/tests/accel/npu_test.cc" "tests/CMakeFiles/test_accel.dir/accel/npu_test.cc.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/npu_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/cronus_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cronus_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cronus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cronus_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/attestation_test.cc.o"
+  "CMakeFiles/test_core.dir/core/attestation_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/manifest_test.cc.o"
+  "CMakeFiles/test_core.dir/core/manifest_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/micro_enclave_test.cc.o"
+  "CMakeFiles/test_core.dir/core/micro_enclave_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/pipe_test.cc.o"
+  "CMakeFiles/test_core.dir/core/pipe_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/srpc_edge_test.cc.o"
+  "CMakeFiles/test_core.dir/core/srpc_edge_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/srpc_test.cc.o"
+  "CMakeFiles/test_core.dir/core/srpc_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/system_test.cc.o"
+  "CMakeFiles/test_core.dir/core/system_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

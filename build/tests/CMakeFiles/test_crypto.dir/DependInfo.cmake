@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/aes_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/aes_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/aes_test.cc.o.d"
+  "/root/repo/tests/crypto/keys_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/keys_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/keys_test.cc.o.d"
+  "/root/repo/tests/crypto/sha256_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/sha256_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/sha256_test.cc.o.d"
+  "/root/repo/tests/crypto/uint256_test.cc" "tests/CMakeFiles/test_crypto.dir/crypto/uint256_test.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/uint256_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/cronus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cronus_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/aes_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/aes_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/keys_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/keys_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/sha256_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/sha256_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/uint256_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/uint256_test.cc.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/device_tree_test.cc" "tests/CMakeFiles/test_hw.dir/hw/device_tree_test.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/device_tree_test.cc.o.d"
+  "/root/repo/tests/hw/page_table_test.cc" "tests/CMakeFiles/test_hw.dir/hw/page_table_test.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/page_table_test.cc.o.d"
+  "/root/repo/tests/hw/phys_memory_test.cc" "tests/CMakeFiles/test_hw.dir/hw/phys_memory_test.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/phys_memory_test.cc.o.d"
+  "/root/repo/tests/hw/platform_test.cc" "tests/CMakeFiles/test_hw.dir/hw/platform_test.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/platform_test.cc.o.d"
+  "/root/repo/tests/hw/pmp_test.cc" "tests/CMakeFiles/test_hw.dir/hw/pmp_test.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/pmp_test.cc.o.d"
+  "/root/repo/tests/hw/tzasc_test.cc" "tests/CMakeFiles/test_hw.dir/hw/tzasc_test.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/tzasc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/cronus_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cronus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cronus_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/device_tree_test.cc.o"
+  "CMakeFiles/test_hw.dir/hw/device_tree_test.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/page_table_test.cc.o"
+  "CMakeFiles/test_hw.dir/hw/page_table_test.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/phys_memory_test.cc.o"
+  "CMakeFiles/test_hw.dir/hw/phys_memory_test.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/platform_test.cc.o"
+  "CMakeFiles/test_hw.dir/hw/platform_test.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/pmp_test.cc.o"
+  "CMakeFiles/test_hw.dir/hw/pmp_test.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/tzasc_test.cc.o"
+  "CMakeFiles/test_hw.dir/hw/tzasc_test.cc.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

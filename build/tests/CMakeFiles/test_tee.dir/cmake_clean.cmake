@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tee.dir/tee/secure_monitor_test.cc.o"
+  "CMakeFiles/test_tee.dir/tee/secure_monitor_test.cc.o.d"
+  "CMakeFiles/test_tee.dir/tee/spm_test.cc.o"
+  "CMakeFiles/test_tee.dir/tee/spm_test.cc.o.d"
+  "test_tee"
+  "test_tee.pdb"
+  "test_tee[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
