@@ -6,10 +6,18 @@
  *  - step 2 (clear + reload) cost vs partition memory size,
  *  - serialized vs concurrent recovery for 1-4 failed partitions,
  *  - latency of a trapped shared-memory access.
+ *
+ * Every partition death is delivered through the deterministic fault
+ * injector (src/inject/): the kill fires inside a checked SPM access
+ * and the step-1 cost is read off the injection log's before/after
+ * timestamps. An InvariantAuditor rides along on every rig; the
+ * bench fails if any run leaks a grant or tears one down twice.
  */
 
 #include "accel/gpu.hh"
 #include "bench_util.hh"
+#include "inject/injector.hh"
+#include "inject/invariant_auditor.hh"
 #include "tee/spm.hh"
 
 using namespace cronus;
@@ -24,6 +32,7 @@ struct Rig
     std::unique_ptr<hw::Platform> platform;
     std::unique_ptr<SecureMonitor> monitor;
     std::unique_ptr<Spm> spm;
+    inject::InvariantAuditor auditor;
 
     explicit Rig(int gpus, uint64_t secure_mem = 512ull << 20)
     {
@@ -48,6 +57,7 @@ struct Rig
         }
         monitor->boot(secure);
         spm = std::make_unique<Spm>(*monitor);
+        auditor.attachSpm(*spm);
     }
 
     MosImage
@@ -64,6 +74,38 @@ struct Rig
                                     "gpu" + std::to_string(i), mem)
             .value();
     }
+
+    /**
+     * Kill @p victims through the fault injector. The plan arms one
+     * kill per victim, all triggered by the next checked read issued
+     * by @p trigger_pid (a probe read of its own first page), so the
+     * deaths land inside an SPM access like real faults do. Returns
+     * the injection log (tBefore/tAfter bracket each kill).
+     */
+    std::vector<inject::FiredFault>
+    injectKills(const std::vector<PartitionId> &victims,
+                PartitionId trigger_pid)
+    {
+        inject::FaultPlan plan(7);
+        for (PartitionId v : victims)
+            plan.killOnAccess(
+                1, v, inject::AccessFilter::readsBy(trigger_pid));
+        inject::FaultInjector inj(*spm, plan);
+        inj.arm();
+        PhysAddr probe =
+            spm->partition(trigger_pid).value()->memBase;
+        (void)spm->read(trigger_pid, probe, 8);
+        inj.disarm();
+        return inj.fired();
+    }
+
+    /** Final audit; returns the number of violations recorded. */
+    uint64_t
+    audit()
+    {
+        (void)auditor.finalCheck();
+        return auditor.violations().size();
+    }
 };
 
 } // namespace
@@ -72,6 +114,8 @@ int
 main()
 {
     header("Ablation: proceed-trap failure recovery breakdown");
+
+    uint64_t violations = 0;
 
     /* --- step 1: invalidation vs shared pages --- */
     std::printf("step 1 (invalidate stage-2 + SMMU) vs shared "
@@ -82,11 +126,16 @@ main()
         PartitionId b = rig.partition(1, 8ull << 20);
         PhysAddr base = rig.spm->partition(a).value()->memBase;
         rig.spm->sharePages(a, b, base, pages);
-        SimTime t0 = rig.platform->clock().now();
-        rig.spm->failPartition(a);
+        auto fired = rig.injectKills({a}, b);
+        SimTime cost = fired.empty()
+                           ? 0
+                           : fired[0].tAfter - fired[0].tBefore;
         std::printf("%-12llu %14.2f\n",
                     static_cast<unsigned long long>(pages),
-                    (rig.platform->clock().now() - t0) / 1000.0);
+                    cost / 1000.0);
+        /* Deliver the pending trap so the grant retires. */
+        rig.spm->read(b, base, 8);
+        violations += rig.audit();
     }
 
     /* --- step 2: clear + reload vs partition memory --- */
@@ -95,13 +144,14 @@ main()
     for (uint64_t mib : {8u, 16u, 32u, 64u}) {
         Rig rig(1);
         PartitionId a = rig.partition(0, mib << 20);
-        rig.spm->failPartition(a);
+        rig.injectKills({a}, a);
         SimTime t0 = rig.platform->clock().now();
         rig.spm->recoverPartition(a, rig.image(0));
         std::printf("%-12llu %14.1f\n",
                     static_cast<unsigned long long>(mib),
                     (rig.platform->clock().now() - t0) /
                         double(kNsPerMs));
+        violations += rig.audit();
     }
 
     /* --- concurrent failures --- */
@@ -115,12 +165,12 @@ main()
             std::vector<PartitionId> pids;
             for (int i = 0; i < n; ++i)
                 pids.push_back(rig.partition(i, 16ull << 20));
-            for (PartitionId pid : pids)
-                rig.spm->failPartition(pid);
+            rig.injectKills(pids, pids[0]);
             SimTime t0 = rig.platform->clock().now();
             for (int i = 0; i < n; ++i)
                 rig.spm->recoverPartition(pids[i], rig.image(i));
             serial = rig.platform->clock().now() - t0;
+            violations += rig.audit();
         }
         {
             Rig rig(n);
@@ -130,11 +180,11 @@ main()
                 pids.push_back(rig.partition(i, 16ull << 20));
                 images.push_back(rig.image(i));
             }
-            for (PartitionId pid : pids)
-                rig.spm->failPartition(pid);
+            rig.injectKills(pids, pids[0]);
             SimTime t0 = rig.platform->clock().now();
             rig.spm->recoverConcurrently(pids, images);
             concurrent = rig.platform->clock().now() - t0;
+            violations += rig.audit();
         }
         std::printf("%-10d %13.1f %13.1f\n", n,
                     serial / double(kNsPerMs),
@@ -148,12 +198,21 @@ main()
         PartitionId b = rig.partition(1, 8ull << 20);
         PhysAddr base = rig.spm->partition(a).value()->memBase;
         rig.spm->sharePages(a, b, base, 1);
-        rig.spm->failPartition(a);
+        rig.injectKills({a}, b);
         SimTime t0 = rig.platform->clock().now();
         rig.spm->read(b, base, 8);  /* traps */
         std::printf("\ntrapped shared-memory access latency: "
                     "%.2f us\n",
                     (rig.platform->clock().now() - t0) / 1000.0);
+        violations += rig.audit();
+    }
+
+    std::printf("\ninvariant audit across all rigs: %llu "
+                "violation(s)\n",
+                static_cast<unsigned long long>(violations));
+    if (violations != 0) {
+        std::printf("FAILED: invariant violations detected\n");
+        return 1;
     }
     return 0;
 }

@@ -237,13 +237,13 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/base/sim_clock.hh /root/repo/src/hw/device_tree.hh \
- /root/repo/src/base/json.hh /root/repo/src/hw/platform.hh \
- /root/repo/src/hw/device.hh /root/repo/src/hw/device_tree.hh \
- /root/repo/src/hw/phys_memory.hh /root/repo/src/hw/root_of_trust.hh \
- /root/repo/src/hw/smmu.hh /root/repo/src/hw/page_table.hh \
- /root/repo/src/hw/tzasc.hh /root/repo/src/mos/gpu_hal.hh \
- /root/repo/src/mos/npu_hal.hh /root/repo/src/core/manifest.hh \
- /root/repo/src/tee/normal_world.hh /root/repo/src/tee/spm.hh \
- /root/repo/src/core/dispatcher.hh /root/repo/src/core/srpc.hh \
- /root/repo/src/core/system.hh
+ /root/repo/src/base/json.hh /root/repo/src/base/sim_clock.hh \
+ /root/repo/src/hw/device_tree.hh /root/repo/src/base/json.hh \
+ /root/repo/src/hw/platform.hh /root/repo/src/hw/device.hh \
+ /root/repo/src/hw/device_tree.hh /root/repo/src/hw/phys_memory.hh \
+ /root/repo/src/hw/root_of_trust.hh /root/repo/src/hw/smmu.hh \
+ /root/repo/src/hw/page_table.hh /root/repo/src/hw/tzasc.hh \
+ /root/repo/src/mos/gpu_hal.hh /root/repo/src/mos/npu_hal.hh \
+ /root/repo/src/core/manifest.hh /root/repo/src/tee/normal_world.hh \
+ /root/repo/src/tee/spm.hh /root/repo/src/core/dispatcher.hh \
+ /root/repo/src/core/srpc.hh /root/repo/src/core/system.hh

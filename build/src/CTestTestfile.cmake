@@ -11,6 +11,7 @@ subdirs("accel")
 subdirs("tee")
 subdirs("mos")
 subdirs("core")
+subdirs("inject")
 subdirs("baseline")
 subdirs("workloads")
 subdirs("attacks")

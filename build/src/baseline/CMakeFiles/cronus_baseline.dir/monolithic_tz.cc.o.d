@@ -231,10 +231,11 @@ src/baseline/CMakeFiles/cronus_baseline.dir/monolithic_tz.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/base/sim_clock.hh /root/repo/src/hw/device.hh \
- /root/repo/src/hw/device_tree.hh /root/repo/src/base/json.hh \
- /root/repo/src/crypto/sha256.hh /root/repo/src/hw/phys_memory.hh \
- /root/repo/src/hw/root_of_trust.hh /root/repo/src/hw/smmu.hh \
- /root/repo/src/hw/page_table.hh /root/repo/src/hw/tzasc.hh \
- /root/repo/src/tee/secure_monitor.hh /root/repo/src/hw/device_tree.hh \
- /root/repo/src/accel/builtin_kernels.hh /root/repo/src/base/logging.hh
+ /root/repo/src/base/json.hh /root/repo/src/base/sim_clock.hh \
+ /root/repo/src/hw/device.hh /root/repo/src/hw/device_tree.hh \
+ /root/repo/src/base/json.hh /root/repo/src/crypto/sha256.hh \
+ /root/repo/src/hw/phys_memory.hh /root/repo/src/hw/root_of_trust.hh \
+ /root/repo/src/hw/smmu.hh /root/repo/src/hw/page_table.hh \
+ /root/repo/src/hw/tzasc.hh /root/repo/src/tee/secure_monitor.hh \
+ /root/repo/src/hw/device_tree.hh /root/repo/src/accel/builtin_kernels.hh \
+ /root/repo/src/base/logging.hh

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inject/fault_plan.cc" "src/inject/CMakeFiles/cronus_inject.dir/fault_plan.cc.o" "gcc" "src/inject/CMakeFiles/cronus_inject.dir/fault_plan.cc.o.d"
+  "/root/repo/src/inject/injector.cc" "src/inject/CMakeFiles/cronus_inject.dir/injector.cc.o" "gcc" "src/inject/CMakeFiles/cronus_inject.dir/injector.cc.o.d"
+  "/root/repo/src/inject/invariant_auditor.cc" "src/inject/CMakeFiles/cronus_inject.dir/invariant_auditor.cc.o" "gcc" "src/inject/CMakeFiles/cronus_inject.dir/invariant_auditor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cronus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mos/CMakeFiles/cronus_mos.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cronus_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/cronus_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cronus_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cronus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cronus_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

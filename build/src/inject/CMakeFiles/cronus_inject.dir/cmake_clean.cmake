@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cronus_inject.dir/fault_plan.cc.o"
+  "CMakeFiles/cronus_inject.dir/fault_plan.cc.o.d"
+  "CMakeFiles/cronus_inject.dir/injector.cc.o"
+  "CMakeFiles/cronus_inject.dir/injector.cc.o.d"
+  "CMakeFiles/cronus_inject.dir/invariant_auditor.cc.o"
+  "CMakeFiles/cronus_inject.dir/invariant_auditor.cc.o.d"
+  "libcronus_inject.a"
+  "libcronus_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cronus_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcronus_inject.a"
+)

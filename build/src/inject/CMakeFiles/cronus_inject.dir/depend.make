@@ -1,0 +1,2 @@
+# Empty dependencies file for cronus_inject.
+# This may be replaced when dependencies are built.

@@ -193,9 +193,8 @@ src/mos/CMakeFiles/cronus_mos.dir/cpu_hal.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/base/sim_clock.hh /root/repo/src/hw/device_tree.hh \
- /root/repo/src/base/json.hh /usr/include/c++/12/memory \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/base/json.hh \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -231,8 +230,9 @@ src/mos/CMakeFiles/cronus_mos.dir/cpu_hal.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/hw/platform.hh /root/repo/src/hw/device.hh \
- /root/repo/src/hw/device_tree.hh /root/repo/src/hw/phys_memory.hh \
- /root/repo/src/hw/root_of_trust.hh /root/repo/src/hw/smmu.hh \
- /root/repo/src/hw/page_table.hh /root/repo/src/hw/tzasc.hh \
- /root/repo/src/base/logging.hh
+ /root/repo/src/base/sim_clock.hh /root/repo/src/hw/device_tree.hh \
+ /root/repo/src/base/json.hh /root/repo/src/hw/platform.hh \
+ /root/repo/src/hw/device.hh /root/repo/src/hw/device_tree.hh \
+ /root/repo/src/hw/phys_memory.hh /root/repo/src/hw/root_of_trust.hh \
+ /root/repo/src/hw/smmu.hh /root/repo/src/hw/page_table.hh \
+ /root/repo/src/hw/tzasc.hh /root/repo/src/base/logging.hh

@@ -188,11 +188,7 @@ src/mos/CMakeFiles/cronus_mos.dir/shim_kernel.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/base/sim_clock.hh /root/repo/src/crypto/keys.hh \
- /root/repo/src/base/rng.hh /usr/include/c++/12/cstddef \
- /root/repo/src/crypto/sha256.hh /root/repo/src/crypto/uint256.hh \
- /root/repo/src/hw/device_tree.hh /root/repo/src/base/json.hh \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/base/json.hh \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -229,6 +225,10 @@ src/mos/CMakeFiles/cronus_mos.dir/shim_kernel.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/base/sim_clock.hh /root/repo/src/crypto/keys.hh \
+ /root/repo/src/base/rng.hh /usr/include/c++/12/cstddef \
+ /root/repo/src/crypto/sha256.hh /root/repo/src/crypto/uint256.hh \
+ /root/repo/src/hw/device_tree.hh /root/repo/src/base/json.hh \
  /root/repo/src/hw/platform.hh /root/repo/src/base/sim_clock.hh \
  /root/repo/src/hw/device.hh /root/repo/src/hw/device_tree.hh \
  /root/repo/src/hw/phys_memory.hh /root/repo/src/hw/root_of_trust.hh \

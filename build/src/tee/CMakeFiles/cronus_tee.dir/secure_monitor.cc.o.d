@@ -145,14 +145,13 @@ src/tee/CMakeFiles/cronus_tee.dir/secure_monitor.cc.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/base/sim_clock.hh \
- /root/repo/src/crypto/keys.hh /root/repo/src/base/bytes.hh \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/base/status.hh /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/base/logging.hh \
- /usr/include/c++/12/cstdarg /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/ios \
- /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/base/json.hh \
+ /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
  /usr/include/pthread.h /usr/include/sched.h \
@@ -181,17 +180,8 @@ src/tee/CMakeFiles/cronus_tee.dir/secure_monitor.cc.o: \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/base/rng.hh \
- /usr/include/c++/12/cstddef /root/repo/src/crypto/sha256.hh \
- /usr/include/c++/12/array /root/repo/src/crypto/uint256.hh \
- /root/repo/src/hw/device_tree.hh /root/repo/src/base/json.hh \
- /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -224,14 +214,25 @@ src/tee/CMakeFiles/cronus_tee.dir/secure_monitor.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/base/status.hh /root/repo/src/crypto/sha256.hh \
- /root/repo/src/hw/types.hh /root/repo/src/hw/platform.hh \
- /root/repo/src/base/sim_clock.hh /root/repo/src/hw/device.hh \
- /root/repo/src/hw/device_tree.hh /root/repo/src/hw/phys_memory.hh \
+ /root/repo/src/base/status.hh /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/base/logging.hh \
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/base/sim_clock.hh \
+ /root/repo/src/crypto/keys.hh /root/repo/src/base/bytes.hh \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/base/rng.hh /usr/include/c++/12/cstddef \
+ /root/repo/src/crypto/sha256.hh /usr/include/c++/12/array \
+ /root/repo/src/crypto/uint256.hh /root/repo/src/hw/device_tree.hh \
+ /root/repo/src/base/json.hh /root/repo/src/base/status.hh \
+ /root/repo/src/crypto/sha256.hh /root/repo/src/hw/types.hh \
+ /root/repo/src/hw/platform.hh /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/base/sim_clock.hh /root/repo/src/hw/device.hh \
+ /root/repo/src/hw/device_tree.hh /root/repo/src/hw/phys_memory.hh \
  /root/repo/src/hw/root_of_trust.hh /root/repo/src/hw/smmu.hh \
- /root/repo/src/hw/page_table.hh /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /root/repo/src/hw/tzasc.hh \
+ /root/repo/src/hw/page_table.hh /root/repo/src/hw/tzasc.hh \
  /root/repo/src/base/logging.hh

@@ -138,17 +138,16 @@ src/workloads/CMakeFiles/cronus_workloads.dir/failover.cc.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/base/sim_clock.hh \
- /root/repo/src/base/status.hh /usr/include/c++/12/optional \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/base/json.hh \
+ /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/ios /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/base/logging.hh /usr/include/c++/12/cstdarg \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
- /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
  /usr/include/pthread.h /usr/include/sched.h \
@@ -177,32 +176,8 @@ src/workloads/CMakeFiles/cronus_workloads.dir/failover.cc.o: \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/accel/builtin_kernels.hh \
- /root/repo/src/core/auto_partition.hh /root/repo/src/core/system.hh \
- /root/repo/src/accel/cpu.hh /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/base/sim_clock.hh /root/repo/src/crypto/keys.hh \
- /root/repo/src/base/bytes.hh /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/base/status.hh /root/repo/src/base/rng.hh \
- /usr/include/c++/12/cstddef /root/repo/src/crypto/sha256.hh \
- /root/repo/src/crypto/uint256.hh /root/repo/src/hw/device.hh \
- /root/repo/src/hw/types.hh /root/repo/src/accel/gpu.hh \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/hw/page_table.hh \
- /root/repo/src/accel/npu.hh /root/repo/src/core/attestation.hh \
- /root/repo/src/hw/root_of_trust.hh /root/repo/src/core/micro_enclave.hh \
- /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -234,17 +209,44 @@ src/workloads/CMakeFiles/cronus_workloads.dir/failover.cc.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/core/eid.hh \
- /root/repo/src/hw/types.hh /root/repo/src/core/enclave_runtime.hh \
- /root/repo/src/mos/cpu_hal.hh /root/repo/src/mos/hal.hh \
- /root/repo/src/mos/shim_kernel.hh /root/repo/src/tee/spm.hh \
- /root/repo/src/crypto/sha256.hh /root/repo/src/tee/secure_monitor.hh \
- /root/repo/src/hw/device_tree.hh /root/repo/src/base/json.hh \
- /root/repo/src/hw/platform.hh /root/repo/src/hw/device.hh \
- /root/repo/src/hw/device_tree.hh /root/repo/src/hw/phys_memory.hh \
- /root/repo/src/hw/root_of_trust.hh /root/repo/src/hw/smmu.hh \
- /root/repo/src/hw/page_table.hh /root/repo/src/hw/tzasc.hh \
- /root/repo/src/mos/gpu_hal.hh /root/repo/src/mos/npu_hal.hh \
- /root/repo/src/core/manifest.hh /root/repo/src/tee/normal_world.hh \
- /root/repo/src/tee/spm.hh /root/repo/src/core/dispatcher.hh \
- /root/repo/src/core/srpc.hh /root/repo/src/core/system.hh
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/base/status.hh /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/base/logging.hh /usr/include/c++/12/cstdarg \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/base/sim_clock.hh \
+ /root/repo/src/base/status.hh /root/repo/src/accel/builtin_kernels.hh \
+ /root/repo/src/core/auto_partition.hh /root/repo/src/core/system.hh \
+ /root/repo/src/accel/cpu.hh /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /root/repo/src/base/sim_clock.hh /root/repo/src/crypto/keys.hh \
+ /root/repo/src/base/bytes.hh /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/base/rng.hh \
+ /usr/include/c++/12/cstddef /root/repo/src/crypto/sha256.hh \
+ /root/repo/src/crypto/uint256.hh /root/repo/src/hw/device.hh \
+ /root/repo/src/hw/types.hh /root/repo/src/accel/gpu.hh \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/hw/page_table.hh \
+ /root/repo/src/accel/npu.hh /root/repo/src/core/attestation.hh \
+ /root/repo/src/hw/root_of_trust.hh /root/repo/src/core/micro_enclave.hh \
+ /root/repo/src/core/eid.hh /root/repo/src/hw/types.hh \
+ /root/repo/src/core/enclave_runtime.hh /root/repo/src/mos/cpu_hal.hh \
+ /root/repo/src/mos/hal.hh /root/repo/src/mos/shim_kernel.hh \
+ /root/repo/src/tee/spm.hh /root/repo/src/crypto/sha256.hh \
+ /root/repo/src/tee/secure_monitor.hh /root/repo/src/hw/device_tree.hh \
+ /root/repo/src/base/json.hh /root/repo/src/hw/platform.hh \
+ /root/repo/src/hw/device.hh /root/repo/src/hw/device_tree.hh \
+ /root/repo/src/hw/phys_memory.hh /root/repo/src/hw/root_of_trust.hh \
+ /root/repo/src/hw/smmu.hh /root/repo/src/hw/page_table.hh \
+ /root/repo/src/hw/tzasc.hh /root/repo/src/mos/gpu_hal.hh \
+ /root/repo/src/mos/npu_hal.hh /root/repo/src/core/manifest.hh \
+ /root/repo/src/tee/normal_world.hh /root/repo/src/tee/spm.hh \
+ /root/repo/src/core/dispatcher.hh /root/repo/src/core/srpc.hh \
+ /root/repo/src/core/system.hh /root/repo/src/inject/injector.hh \
+ /root/repo/src/core/srpc.hh /root/repo/src/inject/fault_plan.hh \
+ /root/repo/src/inject/invariant_auditor.hh

@@ -298,4 +298,5 @@ tests/CMakeFiles/test_base.dir/base/stats_test.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/base/sim_clock.hh
+ /root/repo/src/base/json.hh /root/repo/src/base/status.hh \
+ /root/repo/src/base/logging.hh /root/repo/src/base/sim_clock.hh

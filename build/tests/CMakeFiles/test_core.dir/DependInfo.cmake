@@ -21,6 +21,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/cronus_core.dir/DependInfo.cmake"
   "/root/repo/build/src/workloads/CMakeFiles/cronus_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/inject/CMakeFiles/cronus_inject.dir/DependInfo.cmake"
   "/root/repo/build/src/baseline/CMakeFiles/cronus_baseline.dir/DependInfo.cmake"
   "/root/repo/build/src/mos/CMakeFiles/cronus_mos.dir/DependInfo.cmake"
   "/root/repo/build/src/tee/CMakeFiles/cronus_tee.dir/DependInfo.cmake"

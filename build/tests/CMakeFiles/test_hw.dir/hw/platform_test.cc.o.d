@@ -298,14 +298,14 @@ tests/CMakeFiles/test_hw.dir/hw/platform_test.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/base/json.hh /root/repo/src/base/status.hh \
+ /root/repo/src/base/logging.hh /usr/include/c++/12/cstdarg \
  /root/repo/src/base/sim_clock.hh /root/repo/src/hw/device.hh \
- /root/repo/src/base/status.hh /root/repo/src/base/logging.hh \
- /usr/include/c++/12/cstdarg /root/repo/src/hw/types.hh \
+ /root/repo/src/base/status.hh /root/repo/src/hw/types.hh \
  /root/repo/src/hw/device_tree.hh /root/repo/src/base/json.hh \
- /root/repo/src/base/status.hh /root/repo/src/crypto/sha256.hh \
- /root/repo/src/base/bytes.hh /usr/include/c++/12/cstring \
- /root/repo/src/hw/phys_memory.hh /root/repo/src/hw/root_of_trust.hh \
- /root/repo/src/crypto/keys.hh /root/repo/src/base/rng.hh \
- /root/repo/src/crypto/sha256.hh /root/repo/src/crypto/uint256.hh \
- /root/repo/src/hw/smmu.hh /root/repo/src/hw/page_table.hh \
- /root/repo/src/hw/tzasc.hh
+ /root/repo/src/crypto/sha256.hh /root/repo/src/base/bytes.hh \
+ /usr/include/c++/12/cstring /root/repo/src/hw/phys_memory.hh \
+ /root/repo/src/hw/root_of_trust.hh /root/repo/src/crypto/keys.hh \
+ /root/repo/src/base/rng.hh /root/repo/src/crypto/sha256.hh \
+ /root/repo/src/crypto/uint256.hh /root/repo/src/hw/smmu.hh \
+ /root/repo/src/hw/page_table.hh /root/repo/src/hw/tzasc.hh

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/inject/auditor_test.cc" "tests/CMakeFiles/test_inject.dir/inject/auditor_test.cc.o" "gcc" "tests/CMakeFiles/test_inject.dir/inject/auditor_test.cc.o.d"
+  "/root/repo/tests/inject/fault_plan_test.cc" "tests/CMakeFiles/test_inject.dir/inject/fault_plan_test.cc.o" "gcc" "tests/CMakeFiles/test_inject.dir/inject/fault_plan_test.cc.o.d"
+  "/root/repo/tests/inject/injector_test.cc" "tests/CMakeFiles/test_inject.dir/inject/injector_test.cc.o" "gcc" "tests/CMakeFiles/test_inject.dir/inject/injector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/inject/CMakeFiles/cronus_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cronus_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cronus_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cronus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mos/CMakeFiles/cronus_mos.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cronus_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/cronus_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cronus_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cronus_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cronus_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

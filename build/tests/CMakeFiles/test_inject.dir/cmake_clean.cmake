@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inject.dir/inject/auditor_test.cc.o"
+  "CMakeFiles/test_inject.dir/inject/auditor_test.cc.o.d"
+  "CMakeFiles/test_inject.dir/inject/fault_plan_test.cc.o"
+  "CMakeFiles/test_inject.dir/inject/fault_plan_test.cc.o.d"
+  "CMakeFiles/test_inject.dir/inject/injector_test.cc.o"
+  "CMakeFiles/test_inject.dir/inject/injector_test.cc.o.d"
+  "test_inject"
+  "test_inject.pdb"
+  "test_inject[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -297,6 +297,7 @@ tests/CMakeFiles/test_workloads.dir/workloads/sharing_test.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/base/sim_clock.hh /root/repo/src/base/status.hh \
+ /root/repo/src/base/json.hh /root/repo/src/base/status.hh \
  /root/repo/src/base/logging.hh /usr/include/c++/12/cstdarg \
+ /root/repo/src/base/sim_clock.hh /root/repo/src/base/status.hh \
  /root/repo/src/workloads/sharing.hh /root/repo/src/base/sim_clock.hh

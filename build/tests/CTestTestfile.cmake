@@ -10,6 +10,7 @@ include("/root/repo/build/tests/test_accel[1]_include.cmake")
 include("/root/repo/build/tests/test_crypto[1]_include.cmake")
 include("/root/repo/build/tests/test_tee[1]_include.cmake")
 include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_inject[1]_include.cmake")
 include("/root/repo/build/tests/test_baseline[1]_include.cmake")
 include("/root/repo/build/tests/test_workloads[1]_include.cmake")
 include("/root/repo/build/tests/test_attacks[1]_include.cmake")

@@ -92,4 +92,13 @@ StatGroup::reset()
         counter.reset();
 }
 
+JsonValue
+StatGroup::toJson() const
+{
+    JsonObject out;
+    for (const auto &[name, counter] : counters)
+        out[name] = static_cast<int64_t>(counter.value());
+    return JsonValue(std::move(out));
+}
+
 } // namespace cronus

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "json.hh"
 #include "sim_clock.hh"
 
 namespace cronus
@@ -82,6 +83,9 @@ class StatGroup
     Counter &counter(const std::string &name);
     uint64_t value(const std::string &name) const;
     void reset();
+
+    /** All counters as a JSON object (audit / stats reports). */
+    JsonValue toJson() const;
 
     const std::map<std::string, Counter> &all() const
     {

@@ -14,12 +14,18 @@ EnclaveDispatcher::route(Eid eid)
 {
     if (misroute) {
         MicroOS *forced = misroute(eid);
-        if (forced != nullptr)
+        if (forced != nullptr) {
+            if (routeObserver)
+                routeObserver(eid, forced);
             return forced;
+        }
     }
     for (MicroOS *os : registered) {
-        if (os->partitionId() == mosIdOf(eid))
+        if (os->partitionId() == mosIdOf(eid)) {
+            if (routeObserver)
+                routeObserver(eid, os);
             return os;
+        }
     }
     return Status(ErrorCode::NotFound,
                   "no partition for eid " + eidToString(eid));

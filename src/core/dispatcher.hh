@@ -48,9 +48,20 @@ class EnclaveDispatcher
         misroute = std::move(hook);
     }
 
+    /**
+     * Observes every successful route decision (fault injection /
+     * invariant auditing); called with the eid and the chosen mOS.
+     */
+    using RouteObserver = std::function<void(Eid, MicroOS *)>;
+    void setRouteObserver(RouteObserver observer)
+    {
+        routeObserver = std::move(observer);
+    }
+
   private:
     std::vector<MicroOS *> registered;
     std::function<MicroOS *(Eid)> misroute;
+    RouteObserver routeObserver;
 };
 
 } // namespace cronus::core

@@ -45,8 +45,28 @@ SrpcChannel::SrpcChannel(MicroOS &caller_os, Eid caller_eid,
 
 SrpcChannel::~SrpcChannel()
 {
-    if (open)
+    if (open || peerFailed)
         close();
+    /* Covers partially-set-up channels: close() is unreachable for
+     * them, but any grant/pages acquired must still go back. */
+    releaseSmem();
+}
+
+Result<uint64_t>
+SrpcChannel::headerFieldOffset(const std::string &field)
+{
+    if (field == "magic")
+        return kMagicOff;
+    if (field == "rid")
+        return kRidOff;
+    if (field == "sid")
+        return kSidOff;
+    if (field == "closed")
+        return kClosedOff;
+    if (field == "dcheck")
+        return kDcheckOff;
+    return Status(ErrorCode::InvalidArgument,
+                  "unknown ring-header field '" + field + "'");
 }
 
 uint64_t
@@ -108,9 +128,33 @@ SrpcChannel::markFailed()
 {
     /* sRPC automatically clears state when getting the fault signal
      * (§IV-D): cached indices are reset and the channel refuses
-     * further traffic. */
+     * further traffic. The smem grant is released by close() or the
+     * destructor, whichever runs first. */
     peerFailed = true;
     open = false;
+    if (observer)
+        observer->onFailed(*this);
+}
+
+bool
+SrpcChannel::releaseSmem()
+{
+    bool revoked = false;
+    if (grant != 0) {
+        /* After a peer failure the SPM may already have retired the
+         * grant through the trap path; revoke is then a no-op. */
+        revoked = callerOs.spm()
+                      .revokeGrant(grant, callerOs.partitionId())
+                      .isOk();
+        grant = 0;
+    }
+    if (smemBase != 0) {
+        callerOs.shimKernel().freePages(smemBase,
+                                        smemBytes / hw::kPageSize);
+        smemBase = 0;
+        smemBytes = 0;
+    }
+    return revoked;
 }
 
 Result<std::unique_ptr<SrpcChannel>>
@@ -128,6 +172,18 @@ SrpcChannel::connect(MicroOS &caller_os, Eid caller_eid,
 
 Status
 SrpcChannel::setup()
+{
+    Status s = setupInner();
+    if (!s.isOk()) {
+        /* Error-path cleanup: anything acquired before the failure
+         * (smem pages, the SPM grant) must not leak. */
+        releaseSmem();
+    }
+    return s;
+}
+
+Status
+SrpcChannel::setupInner()
 {
     tee::Spm &spm = callerOs.spm();
     tee::SecureMonitor &monitor = spm.monitor();
@@ -229,6 +285,8 @@ SrpcChannel::setup()
     });
 
     open = true;
+    if (observer)
+        observer->onSetup(*this, grant);
     return Status::ok();
 }
 
@@ -272,6 +330,8 @@ SrpcChannel::callAsync(const std::string &fn, const Bytes &args)
     CRONUS_RETURN_IF_ERROR(writeCaller(kRidOff, u64Bytes(rid)));
     ++channelStats.asyncCalls;
     channelStats.bytesTransferred += request.size();
+    if (observer)
+        observer->onEnqueue(*this, rid, sid);
     return this_rid;
 }
 
@@ -326,30 +386,33 @@ SrpcChannel::pump(uint64_t max)
             }
         }
 
-        /* Write the response into the slot's response half. */
+        /* Write the response into the slot's response half. An
+         * oversized payload is replaced by an error frame; the whole
+         * 8-byte header is re-serialized through ByteWriter so the
+         * encoding never depends on endianness or code width. */
+        if (resp_payload.size() > cfg.responseBytes()) {
+            resp_status = Status(ErrorCode::ResourceExhausted,
+                                 "response exceeds slot capacity");
+            resp_payload.clear();
+        }
         ByteWriter resp;
         resp.putU32(static_cast<uint32_t>(resp_status.code()));
         resp.putU32(static_cast<uint32_t>(resp_payload.size()));
+        resp.putRaw(resp_payload.data(), resp_payload.size());
         Bytes resp_frame = resp.take();
-        if (resp_payload.size() <= cfg.responseBytes()) {
-            resp_frame.insert(resp_frame.end(), resp_payload.begin(),
-                              resp_payload.end());
-        } else {
-            resp_frame[0] = static_cast<uint8_t>(
-                ErrorCode::ResourceExhausted);
-            resp_frame[4] = resp_frame[5] = resp_frame[6] =
-                resp_frame[7] = 0;
-        }
         if (!writeCallee(slot + cfg.slotBytes / 2, resp_frame).isOk())
             return executed;
         plat.chargeMemcpy(resp_frame.size());
         plat.clock().advance(plat.costs().ringBufferOpNs);
+        channelStats.bytesTransferred += resp_frame.size();
 
         ++sid;
         if (!writeCallee(kSidOff, u64Bytes(sid)).isOk())
             return executed;
         ++executed;
         ++channelStats.executed;
+        if (observer)
+            observer->onExecuted(*this, rid, sid);
         calleeOs.tick();
     }
     return executed;
@@ -361,13 +424,19 @@ SrpcChannel::resultOf(uint64_t request_id)
     if (request_id >= rid)
         return Status(ErrorCode::InvalidArgument,
                       "request never issued");
-    if (rid - request_id > cfg.slots)
+    /* Slot-lifetime rule: slotOffset wraps mod cfg.slots, so at
+     * rid - request_id == cfg.slots the slot counts as recycled --
+     * returning its contents would hand back a newer request's
+     * response as if it were the old one. */
+    if (rid - request_id >= cfg.slots)
         return Status(ErrorCode::NotFound,
                       "response slot already recycled");
     if (sid <= request_id)
         return Status(ErrorCode::InvalidState,
                       "request not yet executed (drain first)");
 
+    if (observer)
+        observer->onResultRead(*this, request_id, rid, sid);
     uint64_t slot = slotOffset(request_id) + cfg.slotBytes / 2;
     auto header = readCaller(slot, 8);
     if (!header.isOk())
@@ -442,12 +511,27 @@ SrpcChannel::drain()
 Status
 SrpcChannel::close()
 {
-    if (!open)
+    if (closed || (!open && !peerFailed))
         return Status(ErrorCode::InvalidState, "channel not open");
-    Status drained = drain();
-    writeCaller(kClosedOff, Bytes{1});
+
+    Status drained = Status::ok();
+    if (!peerFailed) {
+        drained = drain();
+        /* drain() may itself discover the peer failure; only touch
+         * smem again when the channel is still healthy. */
+        if (!peerFailed)
+            writeCaller(kClosedOff, Bytes{1});
+    }
     open = false;
-    callerOs.spm().revokeGrant(grant, callerOs.partitionId());
+    closed = true;
+    /* Revoke-on-failure: the grant is released even when the peer
+     * died -- otherwise every failed channel leaks its smem grant
+     * and pages (the SPM may already have retired the grant through
+     * the trap path, in which case only the pages come back). */
+    uint64_t grant_id = grant;
+    bool revoked = releaseSmem();
+    if (observer)
+        observer->onClosed(*this, grant_id, revoked);
     return drained;
 }
 

@@ -23,6 +23,16 @@
  *  - a partition failure turns the next shared-memory access into a
  *    trap; the channel observes PeerFailed, clears its state and
  *    surfaces the failure (A1/A2 defenses, §IV-D).
+ *
+ * Slot-lifetime rule: the ring has cfg.slots slots and slotOffset
+ * wraps request indices mod cfg.slots, so the response of request r
+ * may be fetched through resultOf(r) only while fewer than cfg.slots
+ * newer requests have been issued (Rid - r < cfg.slots). Once
+ * Rid - r >= cfg.slots the slot is considered recycled and resultOf
+ * returns NotFound -- never the recycled slot's contents. The
+ * InvariantAuditor (src/inject/) checks this rule, together with
+ * streamCheck (Sid <= Rid <= Sid + slots) and grant accounting, on
+ * every channel operation.
  */
 
 #ifndef CRONUS_CORE_SRPC_HH
@@ -50,8 +60,41 @@ struct SrpcStats
     uint64_t asyncCalls = 0;
     uint64_t syncCalls = 0;
     uint64_t executed = 0;
+    /** Request and response bytes moved through the ring. */
     uint64_t bytesTransferred = 0;
     uint64_t setupWorldSwitches = 0;
+};
+
+class SrpcChannel;
+
+/**
+ * Observes channel lifecycle and ring operations. Registered by the
+ * invariant auditor (src/inject/): every callback fires after the
+ * channel updated its cached indices, so the observer sees the state
+ * the next operation will run against.
+ */
+class SrpcObserver
+{
+  public:
+    virtual ~SrpcObserver() = default;
+    /** Channel established; the second argument is its smem grant. */
+    virtual void onSetup(const SrpcChannel &, uint64_t /*grant_id*/) {}
+    /** A request was enqueued (Rid already advanced). */
+    virtual void onEnqueue(const SrpcChannel &, uint64_t /*rid*/,
+                           uint64_t /*sid*/) {}
+    /** The executor completed a request (Sid already advanced). */
+    virtual void onExecuted(const SrpcChannel &, uint64_t /*rid*/,
+                            uint64_t /*sid*/) {}
+    /** resultOf passed validation and is about to read the slot. */
+    virtual void onResultRead(const SrpcChannel &,
+                              uint64_t /*request_id*/,
+                              uint64_t /*rid*/, uint64_t /*sid*/) {}
+    /** The channel observed a peer failure. */
+    virtual void onFailed(const SrpcChannel &) {}
+    /** The channel released its smem; `revoked` tells whether the
+     *  grant was revoked here (false: already retired by the SPM). */
+    virtual void onClosed(const SrpcChannel &, uint64_t /*grant_id*/,
+                          bool /*revoked*/) {}
 };
 
 class SrpcChannel
@@ -104,6 +147,24 @@ class SrpcChannel
     const SrpcStats &stats() const { return channelStats; }
     uint64_t grantId() const { return grant; }
 
+    /* --- introspection (injection / audit tooling) --- */
+
+    /** Register @p obs (may be nullptr) for channel events. */
+    void setObserver(SrpcObserver *obs) { observer = obs; }
+    const SrpcConfig &config() const { return cfg; }
+    /** Physical base of the ring in the caller's partition. */
+    tee::PhysAddr ringBase() const { return smemBase; }
+    uint64_t requestIndex() const { return rid; }
+    uint64_t progressIndex() const { return sid; }
+    /**
+     * Byte offset of a named ring-header field ("magic", "rid",
+     * "sid", "closed", "dcheck") from ringBase(). Lets the fault
+     * injector corrupt a specific field without replicating the
+     * layout.
+     */
+    static Result<uint64_t> headerFieldOffset(
+        const std::string &field);
+
     /**
      * Executor step: process up to @p max pending requests in the
      * callee partition. Returns requests executed; sets the channel
@@ -118,6 +179,10 @@ class SrpcChannel
                 tee::NormalWorld &nw, const SrpcConfig &config);
 
     Status setup();
+    Status setupInner();
+    /** Revoke the grant and free the smem pages; idempotent. Returns
+     *  true when the grant was revoked by this call. */
+    bool releaseSmem();
     Status writeCaller(uint64_t off, const Bytes &data);
     Result<Bytes> readCaller(uint64_t off, uint64_t len);
     Status writeCallee(uint64_t off, const Bytes &data);
@@ -142,8 +207,10 @@ class SrpcChannel
     uint64_t rid = 0;  ///< caller-side cached request index
     uint64_t sid = 0;  ///< executor-side cached progress index
     bool open = false;
+    bool closed = false;  ///< close() already ran (resources gone)
     bool peerFailed = false;
     SrpcStats channelStats;
+    SrpcObserver *observer = nullptr;
 };
 
 } // namespace cronus::core

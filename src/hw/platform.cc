@@ -31,6 +31,8 @@ Platform::busRead(World from, PhysAddr addr, uint8_t *out,
         statGroup.counter("tzasc_faults").inc();
         return s;
     }
+    if (busObserver)
+        busObserver(from, addr, len, false);
     return memory.read(addr, out, len);
 }
 
@@ -43,6 +45,8 @@ Platform::busWrite(World from, PhysAddr addr, const uint8_t *data,
         statGroup.counter("tzasc_faults").inc();
         return s;
     }
+    if (busObserver)
+        busObserver(from, addr, len, true);
     return memory.write(addr, data, len);
 }
 

@@ -12,6 +12,7 @@
 #ifndef CRONUS_HW_PLATFORM_HH
 #define CRONUS_HW_PLATFORM_HH
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -99,6 +100,20 @@ class Platform
     /** Charge virtual time for a DMA of @p bytes. */
     void chargeDma(uint64_t bytes);
 
+    /**
+     * Observe every checked bus access that passed TZASC filtering,
+     * before the memory operation executes. Used by the fault
+     * injector (virtual-time triggers, clock skew) and by tracing;
+     * the observer must not issue bus accesses itself.
+     */
+    using BusObserver =
+        std::function<void(World from, PhysAddr addr, uint64_t len,
+                           bool is_write)>;
+    void setBusObserver(BusObserver observer)
+    {
+        busObserver = std::move(observer);
+    }
+
   private:
     PlatformConfig cfg;
     PhysicalMemory memory;
@@ -111,6 +126,7 @@ class Platform
     CostModel costModel;
     StatGroup statGroup;
 
+    BusObserver busObserver;
     std::map<std::string, std::unique_ptr<Device>> devices;
     std::map<std::string, PhysAddr> mmioBases;
     PhysAddr nextMmioBase = 1ull << 40;

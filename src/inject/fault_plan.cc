@@ -1,0 +1,167 @@
+#include "fault_plan.hh"
+
+namespace cronus::inject
+{
+
+FaultPlan &
+FaultPlan::add(const FaultTrigger &t, const FaultAction &a)
+{
+    FaultEvent e;
+    e.id = schedule.size() + 1;
+    e.trigger = t;
+    e.action = a;
+    schedule.push_back(e);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::killOnAccess(uint64_t nth, PartitionId victim,
+                        AccessFilter f)
+{
+    FaultTrigger t;
+    t.kind = FaultTrigger::Kind::NthAccess;
+    t.nth = nth;
+    t.filter = f;
+    FaultAction a;
+    a.kind = FaultAction::Kind::KillPartition;
+    a.victim = victim;
+    return add(t, a);
+}
+
+FaultPlan &
+FaultPlan::killOnRandomAccess(uint64_t lo, uint64_t hi,
+                              PartitionId victim, AccessFilter f)
+{
+    uint64_t span = (hi >= lo) ? hi - lo + 1 : 1;
+    return killOnAccess(lo + rng.nextBelow(span), victim, f);
+}
+
+FaultPlan &
+FaultPlan::killAtTime(SimTime when, PartitionId victim)
+{
+    FaultTrigger t;
+    t.kind = FaultTrigger::Kind::AtTime;
+    t.when = when;
+    FaultAction a;
+    a.kind = FaultAction::Kind::KillPartition;
+    a.victim = victim;
+    return add(t, a);
+}
+
+FaultPlan &
+FaultPlan::failAccess(uint64_t nth, AccessFilter f)
+{
+    FaultTrigger t;
+    t.kind = FaultTrigger::Kind::NthAccess;
+    t.nth = nth;
+    t.filter = f;
+    FaultAction a;
+    a.kind = FaultAction::Kind::FailAccess;
+    return add(t, a);
+}
+
+FaultPlan &
+FaultPlan::corruptHeader(uint64_t nth, const std::string &field,
+                         uint64_t value, size_t channel_index,
+                         AccessFilter f)
+{
+    FaultTrigger t;
+    t.kind = FaultTrigger::Kind::NthAccess;
+    t.nth = nth;
+    t.filter = f;
+    FaultAction a;
+    a.kind = FaultAction::Kind::CorruptHeader;
+    a.headerField = field;
+    a.corruptValue = value;
+    a.channelIndex = channel_index;
+    return add(t, a);
+}
+
+FaultPlan &
+FaultPlan::skewClock(uint64_t nth, SimTime skew_ns, AccessFilter f)
+{
+    FaultTrigger t;
+    t.kind = FaultTrigger::Kind::NthAccess;
+    t.nth = nth;
+    t.filter = f;
+    FaultAction a;
+    a.kind = FaultAction::Kind::SkewClock;
+    a.skewNs = skew_ns;
+    return add(t, a);
+}
+
+namespace
+{
+
+const char *
+triggerKindName(FaultTrigger::Kind k)
+{
+    switch (k) {
+      case FaultTrigger::Kind::NthAccess: return "nth_access";
+      case FaultTrigger::Kind::AtTime: return "at_time";
+    }
+    return "?";
+}
+
+const char *
+actionKindName(FaultAction::Kind k)
+{
+    switch (k) {
+      case FaultAction::Kind::KillPartition: return "kill_partition";
+      case FaultAction::Kind::FailAccess: return "fail_access";
+      case FaultAction::Kind::CorruptHeader: return "corrupt_header";
+      case FaultAction::Kind::SkewClock: return "skew_clock";
+    }
+    return "?";
+}
+
+} // namespace
+
+JsonValue
+FaultPlan::toJson() const
+{
+    JsonArray events;
+    for (const FaultEvent &e : schedule) {
+        JsonObject t;
+        t["kind"] = triggerKindName(e.trigger.kind);
+        if (e.trigger.kind == FaultTrigger::Kind::NthAccess)
+            t["nth"] = static_cast<int64_t>(e.trigger.nth);
+        else
+            t["when_ns"] = static_cast<int64_t>(e.trigger.when);
+        if (e.trigger.filter.pid != 0)
+            t["pid"] = static_cast<int64_t>(e.trigger.filter.pid);
+        t["reads"] = e.trigger.filter.countReads;
+        t["writes"] = e.trigger.filter.countWrites;
+
+        JsonObject a;
+        a["kind"] = actionKindName(e.action.kind);
+        switch (e.action.kind) {
+          case FaultAction::Kind::KillPartition:
+            a["victim"] = static_cast<int64_t>(e.action.victim);
+            break;
+          case FaultAction::Kind::FailAccess:
+            break;
+          case FaultAction::Kind::CorruptHeader:
+            a["field"] = e.action.headerField;
+            a["value"] = static_cast<int64_t>(e.action.corruptValue);
+            a["channel"] =
+                static_cast<int64_t>(e.action.channelIndex);
+            break;
+          case FaultAction::Kind::SkewClock:
+            a["skew_ns"] = static_cast<int64_t>(e.action.skewNs);
+            break;
+        }
+
+        JsonObject ev;
+        ev["id"] = static_cast<int64_t>(e.id);
+        ev["trigger"] = JsonValue(t);
+        ev["action"] = JsonValue(a);
+        events.push_back(JsonValue(ev));
+    }
+    JsonObject plan;
+    plan["seed"] = static_cast<int64_t>(planSeed);
+    plan["events"] = JsonValue(events);
+    return JsonValue(plan);
+}
+
+} // namespace cronus::inject

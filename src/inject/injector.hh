@@ -1,0 +1,90 @@
+/**
+ * @file
+ * FaultInjector: arms a FaultPlan against a live Spm.
+ *
+ * The injector installs itself as the Spm's access hook, so every
+ * checked stage-2 memory access becomes a potential trap point. When
+ * an event's trigger matches, its action runs *before* the access is
+ * translated: a killed partition's very next shared-memory touch
+ * already takes the proceed-trap path (§IV-D), a failed access
+ * surfaces AccessFault to the issuing driver, a header corruption
+ * lands between two ring operations, and a clock skew charges
+ * virtual time the workload never asked for.
+ *
+ * Every firing is logged with the access ordinal and the virtual
+ * time before/after the action, so benches can report per-step
+ * recovery costs straight from the injection log.
+ */
+
+#ifndef CRONUS_INJECT_INJECTOR_HH
+#define CRONUS_INJECT_INJECTOR_HH
+
+#include "core/srpc.hh"
+#include "fault_plan.hh"
+
+namespace cronus::inject
+{
+
+/** One fault that actually fired. */
+struct FiredFault
+{
+    uint64_t eventId = 0;
+    /** Access ordinal (SpmAccess::seq) that pulled the trigger. */
+    uint64_t seq = 0;
+    /** Partition whose access pulled the trigger. */
+    PartitionId accessor = 0;
+    /** Virtual time before / after the action ran. */
+    SimTime tBefore = 0;
+    SimTime tAfter = 0;
+    std::string description;
+};
+
+class FaultInjector
+{
+  public:
+    /** Builds the injector; call arm() to install the hook. */
+    FaultInjector(tee::Spm &spm, FaultPlan plan);
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Install the Spm access hook (resets the access ordinal). */
+    void arm();
+    /** Remove the hook; pending events stay pending. */
+    void disarm();
+    bool armed() const { return hookArmed; }
+
+    /**
+     * Register @p ch as a corruption target. CorruptHeader events
+     * address channels by attach order (channelIndex).
+     */
+    size_t attachChannel(core::SrpcChannel &ch);
+
+    const FaultPlan &plan() const { return faultPlan; }
+    const std::vector<FiredFault> &fired() const { return firedLog; }
+    bool allFired() const
+    {
+        return firedLog.size() == faultPlan.size();
+    }
+
+    /** Injection log + plan as JSON (bench audit reports). */
+    JsonValue report() const;
+
+  private:
+    Status onAccess(const tee::SpmAccess &access);
+    Status execute(const FaultEvent &e, const tee::SpmAccess &access);
+
+    tee::Spm &spm;
+    FaultPlan faultPlan;
+    std::vector<core::SrpcChannel *> channels;
+    std::vector<bool> firedFlags;        ///< by event index
+    std::vector<uint64_t> matchCounts;   ///< by event index
+    std::vector<FiredFault> firedLog;
+    bool hookArmed = false;
+    bool inHook = false;  ///< actions may recurse into the Spm
+};
+
+} // namespace cronus::inject
+
+#endif // CRONUS_INJECT_INJECTOR_HH

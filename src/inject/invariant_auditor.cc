@@ -1,0 +1,183 @@
+#include "invariant_auditor.hh"
+
+namespace cronus::inject
+{
+
+InvariantAuditor::~InvariantAuditor()
+{
+    /* The grant hook captures `this`; never leave it dangling.
+     * (Channels must be destroyed before their auditor -- declare
+     * the auditor first.) */
+    if (attachedSpm)
+        attachedSpm->setGrantHook({});
+}
+
+void
+InvariantAuditor::attachSpm(tee::Spm &spm)
+{
+    attachedSpm = &spm;
+    spm.setGrantHook([this](const tee::GrantEvent &ev) {
+        onGrantEvent(ev);
+    });
+}
+
+void
+InvariantAuditor::attachChannel(core::SrpcChannel &ch)
+{
+    ch.setObserver(this);
+}
+
+void
+InvariantAuditor::flag(const std::string &invariant,
+                       const std::string &detail)
+{
+    violationLog.push_back(Violation{invariant, detail});
+    auditStats.counter("violations").inc();
+}
+
+void
+InvariantAuditor::streamCheck(const core::SrpcChannel &ch,
+                              uint64_t rid, uint64_t sid,
+                              const char *where)
+{
+    if (sid > rid)
+        flag("streamCheck",
+             std::string(where) + ": Sid " + std::to_string(sid) +
+             " > Rid " + std::to_string(rid));
+    else if (rid > sid + ch.config().slots)
+        flag("streamCheck",
+             std::string(where) + ": Rid " + std::to_string(rid) +
+             " > Sid " + std::to_string(sid) + " + " +
+             std::to_string(ch.config().slots) + " slots");
+}
+
+void
+InvariantAuditor::onSetup(const core::SrpcChannel &, uint64_t)
+{
+    auditStats.counter("channel_setups").inc();
+}
+
+void
+InvariantAuditor::onEnqueue(const core::SrpcChannel &ch,
+                            uint64_t rid, uint64_t sid)
+{
+    auditStats.counter("enqueues").inc();
+    streamCheck(ch, rid, sid, "enqueue");
+}
+
+void
+InvariantAuditor::onExecuted(const core::SrpcChannel &ch,
+                             uint64_t rid, uint64_t sid)
+{
+    auditStats.counter("executions").inc();
+    streamCheck(ch, rid, sid, "execute");
+}
+
+void
+InvariantAuditor::onResultRead(const core::SrpcChannel &ch,
+                               uint64_t request_id, uint64_t rid,
+                               uint64_t sid)
+{
+    auditStats.counter("result_reads").inc();
+    streamCheck(ch, rid, sid, "resultOf");
+    if (request_id >= rid)
+        flag("slotLifetime",
+             "resultOf(" + std::to_string(request_id) +
+             ") reads an unissued request (Rid " +
+             std::to_string(rid) + ")");
+    else if (rid - request_id >= ch.config().slots)
+        flag("slotLifetime",
+             "resultOf(" + std::to_string(request_id) +
+             ") reads a recycled slot (Rid " + std::to_string(rid) +
+             ", " + std::to_string(ch.config().slots) + " slots)");
+}
+
+void
+InvariantAuditor::onFailed(const core::SrpcChannel &)
+{
+    auditStats.counter("channel_failures").inc();
+}
+
+void
+InvariantAuditor::onClosed(const core::SrpcChannel &, uint64_t,
+                           bool revoked)
+{
+    auditStats.counter("channel_closes").inc();
+    if (revoked)
+        auditStats.counter("channel_close_revokes").inc();
+}
+
+void
+InvariantAuditor::onGrantEvent(const tee::GrantEvent &ev)
+{
+    switch (ev.kind) {
+      case tee::GrantEvent::Kind::Created: {
+        auditStats.counter("grants_created").inc();
+        GrantRecord &rec = grantLog[ev.id];
+        rec.owner = ev.owner;
+        rec.peer = ev.peer;
+        if (++rec.created > 1)
+            flag("grantAccounting",
+                 "grant " + std::to_string(ev.id) +
+                 " created twice");
+        break;
+      }
+      case tee::GrantEvent::Kind::Revoked:
+      case tee::GrantEvent::Kind::Retired: {
+        bool retired = ev.kind == tee::GrantEvent::Kind::Retired;
+        auditStats
+            .counter(retired ? "grants_retired" : "grants_revoked")
+            .inc();
+        auto it = grantLog.find(ev.id);
+        if (it == grantLog.end()) {
+            flag("grantAccounting",
+                 std::string(retired ? "retire" : "revoke") +
+                 " of unknown grant " + std::to_string(ev.id));
+            break;
+        }
+        if (++it->second.teardowns > 1)
+            flag("grantAccounting",
+                 "grant " + std::to_string(ev.id) +
+                 " torn down " +
+                 std::to_string(it->second.teardowns) + " times");
+        break;
+      }
+    }
+}
+
+Status
+InvariantAuditor::finalCheck()
+{
+    for (const auto &[id, rec] : grantLog) {
+        if (rec.teardowns == 0)
+            flag("grantAccounting",
+                 "grant " + std::to_string(id) + " (owner " +
+                 std::to_string(rec.owner) + ", peer " +
+                 std::to_string(rec.peer) + ") never torn down");
+    }
+    if (!violationLog.empty())
+        return Status(ErrorCode::IntegrityViolation,
+                      std::to_string(violationLog.size()) +
+                      " invariant violation(s); see report()");
+    return Status::ok();
+}
+
+JsonValue
+InvariantAuditor::report() const
+{
+    JsonArray vs;
+    for (const Violation &v : violationLog) {
+        JsonObject o;
+        o["invariant"] = v.invariant;
+        o["detail"] = v.detail;
+        vs.push_back(JsonValue(o));
+    }
+    JsonObject report;
+    report["ok"] = violationLog.empty();
+    report["violations"] = JsonValue(vs);
+    report["counters"] = auditStats.toJson();
+    report["grants_tracked"] = static_cast<int64_t>(grantLog.size());
+    return JsonValue(report);
+}
+
+} // namespace cronus::inject

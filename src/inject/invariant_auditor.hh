@@ -1,0 +1,112 @@
+/**
+ * @file
+ * InvariantAuditor: runtime checking of the simulator's safety
+ * invariants under fault injection.
+ *
+ * Registered as the SrpcObserver of channels and as the grant hook
+ * of the Spm, the auditor checks on every operation:
+ *
+ *  - streamCheck   Sid <= Rid <= Sid + slots: the executor never
+ *                  runs ahead of the caller and the caller never
+ *                  outruns the ring (§IV-C);
+ *  - slot lifetime resultOf never reads a recycled slot: a result
+ *                  is only fetched while Rid - r < slots (see the
+ *                  rule in srpc.hh);
+ *  - grant         every grant created is torn down exactly once --
+ *    accounting    revoked on the normal path or retired by failure
+ *                  handling, never both, never twice, never leaked.
+ *
+ * Violations accumulate with descriptions; finalCheck() additionally
+ * flags grants still alive at teardown time. report() serializes
+ * counters and violations as JSON via base/stats.
+ */
+
+#ifndef CRONUS_INJECT_INVARIANT_AUDITOR_HH
+#define CRONUS_INJECT_INVARIANT_AUDITOR_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "core/srpc.hh"
+#include "tee/spm.hh"
+
+namespace cronus::inject
+{
+
+struct Violation
+{
+    /** "streamCheck", "slotLifetime" or "grantAccounting". */
+    std::string invariant;
+    std::string detail;
+};
+
+class InvariantAuditor : public core::SrpcObserver
+{
+  public:
+    InvariantAuditor() = default;
+    ~InvariantAuditor() override;
+
+    InvariantAuditor(const InvariantAuditor &) = delete;
+    InvariantAuditor &operator=(const InvariantAuditor &) = delete;
+
+    /** Install as @p spm's grant hook (grant accounting). */
+    void attachSpm(tee::Spm &spm);
+
+    /** Observe @p ch (stream + slot-lifetime checks). */
+    void attachChannel(core::SrpcChannel &ch);
+
+    /* --- SrpcObserver --- */
+    void onSetup(const core::SrpcChannel &ch,
+                 uint64_t grant_id) override;
+    void onEnqueue(const core::SrpcChannel &ch, uint64_t rid,
+                   uint64_t sid) override;
+    void onExecuted(const core::SrpcChannel &ch, uint64_t rid,
+                    uint64_t sid) override;
+    void onResultRead(const core::SrpcChannel &ch,
+                      uint64_t request_id, uint64_t rid,
+                      uint64_t sid) override;
+    void onFailed(const core::SrpcChannel &ch) override;
+    void onClosed(const core::SrpcChannel &ch, uint64_t grant_id,
+                  bool revoked) override;
+
+    /**
+     * End-of-run audit: flags grants created but never torn down.
+     * Returns ok() iff no violation was recorded during the whole
+     * run. Call after all channels are closed/destroyed.
+     */
+    Status finalCheck();
+
+    const std::vector<Violation> &violations() const
+    {
+        return violationLog;
+    }
+    StatGroup &statistics() { return auditStats; }
+
+    /** Counters + violations as a JSON audit report. */
+    JsonValue report() const;
+
+  private:
+    void onGrantEvent(const tee::GrantEvent &ev);
+    void streamCheck(const core::SrpcChannel &ch, uint64_t rid,
+                     uint64_t sid, const char *where);
+    void flag(const std::string &invariant, const std::string &detail);
+
+    struct GrantRecord
+    {
+        tee::PartitionId owner = 0;
+        tee::PartitionId peer = 0;
+        uint64_t created = 0;
+        uint64_t teardowns = 0;  ///< revokes + retires
+    };
+
+    tee::Spm *attachedSpm = nullptr;
+    std::map<uint64_t, GrantRecord> grantLog;
+    std::vector<Violation> violationLog;
+    StatGroup auditStats;
+};
+
+} // namespace cronus::inject
+
+#endif // CRONUS_INJECT_INVARIANT_AUDITOR_HH

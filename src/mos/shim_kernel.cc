@@ -50,6 +50,13 @@ ShimKernel::allocPages(uint64_t pages)
     return addr;
 }
 
+void
+ShimKernel::freePages(PhysAddr base, uint64_t pages)
+{
+    if (base + pages * hw::kPageSize == allocNext)
+        allocNext = base;
+}
+
 Result<Bytes>
 ShimKernel::read(PhysAddr addr, uint64_t len)
 {

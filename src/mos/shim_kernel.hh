@@ -46,6 +46,14 @@ class ShimKernel
     /** Allocate @p pages whole pages from the partition's range. */
     Result<PhysAddr> allocPages(uint64_t pages);
 
+    /**
+     * Return @p pages at @p base to the allocator. The allocator is
+     * a bump pointer, so only the most recent allocation is actually
+     * reclaimed; interior frees stay unavailable until the next mOS
+     * reload resets the allocator.
+     */
+    void freePages(PhysAddr base, uint64_t pages);
+
     /** Reset the allocator after an mOS reload (all allocations of
      *  the previous incarnation are gone with the scrub). */
     void resetAllocator(uint64_t reserved_bytes = 64 * hw::kPageSize);

@@ -239,6 +239,8 @@ Spm::scrubPartition(Partition &p, const MosImage &image)
             for (uint64_t i = 0; i < g.pages; ++i)
                 pageShareCount[g.base + i * hw::kPageSize] = 0;
         }
+        stats.counter("grants_retired").inc();
+        notifyGrant(GrantEvent::Kind::Retired, g);
     }
 }
 
@@ -329,9 +331,16 @@ Spm::handleInvalidatedAccess(Partition &accessor, PhysAddr addr)
             plat.clock().advance(plat.costs().pageTableUpdateNs);
         }
         g.pendingTrap = false;
+        bool was_active = g.active;
         g.active = false;
         for (uint64_t i = 0; i < g.pages; ++i)
             pageShareCount[g.base + i * hw::kPageSize] = 0;
+        if (was_active) {
+            /* Already-revoked grants only need the page-table
+             * cleanup above; their teardown was accounted. */
+            stats.counter("grants_retired").inc();
+            notifyGrant(GrantEvent::Kind::Retired, g);
+        }
 
         if (trapHandler)
             trapHandler(TrapSignal{accessor.id, g.failedSide, gid,
@@ -343,9 +352,22 @@ Spm::handleInvalidatedAccess(Partition &accessor, PhysAddr addr)
                   "access to invalidated page without grant");
 }
 
+void
+Spm::notifyGrant(GrantEvent::Kind kind, const ShareGrant &g)
+{
+    if (grantHook)
+        grantHook(GrantEvent{kind, g.id, g.owner, g.peer});
+}
+
 Result<Bytes>
 Spm::read(PartitionId pid, PhysAddr addr, uint64_t len)
 {
+    if (accessHook) {
+        Status s = accessHook(SpmAccess{pid, addr, len, false,
+                                        ++accessSeq});
+        if (!s.isOk())
+            return s;
+    }
     auto pr = mutablePartition(pid);
     if (!pr.isOk())
         return pr.status();
@@ -365,6 +387,12 @@ Status
 Spm::write(PartitionId pid, PhysAddr addr, const uint8_t *data,
            uint64_t len)
 {
+    if (accessHook) {
+        Status s = accessHook(SpmAccess{pid, addr, len, true,
+                                        ++accessSeq});
+        if (!s.isOk())
+            return s;
+    }
     auto pr = mutablePartition(pid);
     if (!pr.isOk())
         return pr.status();
@@ -450,6 +478,7 @@ Spm::sharePages(PartitionId owner, PartitionId peer, PhysAddr base,
     g.active = true;
     grants.emplace(gid, g);
     stats.counter("grants_created").inc();
+    notifyGrant(GrantEvent::Kind::Created, g);
     return gid;
 }
 
@@ -474,6 +503,8 @@ Spm::revokeGrant(uint64_t grant_id, PartitionId requester)
     for (uint64_t i = 0; i < g.pages; ++i)
         pageShareCount[g.base + i * hw::kPageSize] = 0;
     g.active = false;
+    stats.counter("grants_revoked").inc();
+    notifyGrant(GrantEvent::Kind::Revoked, g);
     return Status::ok();
 }
 

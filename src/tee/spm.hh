@@ -99,6 +99,33 @@ struct TrapSignal
     PhysAddr addr = 0;
 };
 
+/** One checked memory access, as presented to the access hook. */
+struct SpmAccess
+{
+    PartitionId pid = 0;
+    PhysAddr addr = 0;
+    uint64_t len = 0;
+    bool isWrite = false;
+    /** 1-based ordinal of this access since the hook was installed;
+     *  fault plans use it as a deterministic trigger point. */
+    uint64_t seq = 0;
+};
+
+/** Grant lifecycle event, as presented to the grant hook. */
+struct GrantEvent
+{
+    enum class Kind
+    {
+        Created,  ///< sharePages succeeded
+        Revoked,  ///< revokeGrant tore it down (normal path)
+        Retired,  ///< failure handling tore it down (trap/scrub)
+    };
+    Kind kind = Kind::Created;
+    uint64_t id = 0;
+    PartitionId owner = 0;
+    PartitionId peer = 0;
+};
+
 class Spm
 {
   public:
@@ -195,6 +222,26 @@ class Spm
         trapHandler = std::move(handler);
     }
 
+    /* ---------------- injection / audit hooks ---------------- */
+
+    /**
+     * Installed ahead of every read()/write() translation. A non-OK
+     * return aborts the access with that status (fault injection);
+     * the hook may also kill partitions (panic) before the access
+     * proceeds, turning it into a proceed-trap. Resets the access
+     * ordinal. Pass an empty function to uninstall.
+     */
+    using AccessHook = std::function<Status(const SpmAccess &)>;
+    void setAccessHook(AccessHook hook)
+    {
+        accessHook = std::move(hook);
+        accessSeq = 0;
+    }
+
+    /** Observes grant create/revoke/retire (invariant auditing). */
+    using GrantHook = std::function<void(const GrantEvent &)>;
+    void setGrantHook(GrantHook hook) { grantHook = std::move(hook); }
+
     SecureMonitor &monitor() { return sm; }
     StatGroup &statistics() { return stats; }
 
@@ -213,11 +260,16 @@ class Spm
     std::map<uint64_t, ShareGrant> grants;
     std::map<PhysAddr, uint64_t> pageShareCount;
     std::map<PartitionId, uint64_t> lastHeartbeat;
+    void notifyGrant(GrantEvent::Kind kind, const ShareGrant &g);
+
     PartitionId nextPid = 1;
     uint64_t nextGrant = 1;
     PhysAddr nextSecureAlloc;
     StatGroup stats;
     TrapHandler trapHandler;
+    AccessHook accessHook;
+    GrantHook grantHook;
+    uint64_t accessSeq = 0;
 };
 
 } // namespace cronus::tee

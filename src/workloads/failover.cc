@@ -3,6 +3,8 @@
 #include "accel/builtin_kernels.hh"
 #include "core/auto_partition.hh"
 #include "core/system.hh"
+#include "inject/injector.hh"
+#include "inject/invariant_auditor.hh"
 
 namespace cronus::workloads
 {
@@ -147,16 +149,34 @@ runFailoverTimeline(const FailoverConfig &config)
     if (!cpu.isOk())
         return cpu.status();
 
+    /* Audits grant accounting, streamCheck and slot lifetimes for
+     * the whole run; attached before the first channel exists. */
+    inject::InvariantAuditor auditor;
+    auditor.attachSpm(system.spm());
+
     MatrixTask task_a, task_b;
     CRONUS_RETURN_IF_ERROR(
         task_a.start(system, cpu.value(), "gpu0", config.matrixDim));
     CRONUS_RETURN_IF_ERROR(
         task_b.start(system, cpu.value(), "gpu1", config.matrixDim));
+    auditor.attachChannel(*task_a.channel);
+    auditor.attachChannel(*task_b.channel);
 
     hw::Platform &plat = system.platform();
     SimTime origin = plat.clock().now();
-    SimTime crash_at = origin + config.crashAtNs;
     SimTime end_at = origin + config.runForNs;
+
+    /* The crash is scripted, not hand-delivered: the plan kills
+     * gpu0's partition on the first checked SPM access at or after
+     * the crash time, and the tasks find out via proceed-trap. */
+    auto gpu0_mos = system.mosForDevice("gpu0");
+    if (!gpu0_mos.isOk())
+        return gpu0_mos.status();
+    inject::FaultPlan plan(config.faultSeed);
+    plan.killAtTime(origin + config.crashAtNs,
+                    gpu0_mos.value()->partitionId());
+    inject::FaultInjector injector(system.spm(), plan);
+    injector.arm();
 
     ThroughputSeries series_a(config.bucketNs);
     ThroughputSeries series_b(config.bucketNs);
@@ -165,44 +185,41 @@ runFailoverTimeline(const FailoverConfig &config)
     bool crashed = false;
     SimTime recovered_at = 0;
     while (plat.clock().now() < end_at) {
-        SimTime now = plat.clock().now();
-
-        if (!crashed && now >= crash_at) {
-            /* A hardware/software fault panics gpu0's mOS. */
-            CRONUS_RETURN_IF_ERROR(system.injectPanic("gpu0"));
-            task_a.alive = false;
-            crashed = true;
-
-            /* Proceed-trap recovery runs concurrently with task B:
-             * the SPM clears + reloads gpu0's partition while gpu1
-             * keeps serving. Task B steps fill the recovery window,
-             * then the (already-elapsed) recovery completes without
-             * charging the clock twice. */
-            auto estimate = system.recoveryEstimate("gpu0");
-            if (!estimate.isOk())
-                return estimate.status();
-            SimTime recover_start = plat.clock().now();
-            SimTime done_at = recover_start + estimate.value();
-            while (plat.clock().now() < done_at &&
-                   plat.clock().now() < end_at) {
-                if (!task_b.step().isOk())
-                    break;
-                series_b.record(plat.clock().now() - origin);
-                ++timeline.taskBStepsDuringOutage;
-            }
-            plat.clock().advanceTo(done_at);
-            CRONUS_RETURN_IF_ERROR(system.recover("gpu0", false));
-            CRONUS_RETURN_IF_ERROR(task_a.start(
-                system, cpu.value(), "gpu0", config.matrixDim));
-            recovered_at = plat.clock().now();
-            timeline.recoveryNs = recovered_at - recover_start;
-            continue;
-        }
-
         /* Alternate the two tasks. */
         if (task_a.alive) {
-            if (task_a.step().isOk())
+            if (task_a.step().isOk()) {
                 series_a.record(plat.clock().now() - origin);
+            } else if (!crashed && injector.allFired()) {
+                /* The injected kill surfaced through the proceed-
+                 * trap path: a step's shared-memory access returned
+                 * PeerFailed. Recovery runs concurrently with task
+                 * B: the SPM clears + reloads gpu0's partition while
+                 * gpu1 keeps serving. Task B steps fill the recovery
+                 * window, then the (already-elapsed) recovery
+                 * completes without charging the clock twice. */
+                crashed = true;
+                auto estimate = system.recoveryEstimate("gpu0");
+                if (!estimate.isOk())
+                    return estimate.status();
+                SimTime recover_start = plat.clock().now();
+                SimTime done_at = recover_start + estimate.value();
+                while (plat.clock().now() < done_at &&
+                       plat.clock().now() < end_at) {
+                    if (!task_b.step().isOk())
+                        break;
+                    series_b.record(plat.clock().now() - origin);
+                    ++timeline.taskBStepsDuringOutage;
+                }
+                plat.clock().advanceTo(done_at);
+                CRONUS_RETURN_IF_ERROR(system.recover("gpu0",
+                                                      false));
+                CRONUS_RETURN_IF_ERROR(task_a.start(
+                    system, cpu.value(), "gpu0", config.matrixDim));
+                auditor.attachChannel(*task_a.channel);
+                recovered_at = plat.clock().now();
+                timeline.recoveryNs = recovered_at - recover_start;
+                continue;
+            }
         }
         if (task_b.alive) {
             if (task_b.step().isOk()) {
@@ -215,9 +232,19 @@ runFailoverTimeline(const FailoverConfig &config)
         }
     }
 
+    /* Orderly teardown before the audit: close both channels so
+     * every grant reaches its teardown event. */
+    task_a.channel.reset();
+    task_b.channel.reset();
+    injector.disarm();
+
     timeline.taskARate = series_a.ratesPerSecond(config.runForNs);
     timeline.taskBRate = series_b.ratesPerSecond(config.runForNs);
     timeline.machineRebootNs = plat.costs().machineRebootNs;
+    timeline.injectionReport = injector.report().dump();
+    (void)auditor.finalCheck();
+    timeline.auditViolations = auditor.violations().size();
+    timeline.auditReport = auditor.report().dump();
     return timeline;
 }
 

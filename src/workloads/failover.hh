@@ -3,10 +3,14 @@
  * Failover timeline driver (§VI-D, Fig. 9).
  *
  * Two matrix-computing tasks run on separate S-EL2 partitions (two
- * GPUs). Mid-run, one partition is crashed. CRONUS's proceed-trap
- * recovery restarts only the fault-inducing partition (hundreds of
- * ms) and the other task is never interrupted; the monolithic
- * comparator reboots the whole machine (minutes) and loses both.
+ * GPUs). Mid-run, one partition is crashed by a deterministic fault
+ * plan (src/inject/): the injected kill fires inside a checked SPM
+ * access, so the victim's peers discover it through the proceed-trap
+ * path exactly as on real hardware. CRONUS's recovery restarts only
+ * the fault-inducing partition (hundreds of ms) and the other task
+ * is never interrupted; the monolithic comparator reboots the whole
+ * machine (minutes) and loses both. An InvariantAuditor rides along
+ * and the timeline carries its report.
  */
 
 #ifndef CRONUS_WORKLOADS_FAILOVER_HH
@@ -25,6 +29,8 @@ struct FailoverConfig
     SimTime bucketNs = 100 * kNsPerMs;
     /** Matrix dimension per task step. */
     uint64_t matrixDim = 48;
+    /** Seed of the deterministic fault plan (src/inject/). */
+    uint64_t faultSeed = 1;
 };
 
 struct FailoverTimeline
@@ -38,6 +44,12 @@ struct FailoverTimeline
     SimTime machineRebootNs = 0;
     /** Task B steps completed while A was down (isolation proof). */
     uint64_t taskBStepsDuringOutage = 0;
+    /** Fault-injection log (JSON) from the FaultInjector. */
+    std::string injectionReport;
+    /** Invariant audit report (JSON) from the InvariantAuditor. */
+    std::string auditReport;
+    /** Violations the auditor recorded; a clean run has zero. */
+    uint64_t auditViolations = 0;
 };
 
 Result<FailoverTimeline> runFailoverTimeline(

@@ -2,6 +2,8 @@
 
 #include "test_fixtures.hh"
 
+#include "inject/injector.hh"
+#include "inject/invariant_auditor.hh"
 #include "workloads/sharing.hh"
 
 namespace cronus::core
@@ -76,6 +78,159 @@ TEST_F(SrpcEdgeTest, ResultOfValidation)
     ASSERT_TRUE(channel->drain().isOk());
     EXPECT_EQ(channel->resultOf(rid.value()).code(),
               ErrorCode::NotFound);  /* slot recycled */
+}
+
+TEST_F(SrpcEdgeTest, RingWraparoundRecyclesSlotAtExactDistance)
+{
+    /* Slot-lifetime rule: request r's slot counts as recycled the
+     * moment Rid - r == slots, because slotOffset wraps mod slots.
+     * The old `>` check handed back the slot's contents at exactly
+     * ring distance. */
+    SrpcConfig cfg;
+    cfg.slots = 4;
+    cfg.slotBytes = 4096;
+    auto channel = std::move(system->connect(cpu, gpu, cfg).value());
+
+    auto first = channel->callAsync(
+        "cuMemAlloc", CudaRuntime::encodeMemAlloc(64));
+    ASSERT_TRUE(first.isOk());
+    /* Fill the rest of the ring: Rid - first == slots afterwards. */
+    for (uint64_t i = 1; i < cfg.slots; ++i)
+        ASSERT_TRUE(channel->callAsync(
+            "cuMemAlloc", CudaRuntime::encodeMemAlloc(64)).isOk());
+    ASSERT_TRUE(channel->drain().isOk());
+
+    EXPECT_EQ(channel->requestIndex() - first.value(), cfg.slots);
+    EXPECT_EQ(channel->resultOf(first.value()).code(),
+              ErrorCode::NotFound);
+    /* Every younger request is still within its slot lifetime. */
+    for (uint64_t r = first.value() + 1;
+         r < channel->requestIndex(); ++r)
+        EXPECT_TRUE(channel->resultOf(r).isOk()) << "rid " << r;
+    ASSERT_TRUE(channel->close().isOk());
+}
+
+TEST_F(SrpcEdgeTest, FailureInjectedMidPumpSurfacesPeerFailed)
+{
+    auto channel = std::move(system->connect(cpu, gpu).value());
+    ASSERT_TRUE(channel->callAsync(
+        "cuMemAlloc", CudaRuntime::encodeMemAlloc(64)).isOk());
+
+    /* Kill the callee's partition on its next checked read: that is
+     * the executor fetching Rid inside pump(), so the failure lands
+     * mid-pump and must surface as PeerFailed, not hang or crash. */
+    auto gpu_pid = gpu.host->partitionId();
+    inject::FaultPlan plan(3);
+    plan.killOnAccess(1, gpu_pid,
+                      inject::AccessFilter::readsBy(gpu_pid));
+    inject::FaultInjector injector(system->spm(), plan);
+    injector.arm();
+
+    EXPECT_EQ(channel->drain().code(), ErrorCode::PeerFailed);
+    EXPECT_TRUE(channel->failed());
+    EXPECT_TRUE(injector.allFired());
+    injector.disarm();
+
+    /* Further traffic is refused; closing still releases state. */
+    EXPECT_EQ(channel->callAsync("cuCtxSynchronize", Bytes{}).code(),
+              ErrorCode::PeerFailed);
+    EXPECT_TRUE(channel->close().isOk());
+}
+
+TEST_F(SrpcEdgeTest, CloseAfterPeerFailureReleasesResources)
+{
+    auto channel = std::move(system->connect(cpu, gpu).value());
+    uint64_t grant_id = channel->grantId();
+
+    ASSERT_TRUE(
+        system->spm().panic(gpu.host->partitionId()).isOk());
+    /* The caller's next ring access proceed-traps. */
+    EXPECT_EQ(channel->callSync("cuCtxSynchronize", Bytes{}).code(),
+              ErrorCode::PeerFailed);
+    EXPECT_TRUE(channel->failed());
+
+    /* close() on a failed channel is the orderly path: it must
+     * release the smem and report success, and a second close is
+     * still rejected. */
+    EXPECT_TRUE(channel->close().isOk());
+    EXPECT_EQ(channel->close().code(), ErrorCode::InvalidState);
+    auto g = system->spm().grant(grant_id);
+    ASSERT_TRUE(g.isOk());
+    EXPECT_FALSE(g.value()->active);
+    EXPECT_TRUE(system->spm()
+                    .grantsOf(cpu.host->partitionId())
+                    .empty());
+}
+
+TEST_F(SrpcEdgeTest, SetupFailureDoesNotLeakPagesOrGrant)
+{
+    inject::InvariantAuditor auditor;
+    auditor.attachSpm(system->spm());
+
+    /* Fail the caller's first checked write during connect: that is
+     * the ring-header magic write, which happens after the smem
+     * pages were allocated and shared -- the error path must give
+     * both back. */
+    auto cpu_pid = cpu.host->partitionId();
+    inject::FaultPlan plan(5);
+    plan.failAccess(1, inject::AccessFilter::writesBy(cpu_pid));
+    inject::FaultInjector injector(system->spm(), plan);
+    injector.arm();
+    auto failed = system->connect(cpu, gpu);
+    EXPECT_FALSE(failed.isOk());
+    EXPECT_TRUE(injector.allFired());
+    injector.disarm();
+
+    EXPECT_TRUE(system->spm().grantsOf(cpu_pid).empty());
+    /* The bump allocator got its pages back: fresh channels keep
+     * fitting in the partition despite the failed attempt. */
+    for (int round = 0; round < 8; ++round) {
+        auto retry = system->connect(cpu, gpu);
+        ASSERT_TRUE(retry.isOk()) << "round " << round << ": "
+                                  << retry.status().toString();
+        ASSERT_TRUE(retry.value()->close().isOk());
+    }
+    EXPECT_TRUE(auditor.finalCheck().isOk())
+        << auditor.report().dump();
+}
+
+TEST_F(SrpcEdgeTest, OversizedResponseIsOrderlyError)
+{
+    /* Small ring: response half of a slot holds 2032 bytes. */
+    SrpcConfig cfg;
+    cfg.slots = 4;
+    cfg.slotBytes = 4096;
+    auto channel = std::move(system->connect(cpu, gpu, cfg).value());
+
+    auto va = channel->callSync("cuMemAlloc",
+                                CudaRuntime::encodeMemAlloc(4096));
+    ASSERT_TRUE(va.isOk());
+    uint64_t buf = CudaRuntime::decodeU64Result(va.value()).value();
+
+    /* A 4 KiB readback cannot fit the response half: the executor
+     * must answer with an error frame, not corrupt the ring. */
+    auto big = channel->callSync(
+        "cuMemcpyDtoH", CudaRuntime::encodeMemcpyDtoH(buf, 4096));
+    EXPECT_EQ(big.code(), ErrorCode::ResourceExhausted);
+
+    /* The channel survives and keeps serving. */
+    EXPECT_TRUE(channel->callSync("cuCtxSynchronize", Bytes{})
+                    .isOk());
+    ASSERT_TRUE(channel->close().isOk());
+}
+
+TEST_F(SrpcEdgeTest, ResponseBytesCountedInTransferStats)
+{
+    auto channel = std::move(system->connect(cpu, gpu).value());
+    ASSERT_EQ(channel->stats().bytesTransferred, 0u);
+
+    ASSERT_TRUE(channel->callSync("cuCtxSynchronize", Bytes{})
+                    .isOk());
+    /* Request frame: 4-byte string length + 16-byte name + 4-byte
+     * empty args = 24. Response frame: 4-byte status + 4-byte
+     * payload length = 8. Both directions count. */
+    EXPECT_EQ(channel->stats().bytesTransferred, 24u + 8u);
+    ASSERT_TRUE(channel->close().isOk());
 }
 
 TEST_F(SrpcEdgeTest, DoubleCloseRejected)

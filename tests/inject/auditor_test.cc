@@ -1,0 +1,130 @@
+/** InvariantAuditor: clean runs pass, violations are caught. */
+
+#include <gtest/gtest.h>
+
+#include "../core/test_fixtures.hh"
+#include "inject/injector.hh"
+#include "inject/invariant_auditor.hh"
+
+namespace cronus::inject
+{
+namespace
+{
+
+using core::testing::CronusTest;
+
+class AuditorTest : public CronusTest
+{
+  protected:
+    void
+    SetUp() override
+    {
+        CronusTest::SetUp();
+        auditor.attachSpm(system->spm());
+        cpu = makeCpuEnclave().value();
+        gpu = makeGpuEnclave().value();
+    }
+
+    /* Declared before any channel so channels are destroyed (and
+     * report their teardown) while the auditor is still alive. */
+    InvariantAuditor auditor;
+    core::AppHandle cpu, gpu;
+};
+
+TEST_F(AuditorTest, CleanRunPassesFinalCheck)
+{
+    {
+        auto channel = std::move(system->connect(cpu, gpu).value());
+        auditor.attachChannel(*channel);
+        for (int i = 0; i < 4; ++i)
+            ASSERT_TRUE(
+                channel->callSync("cuCtxSynchronize", Bytes{})
+                    .isOk());
+        ASSERT_TRUE(channel->close().isOk());
+    }
+    EXPECT_TRUE(auditor.finalCheck().isOk())
+        << auditor.report().dump();
+    EXPECT_EQ(auditor.statistics().value("grants_created"), 1u);
+    EXPECT_EQ(auditor.statistics().value("grants_revoked"), 1u);
+    EXPECT_EQ(auditor.statistics().value("enqueues"), 4u);
+    EXPECT_EQ(auditor.statistics().value("executions"), 4u);
+    EXPECT_EQ(auditor.statistics().value("violations"), 0u);
+
+    auto parsed = parseJson(auditor.report().dump());
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_TRUE(parsed.value()["ok"].asBool());
+    EXPECT_EQ(parsed.value()["counters"]["enqueues"].asInt(), 4);
+}
+
+TEST_F(AuditorTest, FailedChannelStillBalancesGrantAccounting)
+{
+    {
+        auto channel = std::move(system->connect(cpu, gpu).value());
+        auditor.attachChannel(*channel);
+        ASSERT_TRUE(
+            system->spm().panic(gpu.host->partitionId()).isOk());
+        EXPECT_EQ(channel->callSync("cuCtxSynchronize", Bytes{})
+                      .code(),
+                  ErrorCode::PeerFailed);
+        EXPECT_TRUE(channel->close().isOk());
+    }
+    /* The grant was retired by the trap path, not revoked twice. */
+    EXPECT_TRUE(auditor.finalCheck().isOk())
+        << auditor.report().dump();
+    EXPECT_EQ(auditor.statistics().value("grants_created"), 1u);
+    EXPECT_EQ(auditor.statistics().value("grants_retired"), 1u);
+    EXPECT_EQ(auditor.statistics().value("grants_revoked"), 0u);
+    EXPECT_EQ(auditor.statistics().value("channel_failures"), 1u);
+}
+
+TEST_F(AuditorTest, LeakedGrantIsFlaggedByFinalCheck)
+{
+    /* A raw share with no teardown: exactly what the auditor is for
+     * (every grant created must be torn down exactly once). */
+    auto cpu_pid = cpu.host->partitionId();
+    auto gpu_pid = gpu.host->partitionId();
+    tee::PhysAddr base =
+        system->spm().partition(cpu_pid).value()->memBase;
+    ASSERT_TRUE(
+        system->spm().sharePages(cpu_pid, gpu_pid, base, 1).isOk());
+
+    Status verdict = auditor.finalCheck();
+    EXPECT_EQ(verdict.code(), ErrorCode::IntegrityViolation);
+    ASSERT_EQ(auditor.violations().size(), 1u);
+    EXPECT_EQ(auditor.violations()[0].invariant, "grantAccounting");
+    EXPECT_NE(auditor.violations()[0].detail.find("never torn down"),
+              std::string::npos);
+}
+
+TEST_F(AuditorTest, CorruptedRidHeaderTripsStreamCheck)
+{
+    core::SrpcConfig cfg;
+    cfg.slots = 4;
+    cfg.slotBytes = 4096;
+    auto channel =
+        std::move(system->connect(cpu, gpu, cfg).value());
+    auditor.attachChannel(*channel);
+    ASSERT_TRUE(channel->callAsync("cuCtxSynchronize", Bytes{})
+                    .isOk());
+
+    /* Corrupt the ring's Rid field to a value far beyond the real
+     * request index; the executor then runs ahead of the caller and
+     * the auditor must flag Sid > Rid. */
+    FaultPlan plan(9);
+    plan.corruptHeader(1, "rid", 100, 0);
+    FaultInjector injector(system->spm(), plan);
+    injector.attachChannel(*channel);
+    injector.arm();
+    channel->pump(3);
+    injector.disarm();
+
+    EXPECT_TRUE(injector.allFired());
+    EXPECT_FALSE(auditor.violations().empty());
+    EXPECT_EQ(auditor.violations()[0].invariant, "streamCheck");
+    EXPECT_FALSE(auditor.finalCheck().isOk());
+    /* Teardown still works on the wrecked channel. */
+    channel->close();
+}
+
+} // namespace
+} // namespace cronus::inject
