@@ -1,0 +1,151 @@
+/**
+ * @file
+ * CLI front-end for the deterministic scenario fuzzer (src/fuzz/).
+ *
+ *   fuzz_runner                     run the default 50-seed corpus
+ *   fuzz_runner --runs N            run seeds 1..N
+ *   fuzz_runner --seed S            run one seed (prints the trace)
+ *   fuzz_runner --replay FILE       re-run a scenario or trace JSON
+ *   fuzz_runner --plant-bug         enable the test-only planted bug
+ *   fuzz_runner --no-shrink         skip minimization on failure
+ *
+ * On any oracle failure it prints the seed, the failure list, the
+ * full decision trace and (unless --no-shrink) the greedily
+ * minimized repro scenario, then exits 1. The printed trace/minimal
+ * JSON can be fed straight back to --replay.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/fuzz.hh"
+
+using namespace cronus;
+using namespace cronus::fuzz;
+
+namespace
+{
+
+void
+printFailure(const FuzzReport &rep)
+{
+    std::printf("FAIL seed=%llu (%zu oracle failure%s)\n",
+                static_cast<unsigned long long>(rep.seed),
+                rep.failures.size(),
+                rep.failures.size() == 1 ? "" : "s");
+    for (const FuzzFailure &f : rep.failures)
+        std::printf("  [%s] %s\n", f.oracle.c_str(),
+                    f.detail.c_str());
+    std::printf("--- trace ---\n%s\n", rep.trace.dump().c_str());
+    if (rep.shrunk)
+        std::printf("--- minimal repro (%zu ops) ---\n%s\n",
+                    rep.minimal.ops.size(),
+                    rep.minimal.toJson().dump().c_str());
+}
+
+int
+replayFile(const std::string &path, const FuzzOptions &opts)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto sc = Scenario::parse(text.str());
+    if (!sc.isOk()) {
+        std::fprintf(stderr, "cannot parse %s: %s\n", path.c_str(),
+                     sc.status().toString().c_str());
+        return 2;
+    }
+    FuzzReport rep = fuzzScenario(sc.value(), opts);
+    if (!rep.ok) {
+        printFailure(rep);
+        return 1;
+    }
+    std::printf("PASS replay of %s (seed=%llu, %zu ops)\n",
+                path.c_str(),
+                static_cast<unsigned long long>(rep.seed),
+                sc.value().ops.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FuzzOptions opts;
+    uint64_t seed = 0;
+    bool haveSeed = false;
+    size_t runs = 50;
+    bool haveRuns = false;
+    std::string replayPath;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            seed = std::strtoull(next(), nullptr, 0);
+            haveSeed = true;
+        } else if (arg == "--runs") {
+            runs = std::strtoull(next(), nullptr, 0);
+            haveRuns = true;
+        } else if (arg == "--replay") {
+            replayPath = next();
+        } else if (arg == "--plant-bug") {
+            opts.plantBug = true;
+        } else if (arg == "--no-shrink") {
+            opts.shrink = false;
+        } else {
+            std::fprintf(stderr,
+                         "usage: fuzz_runner [--seed S] [--runs N] "
+                         "[--replay FILE] [--plant-bug] "
+                         "[--no-shrink]\n");
+            return 2;
+        }
+    }
+
+    if (!replayPath.empty())
+        return replayFile(replayPath, opts);
+
+    if (haveSeed && !haveRuns) {
+        FuzzReport rep = fuzzSeed(seed, opts);
+        if (!rep.ok) {
+            printFailure(rep);
+            return 1;
+        }
+        std::printf("PASS seed=%llu\n%s\n",
+                    static_cast<unsigned long long>(seed),
+                    rep.trace.dump().c_str());
+        return 0;
+    }
+
+    size_t done = 0;
+    for (uint64_t s : defaultCorpus(runs)) {
+        FuzzReport rep = fuzzSeed(s, opts);
+        if (!rep.ok) {
+            printFailure(rep);
+            std::printf("reproduce with: fuzz_runner --seed %llu%s\n",
+                        static_cast<unsigned long long>(s),
+                        opts.plantBug ? " --plant-bug" : "");
+            return 1;
+        }
+        ++done;
+        if (done % 25 == 0 || done == runs)
+            std::printf("... %zu/%zu seeds ok\n", done, runs);
+    }
+    std::printf("PASS %zu seeds, no oracle failures\n", done);
+    return 0;
+}

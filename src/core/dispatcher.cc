@@ -51,8 +51,11 @@ EnclaveDispatcher::partitionFor(const std::string &device_type,
             best_load = load;
         }
     }
-    if (best != nullptr)
+    if (best != nullptr) {
+        if (placementObserver)
+            placementObserver(device_type, device_name, best);
         return best;
+    }
     return Status(ErrorCode::NotFound,
                   "no partition manages a '" + device_type +
                   "' device" +

@@ -58,10 +58,25 @@ class EnclaveDispatcher
         routeObserver = std::move(observer);
     }
 
+    /**
+     * Observes every successful placement decision made by
+     * partitionFor() (the fuzzer records these in its decision
+     * trace); called with the requested type/name and the chosen
+     * mOS.
+     */
+    using PlacementObserver = std::function<void(
+        const std::string & /*device_type*/,
+        const std::string & /*device_name*/, MicroOS *)>;
+    void setPlacementObserver(PlacementObserver observer)
+    {
+        placementObserver = std::move(observer);
+    }
+
   private:
     std::vector<MicroOS *> registered;
     std::function<MicroOS *(Eid)> misroute;
     RouteObserver routeObserver;
+    PlacementObserver placementObserver;
 };
 
 } // namespace cronus::core

@@ -183,6 +183,9 @@ CronusSystem::ecall(AppHandle &handle, const std::string &fn,
     auto result = os.value()->enclaveManager().ecall(handle.eid, fn,
                                                      args, nonce, tag);
     sm->worldSwitch();
+    if (ecallObserver)
+        ecallObserver(handle.eid, fn, result.status(),
+                      result.isOk() ? result.value() : Bytes{});
     return result;
 }
 

@@ -125,6 +125,20 @@ class CronusSystem
     }
 
     /**
+     * Observes every untrusted-path mECall after it returned:
+     * (eid, fn, status, result payload -- empty on error). The
+     * scenario fuzzer uses this to snapshot enclave outputs for its
+     * reference-model oracle without touching the call path.
+     */
+    using EcallObserver = std::function<void(
+        Eid, const std::string & /*fn*/, const Status &,
+        const Bytes & /*result*/)>;
+    void setEcallObserver(EcallObserver observer)
+    {
+        ecallObserver = std::move(observer);
+    }
+
+    /**
      * Operational counters as a JSON document: virtual time, world
      * switches, partition lifecycle events, shared-memory grants,
      * traps, hardware-filter faults, and per-partition enclave
@@ -154,6 +168,7 @@ class CronusSystem
     std::vector<std::unique_ptr<PartitionRecord>> records;
     std::map<std::string, crypto::KeyPair> vendorKeys;
     std::vector<tee::TrapSignal> observedTraps;
+    EcallObserver ecallObserver;
 };
 
 } // namespace cronus::core

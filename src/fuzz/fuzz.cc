@@ -1,0 +1,234 @@
+#include "fuzz.hh"
+
+#include <algorithm>
+
+#include "shrinker.hh"
+
+namespace cronus::fuzz
+{
+
+namespace
+{
+
+std::string
+hexPreview(const Bytes &b)
+{
+    if (b.empty())
+        return "(empty)";
+    std::string h = hexBytes(b);
+    if (h.size() > 48)
+        h = h.substr(0, 48) + "...";
+    return h + " (" + std::to_string(b.size()) + "B)";
+}
+
+void
+addFailure(FuzzReport &rep, const std::string &oracle,
+           const std::string &detail, int opIndex = -1)
+{
+    FuzzFailure f;
+    f.oracle = oracle;
+    f.detail = detail;
+    f.opIndex = opIndex;
+    rep.failures.push_back(std::move(f));
+}
+
+std::string
+opLabel(const Scenario &sc, size_t i)
+{
+    std::string s = "op " + std::to_string(i);
+    if (i < sc.ops.size()) {
+        s += " ";
+        s += opKindName(sc.ops[i].kind);
+    }
+    return s;
+}
+
+/** Reference + security oracles over one run's records. */
+void
+checkAgainstReference(const Scenario &sc, const RunReport &run,
+                      const std::vector<ExpectedOp> &expected,
+                      const std::string &tag, FuzzReport &rep)
+{
+    size_t n = std::min(run.records.size(), expected.size());
+    for (size_t i = 0; i < n; ++i) {
+        const OpRecord &r = run.records[i];
+        const ExpectedOp &e = expected[i];
+        if (r.tainted)
+            continue;
+        if (e.isAttack) {
+            if (!r.blocked)
+                addFailure(rep, "security",
+                           tag + opLabel(sc, i) +
+                               ": attack not blocked (code " +
+                               r.code + ")",
+                           static_cast<int>(i));
+            continue;
+        }
+        if (r.code != e.code) {
+            addFailure(rep, "reference",
+                       tag + opLabel(sc, i) + ": code " + r.code +
+                           ", expected " + e.code,
+                       static_cast<int>(i));
+        } else if (r.output != e.output) {
+            addFailure(rep, "reference",
+                       tag + opLabel(sc, i) + ": output " +
+                           hexPreview(r.output) + ", expected " +
+                           hexPreview(e.output),
+                       static_cast<int>(i));
+        }
+    }
+    if (run.records.size() != expected.size())
+        addFailure(rep, "reference",
+                   tag + "ran " +
+                       std::to_string(run.records.size()) +
+                       " ops, expected " +
+                       std::to_string(expected.size()));
+}
+
+/** Audit oracle: auditor must stay clean unless a CorruptHeader
+ *  fault actually fired in this run. */
+void
+checkAudit(const RunReport &run, const std::string &tag,
+           FuzzReport &rep)
+{
+    if (run.corruptFired)
+        return;
+    for (const inject::Violation &v : run.violations)
+        addFailure(rep, "audit",
+                   tag + v.invariant + ": " + v.detail);
+    if (run.violations.empty() && run.finalCheck != "Ok")
+        addFailure(rep, "audit", tag + "finalCheck: " + run.finalCheck);
+}
+
+} // namespace
+
+JsonValue
+FuzzReport::toJson() const
+{
+    JsonObject root;
+    root["schema"] = std::string("cronus-fuzz-report-v1");
+    root["seed"] = static_cast<int64_t>(seed);
+    root["ok"] = ok;
+    JsonArray fails;
+    for (const FuzzFailure &f : failures) {
+        JsonObject o;
+        o["oracle"] = f.oracle;
+        o["detail"] = f.detail;
+        if (f.opIndex >= 0)
+            o["op"] = static_cast<int64_t>(f.opIndex);
+        fails.push_back(std::move(o));
+    }
+    root["failures"] = std::move(fails);
+    root["shrunk"] = shrunk;
+    if (shrunk)
+        root["minimal"] = minimal.toJson();
+    root["trace"] = trace;
+    return root;
+}
+
+FuzzReport
+fuzzScenario(const Scenario &sc, const FuzzOptions &opts)
+{
+    FuzzReport rep;
+    rep.seed = sc.seed;
+    rep.scenario = sc;
+
+    std::vector<ExpectedOp> expected = referenceRun(sc);
+
+    RunOptions fopts;
+    fopts.withFaults = true;
+    fopts.plantBug = opts.plantBug;
+    RunReport faulted = runScenario(sc, fopts);
+    rep.trace = faulted.toJson(sc, fopts);
+
+    if (!faulted.setupOk) {
+        addFailure(rep, "runner",
+                   "setup failed: " + faulted.setupError);
+    } else {
+        checkAgainstReference(sc, faulted, expected, "", rep);
+        checkAudit(faulted, "", rep);
+        /* Liveness: every never-faulted channel drains clean. */
+        for (size_t i = 0; i < faulted.finalDrain.size(); ++i) {
+            bool tainted = i < faulted.enclaveTainted.size() &&
+                           faulted.enclaveTainted[i];
+            if (!tainted && faulted.finalDrain[i] != "Ok")
+                addFailure(rep, "liveness",
+                           "enclave " + std::to_string(i) +
+                               " final drain: " +
+                               faulted.finalDrain[i]);
+        }
+    }
+
+    /* Differential baseline: same scenario, faults stripped. A fault
+     * must not change anything outside its taint frontier. */
+    if (faulted.setupOk && !sc.faults.empty()) {
+        RunOptions bopts;
+        bopts.withFaults = false;
+        bopts.plantBug = opts.plantBug;
+        RunReport baseline = runScenario(sc, bopts);
+        if (!baseline.setupOk) {
+            addFailure(rep, "runner",
+                       "baseline setup failed: " +
+                           baseline.setupError);
+        } else {
+            checkAgainstReference(sc, baseline, expected,
+                                  "baseline: ", rep);
+            checkAudit(baseline, "baseline: ", rep);
+            size_t n = std::min(faulted.records.size(),
+                                baseline.records.size());
+            for (size_t i = 0; i < n; ++i) {
+                const OpRecord &r1 = faulted.records[i];
+                const OpRecord &r0 = baseline.records[i];
+                if (r1.tainted)
+                    continue;
+                if (r1.code != r0.code || r1.blocked != r0.blocked ||
+                    r1.output != r0.output) {
+                    addFailure(rep, "isolation",
+                               opLabel(sc, i) +
+                                   ": faulted run diverged from "
+                                   "fault-free baseline (code " +
+                                   r1.code + " vs " + r0.code + ")",
+                               static_cast<int>(i));
+                } else if (!r1.timeTainted && r1.durNs != r0.durNs) {
+                    addFailure(rep, "isolation",
+                               opLabel(sc, i) +
+                                   ": virtual-time divergence (" +
+                                   std::to_string(r1.durNs) +
+                                   " vs " +
+                                   std::to_string(r0.durNs) +
+                                   " ns)",
+                               static_cast<int>(i));
+                }
+            }
+        }
+    }
+
+    rep.ok = rep.failures.empty();
+    rep.minimal = sc;
+    if (!rep.ok && opts.shrink) {
+        ShrinkResult s = shrinkScenario(sc, opts);
+        if (s.stillFails) {
+            rep.minimal = std::move(s.minimal);
+            rep.shrunk = true;
+        }
+    }
+    return rep;
+}
+
+FuzzReport
+fuzzSeed(uint64_t seed, const FuzzOptions &opts)
+{
+    return fuzzScenario(generateScenario(seed), opts);
+}
+
+std::vector<uint64_t>
+defaultCorpus(size_t runs)
+{
+    std::vector<uint64_t> seeds;
+    seeds.reserve(runs);
+    for (size_t i = 0; i < runs; ++i)
+        seeds.push_back(i + 1);
+    return seeds;
+}
+
+} // namespace cronus::fuzz

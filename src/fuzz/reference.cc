@@ -1,0 +1,184 @@
+#include "reference.hh"
+
+#include <cstring>
+#include <deque>
+
+#include "hw/types.hh"
+
+namespace cronus::fuzz
+{
+
+namespace
+{
+
+Bytes
+floatsToBytes(const std::vector<float> &v)
+{
+    Bytes out(v.size() * sizeof(float));
+    std::memcpy(out.data(), v.data(), out.size());
+    return out;
+}
+
+Bytes
+u64Output(uint64_t v)
+{
+    ByteWriter w;
+    w.putU64(v);
+    return w.take();
+}
+
+struct GpuModel
+{
+    std::vector<float> buf[3];
+};
+
+} // namespace
+
+std::vector<ExpectedOp>
+referenceRun(const Scenario &sc)
+{
+    /* Per-enclave state, zero-initialized like the real devices
+     * (VRAM and NPU buffers are scrubbed allocations). */
+    std::vector<GpuModel> gpus(sc.enclaves.size());
+    std::vector<Bytes> npus(sc.enclaves.size());
+    for (size_t i = 0; i < sc.enclaves.size(); ++i) {
+        if (sc.enclaves[i].deviceType == "gpu") {
+            for (auto &b : gpus[i].buf)
+                b.assign(sc.enclaves[i].elems, 0.0f);
+        } else {
+            npus[i].assign(sc.enclaves[i].elems, 0);
+        }
+    }
+
+    uint64_t driverTotal = 0;
+
+    /* Pipe: same effective capacity as SharedPipe::setup, which
+     * page-aligns header + capacity and gives the remainder to
+     * data. */
+    uint64_t pipeCap = 0;
+    if (sc.withPipe)
+        pipeCap = hw::pageAlignUp(0x40 + sc.pipeCapacity) - 0x40;
+    std::deque<uint8_t> pipeFifo;
+
+    std::vector<ExpectedOp> out;
+    out.reserve(sc.ops.size());
+    auto validFor = [&sc](const ScenarioOp &op,
+                          const char *type) {
+        return op.enclave < sc.enclaves.size() &&
+               sc.enclaves[op.enclave].deviceType == type;
+    };
+
+    for (const ScenarioOp &op : sc.ops) {
+        ExpectedOp exp;
+        bool valid = true;
+        switch (op.kind) {
+          case OpKind::GpuFill:
+          case OpKind::GpuVecAdd:
+          case OpKind::GpuSaxpy:
+          case OpKind::GpuDrain:
+          case OpKind::GpuReadback:
+            valid = validFor(op, "gpu");
+            break;
+          case OpKind::NpuWrite:
+          case OpKind::NpuReadback:
+            valid = validFor(op, "npu");
+            break;
+          case OpKind::Checkpoint:
+            valid = op.enclave < sc.enclaves.size();
+            break;
+          default:
+            break;
+        }
+        switch (op.kind) {
+          case OpKind::CpuAccumulate:
+            driverTotal += op.a;
+            exp.output = u64Output(driverTotal);
+            break;
+          case OpKind::GpuFill: {
+            if (!valid)
+                break;
+            auto &b = gpus[op.enclave].buf[gpuBufIndex(op.a)];
+            std::fill(b.begin(), b.end(),
+                      static_cast<float>(op.b));
+            break;
+          }
+          case OpKind::GpuVecAdd: {
+            if (!valid)
+                break;
+            GpuModel &g = gpus[op.enclave];
+            for (size_t i = 0; i < g.buf[2].size(); ++i)
+                g.buf[2][i] = g.buf[0][i] + g.buf[1][i];
+            break;
+          }
+          case OpKind::GpuSaxpy: {
+            if (!valid)
+                break;
+            GpuModel &g = gpus[op.enclave];
+            float a = static_cast<float>(op.b);
+            for (size_t i = 0; i < g.buf[1].size(); ++i)
+                g.buf[1][i] += a * g.buf[0][i];
+            break;
+          }
+          case OpKind::GpuDrain:
+            break;
+          case OpKind::GpuReadback:
+            if (valid)
+                exp.output = floatsToBytes(
+                    gpus[op.enclave].buf[gpuBufIndex(op.a)]);
+            break;
+          case OpKind::NpuWrite: {
+            if (!valid)
+                break;
+            uint64_t off = 0, len = 0;
+            npuSpan(sc.enclaves[op.enclave].elems, op.a, op.b, &off,
+                    &len);
+            Bytes chunk = chunkBytes(len, op.c);
+            std::copy(chunk.begin(), chunk.end(),
+                      npus[op.enclave].begin() + off);
+            break;
+          }
+          case OpKind::NpuReadback:
+            if (valid)
+                exp.output = npus[op.enclave];
+            break;
+          case OpKind::PipeWrite: {
+            if (!sc.withPipe) {
+                exp.code = "InvalidState";
+                break;
+            }
+            Bytes chunk = chunkBytes(op.a, op.b);
+            uint64_t room = pipeCap - pipeFifo.size();
+            uint64_t n = std::min<uint64_t>(room, chunk.size());
+            pipeFifo.insert(pipeFifo.end(), chunk.begin(),
+                            chunk.begin() + n);
+            exp.output = u64Output(n);
+            break;
+          }
+          case OpKind::PipeRead: {
+            if (!sc.withPipe) {
+                exp.code = "InvalidState";
+                break;
+            }
+            uint64_t n =
+                std::min<uint64_t>(op.a, pipeFifo.size());
+            exp.output.assign(pipeFifo.begin(),
+                              pipeFifo.begin() + n);
+            pipeFifo.erase(pipeFifo.begin(), pipeFifo.begin() + n);
+            break;
+          }
+          case OpKind::Checkpoint:
+            /* Status-only op (sealed bytes are key-dependent). */
+            break;
+          case OpKind::AttackReplay:
+          case OpKind::AttackTamperArgs:
+          case OpKind::AttackUndeclaredCall:
+          case OpKind::AttackSmemTamper:
+            exp.isAttack = true;
+            break;
+        }
+        out.push_back(std::move(exp));
+    }
+    return out;
+}
+
+} // namespace cronus::fuzz

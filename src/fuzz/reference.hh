@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reference model: replays a scenario's compute on plain host state.
+ *
+ * The model mirrors every data-bearing op of the scenario grammar
+ * with ordinary C++ (float vectors for GPU buffers, byte arrays for
+ * the NPU, a ring-capacity-aware FIFO for the pipe, a running sum
+ * for the driver) and produces the byte-exact outputs the real
+ * system must report for enclaves whose partition was never faulted.
+ * The simulated GPU executes kernels with host IEEE floats, so
+ * equality is exact, not approximate.
+ */
+
+#ifndef CRONUS_FUZZ_REFERENCE_HH
+#define CRONUS_FUZZ_REFERENCE_HH
+
+#include "scenario.hh"
+
+namespace cronus::fuzz
+{
+
+/** Expected observable outcome of one op. */
+struct ExpectedOp
+{
+    std::string code = "Ok";
+    Bytes output;
+    /** Attack ops are checked for `blocked`, not for output. */
+    bool isAttack = false;
+};
+
+/** Pure-CPU replay of @p sc (fault-free semantics). */
+std::vector<ExpectedOp> referenceRun(const Scenario &sc);
+
+} // namespace cronus::fuzz
+
+#endif // CRONUS_FUZZ_REFERENCE_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Scenario runner: executes one fuzz Scenario on a real CronusSystem
+ * under the InvariantAuditor and (optionally) an armed FaultInjector.
+ *
+ * The runner is the bridge between the scenario grammar and the
+ * system under test. It boots the machine the scenario describes,
+ * creates the mEnclaves and sRPC channels, arms the fault schedule,
+ * and then executes the op list one op at a time, snapshotting every
+ * observable output into an OpRecord.
+ *
+ * Taint tracking: faults are *expected* to perturb the streams they
+ * hit, so the runner tracks which streams (device enclave, driver,
+ * pipe) a fired fault touched. Oracles only compare non-tainted
+ * records -- a killed partition's outputs are unspecified, but a
+ * never-faulted partition's outputs must match the reference model
+ * exactly (the isolation property under test).
+ *
+ * Everything recorded here is deterministic: no wall-clock time, no
+ * key material (checkpoint blobs are derived from per-process key
+ * counters and are deliberately NOT recorded), no host pointers.
+ * Running the same (scenario, options) twice yields a byte-for-byte
+ * identical trace document.
+ */
+
+#ifndef CRONUS_FUZZ_RUNNER_HH
+#define CRONUS_FUZZ_RUNNER_HH
+
+#include "inject/injector.hh"
+#include "inject/invariant_auditor.hh"
+#include "scenario.hh"
+
+namespace cronus::fuzz
+{
+
+struct RunOptions
+{
+    /** Arm the scenario's fault schedule (the oracle harness also
+     *  runs each scenario fault-free as the isolation baseline). */
+    bool withFaults = true;
+    /**
+     * Test-only planted bug: GpuVecAdd launches a fill of the output
+     * buffer instead of the add. The reference oracle must catch
+     * this, and the shrinker must reduce the repro to the vec-add +
+     * readback pair (acceptance test for the whole fuzz loop).
+     */
+    bool plantBug = false;
+};
+
+/** Everything observable about one executed op. */
+struct OpRecord
+{
+    uint32_t index = 0;
+    OpKind kind = OpKind::CpuAccumulate;
+    uint32_t enclave = 0;
+    std::string code = "Ok";  ///< errorCodeName of the op's status
+    bool blocked = false;     ///< attack ops: defense held
+    bool tainted = false;     ///< excluded from oracle comparison
+    /** A fault fired while this op ran: semantics are unperturbed
+     *  but the fault's own latency was charged to this op's virtual
+     *  time, so only the duration is excluded from comparison. */
+    bool timeTainted = false;
+    Bytes output;             ///< snapshotted result payload
+    SimTime durNs = 0;        ///< virtual time charged by this op
+};
+
+struct RunReport
+{
+    bool setupOk = false;
+    std::string setupError;
+
+    std::vector<OpRecord> records;
+    /** Final per-enclave drain outcome ("Ok", "skipped", ...). */
+    std::vector<std::string> finalDrain;
+
+    /* Stream taints at end of run. */
+    std::vector<bool> enclaveTainted;
+    bool driverTainted = false;
+    bool pipeTainted = false;
+    /** A CorruptHeader fault actually fired (auditor violations are
+     *  then expected, not a bug). */
+    bool corruptFired = false;
+
+    std::vector<inject::FiredFault> faultsFired;
+    std::vector<inject::Violation> violations;
+    std::string finalCheck = "Ok";
+    uint64_t trapCount = 0;
+    SimTime endTimeNs = 0;
+
+    /** Interleaved decision log (placements, ecalls, op boundaries,
+     *  fault firings, recoveries, traps) as a JSON array. */
+    JsonValue decisions;
+
+    /** Full trace document (deterministic; replayable). */
+    JsonValue toJson(const Scenario &sc, const RunOptions &opts) const;
+};
+
+/** Execute @p sc on a fresh CronusSystem. */
+RunReport runScenario(const Scenario &sc,
+                      const RunOptions &opts = RunOptions());
+
+/** Lower-case hex of @p b (trace dumps). */
+std::string hexBytes(const Bytes &b);
+
+} // namespace cronus::fuzz
+
+#endif // CRONUS_FUZZ_RUNNER_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Scenario grammar for the deterministic simulation fuzzer.
+ *
+ * A Scenario is the complete, serializable description of one fuzz
+ * run: the machine shape (1-4 partitions), the mEnclaves to create,
+ * the fault schedule and the operation list. Every decision is drawn
+ * from a single seeded Rng stream, so a 64-bit seed fully determines
+ * the scenario, and the JSON form round-trips losslessly -- replay
+ * (`fuzz_runner --replay`) and the trace shrinker both operate on
+ * this structure rather than on the seed.
+ *
+ * Fault victims and enclave placements are addressed by *device
+ * name* ("gpu0", "npu0"), not partition id: partition ids are an
+ * artifact of boot order, device names are stable across replays.
+ */
+
+#ifndef CRONUS_FUZZ_SCENARIO_HH
+#define CRONUS_FUZZ_SCENARIO_HH
+
+#include <string>
+#include <vector>
+
+#include "base/bytes.hh"
+#include "base/json.hh"
+#include "base/sim_clock.hh"
+
+namespace cronus::fuzz
+{
+
+/** One operation of the scenario grammar. */
+enum class OpKind : uint32_t
+{
+    /* -- workload ops (checked against the reference model) -- */
+    CpuAccumulate,  ///< driver enclave: accumulate(a) -> running sum
+    GpuFill,        ///< buffer a = float(b), streamed (async)
+    GpuVecAdd,      ///< buf2 = buf0 + buf1, streamed (async)
+    GpuSaxpy,       ///< buf1 += float(b) * buf0, streamed (async)
+    GpuDrain,       ///< streamCheck: drain the enclave's channel
+    GpuReadback,    ///< DtoH of buffer a (sync, snapshotted)
+    NpuWrite,       ///< write chunk (off a, len b, seed c)
+    NpuReadback,    ///< read back the whole NPU buffer (snapshotted)
+    PipeWrite,      ///< driver writes chunk (len a, seed b) to pipe
+    PipeRead,       ///< reader drains up to a bytes (snapshotted)
+    Checkpoint,     ///< sealed checkpoint of the driver enclave
+    /* -- attack ops (sampled from the §III-B threat model; each
+     *    must be *blocked* or the security oracle fails) -- */
+    AttackReplay,         ///< replay a recorded authenticated mECall
+    AttackTamperArgs,     ///< modified args under a stale tag
+    AttackUndeclaredCall, ///< mECall outside the manifest
+    AttackSmemTamper,     ///< normal world pokes enclave a's ring
+};
+
+const char *opKindName(OpKind k);
+
+struct ScenarioOp
+{
+    OpKind kind = OpKind::CpuAccumulate;
+    /** Target device-enclave index (ignored by driver/pipe ops). */
+    uint32_t enclave = 0;
+    /** Kind-specific parameters (see OpKind comments). */
+    uint64_t a = 0;
+    uint64_t b = 0;
+    uint64_t c = 0;
+};
+
+/** One device mEnclave the scenario creates, plus its sRPC shape. */
+struct EnclavePlan
+{
+    std::string deviceType;  ///< "gpu" | "npu"
+    std::string deviceName;  ///< "gpu0", "gpu1", "npu0"
+    /** gpu: floats per buffer; npu: backing-buffer bytes. */
+    uint64_t elems = 16;
+    /** sRPC traffic shape (ring geometry varies per scenario). */
+    uint64_t slots = 8;
+    uint64_t slotBytes = 4096;
+};
+
+/** One scheduled fault (maps onto inject::FaultPlan at run time). */
+struct FaultSpec
+{
+    enum class Kind : uint32_t
+    {
+        Kill,           ///< panic the partition managing `victim`
+        FailAccess,     ///< abort the triggering checked access
+        CorruptHeader,  ///< poke ring header of channel `channel`
+        SkewClock,      ///< advance virtual time by skewNs
+    };
+
+    Kind kind = Kind::Kill;
+    uint64_t nth = 10;     ///< Nth checked SPM access (1-based)
+    std::string victim;    ///< Kill: device name
+    uint32_t channel = 0;  ///< CorruptHeader: device-enclave index
+    std::string field;     ///< CorruptHeader: "rid" | "sid"
+    uint64_t value = 0;    ///< CorruptHeader: small replacement value
+    SimTime skewNs = 0;    ///< SkewClock
+};
+
+struct Scenario
+{
+    uint64_t seed = 0;
+    /** Machine shape: 1 CPU partition + numGpus + (withNpu ? 1 : 0)
+     *  device partitions, i.e. 1-4 partitions total. */
+    uint32_t numGpus = 1;
+    bool withNpu = false;
+    /** SharedPipe from the driver to device enclave `pipeEnclave`. */
+    bool withPipe = false;
+    uint32_t pipeEnclave = 0;
+    uint64_t pipeCapacity = 4096;
+
+    std::vector<EnclavePlan> enclaves;
+    std::vector<FaultSpec> faults;
+    std::vector<ScenarioOp> ops;
+
+    JsonValue toJson() const;
+    static Result<Scenario> fromJson(const JsonValue &v);
+
+    /** Parse scenario JSON text; also accepts a full trace document
+     *  (uses its "scenario" member), so a failing run's trace can be
+     *  replayed directly. */
+    static Result<Scenario> parse(const std::string &text);
+
+    /** Drop enclaves (and the pipe) no remaining op or fault refers
+     *  to, remapping indices -- run by the shrinker so a minimal
+     *  repro also has a minimal machine. */
+    void normalize();
+};
+
+/** Expand @p seed into a full scenario (pure function of the seed). */
+Scenario generateScenario(uint64_t seed);
+
+/**
+ * Deterministic payload chunk used by NpuWrite/PipeWrite: both the
+ * runner and the reference model derive the bytes from (len, seed)
+ * so they can never disagree about what was written.
+ */
+Bytes chunkBytes(uint64_t len, uint64_t seed);
+
+/* Parameter clamps shared by the runner and the reference model, so
+ * hand-edited repro files with out-of-range parameters stay
+ * well-defined (and both sides agree on the clamping). */
+inline uint64_t
+gpuBufIndex(uint64_t a)
+{
+    return a % 3;
+}
+
+inline void
+npuSpan(uint64_t elems, uint64_t a, uint64_t b, uint64_t *off,
+        uint64_t *len)
+{
+    *off = elems ? (a % elems) : 0;
+    *len = b < elems - *off ? b : elems - *off;
+}
+
+} // namespace cronus::fuzz
+
+#endif // CRONUS_FUZZ_SCENARIO_HH

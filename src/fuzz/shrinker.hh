@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Greedy trace shrinker: reduces a failing scenario to a minimal
+ * repro while the oracles keep failing.
+ *
+ * ddmin-style pass over the op list (chunk sizes n/2, n/4, ..., 1),
+ * then fault events one at a time, then Scenario::normalize() to
+ * drop the now-unreferenced enclaves/pipe -- so the minimal repro
+ * also has a minimal machine. Every candidate is re-judged with the
+ * full oracle harness (shrinking disabled), so the minimized
+ * scenario provably still fails.
+ */
+
+#ifndef CRONUS_FUZZ_SHRINKER_HH
+#define CRONUS_FUZZ_SHRINKER_HH
+
+#include "fuzz.hh"
+
+namespace cronus::fuzz
+{
+
+struct ShrinkResult
+{
+    Scenario minimal;
+    /** Oracle-harness evaluations spent. */
+    uint32_t attempts = 0;
+    /** The minimized scenario was re-verified to still fail. */
+    bool stillFails = false;
+};
+
+ShrinkResult shrinkScenario(const Scenario &sc,
+                            const FuzzOptions &opts);
+
+} // namespace cronus::fuzz
+
+#endif // CRONUS_FUZZ_SHRINKER_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * AutoPartitioner edge cases: empty programs are rejected, and
+ * single-device programs produce single-device plans that still run
+ * (no CPU driver enclave, no sRPC channels -- device calls fall back
+ * to the authenticated untrusted path).
+ */
+
+#include "test_fixtures.hh"
+
+namespace cronus::core
+{
+namespace
+{
+
+using testing::CronusTest;
+
+class AutoPartitionEdgeTest : public CronusTest
+{
+};
+
+TEST_F(AutoPartitionEdgeTest, EmptyProgramIsRejected)
+{
+    MonolithicProgram program;
+    program.name = "empty";
+    auto plan = AutoPartitioner::partition(program);
+    EXPECT_FALSE(plan.isOk());
+    EXPECT_EQ(plan.status().code(), ErrorCode::InvalidArgument);
+    auto run = AutoPartitioner::run(*system, program);
+    EXPECT_FALSE(run.isOk());
+}
+
+TEST_F(AutoPartitionEdgeTest, CpuOnlyProgramYieldsCpuOnlyPlan)
+{
+    MonolithicProgram program;
+    program.name = "cpuonly";
+    program.cpuImage.exports = {"echo"};
+    program.ops.push_back(
+        {MonoOp::Kind::Cpu, "echo", toBytes("ping")});
+    program.ops.push_back(
+        {MonoOp::Kind::Cpu, "echo", toBytes("pong")});
+
+    auto plan = AutoPartitioner::partition(program);
+    ASSERT_TRUE(plan.isOk());
+    EXPECT_TRUE(plan.value().needsCpu);
+    EXPECT_FALSE(plan.value().needsGpu);
+    EXPECT_FALSE(plan.value().needsNpu);
+    EXPECT_FALSE(plan.value().cpuManifest.empty());
+    EXPECT_TRUE(plan.value().gpuManifest.empty());
+    EXPECT_TRUE(plan.value().npuManifest.empty());
+
+    auto run = AutoPartitioner::run(*system, program);
+    ASSERT_TRUE(run.isOk());
+    ASSERT_EQ(run.value().outputs.size(), 2u);
+    EXPECT_EQ(run.value().outputs[0], toBytes("ping"));
+    EXPECT_EQ(run.value().outputs[1], toBytes("pong"));
+    /* No channels were built for a single-device program. */
+    EXPECT_EQ(run.value().gpuStats.executed, 0u);
+    EXPECT_EQ(run.value().npuStats.executed, 0u);
+}
+
+TEST_F(AutoPartitionEdgeTest, GpuOnlyProgramRunsWithoutDriver)
+{
+    MonolithicProgram program;
+    program.name = "gpuonly";
+    program.gpuImage = {"gpuonly.cubin", {"fill_f32"}};
+    program.ops.push_back({MonoOp::Kind::Cuda, "cuMemAlloc",
+                           CudaRuntime::encodeMemAlloc(256)});
+
+    auto plan = AutoPartitioner::partition(program);
+    ASSERT_TRUE(plan.isOk());
+    EXPECT_FALSE(plan.value().needsCpu);
+    EXPECT_TRUE(plan.value().needsGpu);
+    EXPECT_FALSE(plan.value().needsNpu);
+
+    auto run = AutoPartitioner::run(*system, program);
+    ASSERT_TRUE(run.isOk());
+    ASSERT_EQ(run.value().outputs.size(), 1u);
+    auto va = CudaRuntime::decodeU64Result(run.value().outputs[0]);
+    ASSERT_TRUE(va.isOk());
+    EXPECT_NE(va.value(), 0u);
+}
+
+TEST_F(AutoPartitionEdgeTest, NpuOnlyProgramRunsWithoutDriver)
+{
+    MonolithicProgram program;
+    program.name = "npuonly";
+    program.ops.push_back({MonoOp::Kind::Npu, "vtaAllocBuffer",
+                           NpuRuntime::encodeAllocBuffer(64)});
+
+    auto plan = AutoPartitioner::partition(program);
+    ASSERT_TRUE(plan.isOk());
+    EXPECT_FALSE(plan.value().needsCpu);
+    EXPECT_FALSE(plan.value().needsGpu);
+    EXPECT_TRUE(plan.value().needsNpu);
+    EXPECT_TRUE(plan.value().cpuManifest.empty());
+
+    auto run = AutoPartitioner::run(*system, program);
+    ASSERT_TRUE(run.isOk());
+    ASSERT_EQ(run.value().outputs.size(), 1u);
+    EXPECT_FALSE(run.value().outputs[0].empty());
+}
+
+TEST_F(AutoPartitionEdgeTest, ManifestDeclaresOnlyCallsTheOpsUse)
+{
+    MonolithicProgram program;
+    program.name = "narrow";
+    program.gpuImage = {"narrow.cubin", {"fill_f32"}};
+    program.ops.push_back({MonoOp::Kind::Cuda, "cuMemAlloc",
+                           CudaRuntime::encodeMemAlloc(64)});
+    program.ops.push_back({MonoOp::Kind::Cuda, "cuMemAlloc",
+                           CudaRuntime::encodeMemAlloc(64)});
+
+    auto plan = AutoPartitioner::partition(program);
+    ASSERT_TRUE(plan.isOk());
+    auto manifest = Manifest::fromJson(plan.value().gpuManifest);
+    ASSERT_TRUE(manifest.isOk());
+    /* Duplicate ops collapse to one declaration; undeclared calls
+     * stay outside the attack surface. */
+    ASSERT_EQ(manifest.value().mEcalls.size(), 1u);
+    EXPECT_EQ(manifest.value().mEcalls[0].name, "cuMemAlloc");
+    EXPECT_FALSE(manifest.value().mEcalls[0].async);
+}
+
+} // namespace
+} // namespace cronus::core

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Failover-path tests at the CronusSystem level: the §IV-D
+ * proceed-trap sequence (step 1 invalidate, step 2 clear + reload,
+ * step 3 trap on next access), sealed-checkpoint recovery across a
+ * partition crash, and double faults inside the recovery window.
+ */
+
+#include "test_fixtures.hh"
+
+namespace cronus::core
+{
+namespace
+{
+
+using testing::CronusTest;
+
+class FailoverTest : public CronusTest
+{
+  protected:
+    Result<Bytes>
+    accumulate(AppHandle &handle, uint64_t delta)
+    {
+        ByteWriter w;
+        w.putU64(delta);
+        return system->ecall(handle, "accumulate", w.take());
+    }
+
+    uint64_t
+    asU64(const Bytes &b)
+    {
+        ByteReader r(b);
+        return r.getU64().value();
+    }
+};
+
+TEST_F(FailoverTest, ProceedTrapOrderingInvalidateReloadTrap)
+{
+    auto cpu = makeCpuEnclave();
+    ASSERT_TRUE(cpu.isOk());
+    auto gpu = makeGpuEnclave();
+    ASSERT_TRUE(gpu.isOk());
+    auto ch = system->connect(cpu.value(), gpu.value());
+    ASSERT_TRUE(ch.isOk());
+    SrpcChannel &channel = *ch.value();
+
+    auto warm = channel.callSync("cuMemAlloc",
+                                 CudaRuntime::encodeMemAlloc(64));
+    ASSERT_TRUE(warm.isOk());
+
+    tee::PartitionId cpu_pid = cpu.value().host->partitionId();
+    auto gpu_mos = system->mosForDevice("gpu0");
+    ASSERT_TRUE(gpu_mos.isOk());
+    tee::PartitionId gpu_pid = gpu_mos.value()->partitionId();
+
+    auto ring_grants = system->spm().grantsOf(cpu_pid);
+    ASSERT_FALSE(ring_grants.empty());
+
+    /* Step 1: the panic invalidates the survivor's mappings and
+     * marks the grant trap-pending -- but delivers no trap yet. */
+    ASSERT_TRUE(system->injectPanic("gpu0").isOk());
+    auto failed = system->spm().partition(gpu_pid);
+    ASSERT_TRUE(failed.isOk());
+    EXPECT_EQ(failed.value()->state, tee::PartitionState::Failed);
+    EXPECT_TRUE(failed.value()->rf);
+    bool pending = false;
+    for (uint64_t gid : ring_grants) {
+        auto g = system->spm().grant(gid);
+        if (g.isOk() && g.value()->pendingTrap)
+            pending = true;
+    }
+    EXPECT_TRUE(pending);
+    EXPECT_TRUE(system->trapSignals().empty());
+
+    /* Step 2: clear + reload. The partition comes back as a fresh
+     * incarnation with r_f dropped; the trap is still lazy. */
+    ASSERT_TRUE(system->recover("gpu0").isOk());
+    auto ready = system->spm().partition(gpu_pid);
+    ASSERT_TRUE(ready.isOk());
+    EXPECT_EQ(ready.value()->state, tee::PartitionState::Ready);
+    EXPECT_FALSE(ready.value()->rf);
+    EXPECT_EQ(ready.value()->incarnation, 2u);
+    EXPECT_TRUE(system->trapSignals().empty());
+
+    /* Step 3: the survivor's next ring access takes the trap and
+     * surfaces PeerFailed. */
+    auto trapped = channel.callSync("cuMemAlloc",
+                                    CudaRuntime::encodeMemAlloc(64));
+    EXPECT_EQ(trapped.code(), ErrorCode::PeerFailed);
+    ASSERT_EQ(system->trapSignals().size(), 1u);
+    const tee::TrapSignal &sig = system->trapSignals()[0];
+    EXPECT_EQ(sig.accessor, cpu_pid);
+    EXPECT_EQ(sig.failedPeer, gpu_pid);
+    EXPECT_TRUE(channel.failed());
+
+    /* The failure latches on the channel: no duplicate trap. */
+    auto after = channel.callSync("cuMemAlloc",
+                                  CudaRuntime::encodeMemAlloc(64));
+    EXPECT_EQ(after.code(), ErrorCode::PeerFailed);
+    EXPECT_EQ(system->trapSignals().size(), 1u);
+}
+
+TEST_F(FailoverTest, SealedCheckpointRestoresAcrossPartitionCrash)
+{
+    auto created = makeCpuEnclave();
+    ASSERT_TRUE(created.isOk());
+    AppHandle app = created.value();
+
+    auto r = accumulate(app, 5);
+    ASSERT_TRUE(r.isOk());
+    r = accumulate(app, 7);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(asU64(r.value()), 12u);
+
+    auto sealed = system->checkpointEnclave(app);
+    ASSERT_TRUE(sealed.isOk());
+
+    /* State diverges after the checkpoint; the crash must roll this
+     * back to the sealed snapshot. */
+    ASSERT_TRUE(accumulate(app, 1).isOk());
+
+    ASSERT_TRUE(system->injectPanic("cpu0").isOk());
+    ASSERT_TRUE(system->recover("cpu0").isOk());
+
+    /* The scrub wiped the old enclave with the partition. */
+    EXPECT_FALSE(accumulate(app, 1).isOk());
+
+    /* A fresh enclave restores the blob under the dead enclave's
+     * secret and continues from the checkpointed total. */
+    auto fresh = makeCpuEnclave();
+    ASSERT_TRUE(fresh.isOk());
+    AppHandle replacement = fresh.value();
+    ASSERT_TRUE(system
+                    ->restoreEnclave(replacement, sealed.value(),
+                                     app.secret)
+                    .isOk());
+    auto resumed = accumulate(replacement, 3);
+    ASSERT_TRUE(resumed.isOk());
+    EXPECT_EQ(asU64(resumed.value()), 15u);
+}
+
+TEST_F(FailoverTest, DoubleFaultDuringRecoveryWindow)
+{
+    /* A second fault on an already-failed partition is rejected
+     * deterministically rather than re-running step 1. */
+    ASSERT_TRUE(system->injectPanic("gpu0").isOk());
+    EXPECT_EQ(system->injectPanic("gpu0").code(),
+              ErrorCode::InvalidState);
+
+    /* An independent partition can still fail while gpu0 is inside
+     * its recovery window, and the recoveries are independent. */
+    ASSERT_TRUE(system->injectPanic("npu0").isOk());
+    ASSERT_TRUE(system->recover("npu0").isOk());
+    ASSERT_TRUE(system->recover("gpu0").isOk());
+
+    /* Recovering a healthy partition is rejected. */
+    EXPECT_EQ(system->recover("gpu0").code(),
+              ErrorCode::InvalidState);
+
+    /* A repeat crash after recovery yields a third incarnation. */
+    ASSERT_TRUE(system->injectPanic("gpu0").isOk());
+    ASSERT_TRUE(system->recover("gpu0").isOk());
+    auto mos = system->mosForDevice("gpu0");
+    ASSERT_TRUE(mos.isOk());
+    auto part = system->spm().partition(mos.value()->partitionId());
+    ASSERT_TRUE(part.isOk());
+    EXPECT_EQ(part.value()->incarnation, 3u);
+    EXPECT_EQ(part.value()->state, tee::PartitionState::Ready);
+}
+
+} // namespace
+} // namespace cronus::core
