@@ -1,15 +1,23 @@
 /**
  * @file
- * Figure 9: failover of two tasks on separate partitions.
+ * Figure 9: supervised failover of two tasks on separate partitions.
  *
  * Task A's partition is crashed mid-run by a deterministic fault
  * plan (src/inject/): the kill fires inside a checked SPM access and
- * surfaces to the task through the proceed-trap path. CRONUS
- * recovers only that partition (hundreds of ms) while task B is
- * unaffected; the monolithic comparator needs a whole-machine reboot
- * (~2 minutes) and takes every task down with it. The run fails if
- * the invariant auditor records any violation.
+ * surfaces to the task through the proceed-trap path. A Supervisor
+ * (src/recover/) stages the recovery -- backoff, scrub, mOS reload --
+ * and task A's ResumableChannel reconnects to the new incarnation,
+ * restores its sealed checkpoint and replays the in-flight calls;
+ * task B is unaffected throughout. The monolithic comparator needs a
+ * whole-machine reboot (~2 minutes) and takes every task down with
+ * it. A second run crash-loops the partition (every incarnation is
+ * killed) and must end in deterministic quarantine with the channel
+ * reporting GaveUp. The bench exits nonzero on any invariant-audit
+ * violation, a failed recovery, or a crash-loop that does not end
+ * quarantined. `--smoke` shrinks the matrix and timeline for CI.
  */
+
+#include <cstring>
 
 #include "bench_util.hh"
 #include "workloads/failover.hh"
@@ -39,11 +47,23 @@ printSeries(const char *name, const std::vector<double> &rates,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    header("Figure 9: failover timeline (task steps/second)");
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    header("Figure 9: supervised failover timeline "
+           "(task steps/second)");
 
     FailoverConfig config;
+    if (smoke) {
+        config.matrixDim = 16;
+        config.runForNs = 2 * kNsPerSec;
+        config.crashAtNs = 500 * kNsPerMs;
+    }
     auto timeline = runFailoverTimeline(config);
     if (!timeline.isOk()) {
         std::printf("run failed: %s\n",
@@ -63,7 +83,7 @@ main()
     std::printf("\n%-34s %14s\n", "recovery strategy",
                 "downtime");
     std::printf("%-34s %11.0f ms\n",
-                "CRONUS proceed-trap (partition)",
+                "CRONUS supervised (partition)",
                 t.recoveryNs / double(kNsPerMs));
     std::printf("%-34s %11.0f ms\n",
                 "monolithic (machine reboot)",
@@ -72,16 +92,62 @@ main()
                 "(fault isolation R3.1)\n",
                 static_cast<unsigned long long>(
                     t.taskBStepsDuringOutage));
-    std::printf("speedup over reboot: %.0fx\n",
-                double(t.machineRebootNs) / t.recoveryNs);
+    std::printf("channel reconnects: %llu, replayed in-flight "
+                "calls: %llu, final state: %s\n",
+                static_cast<unsigned long long>(t.reconnects),
+                static_cast<unsigned long long>(t.replayedCalls),
+                t.finalChannelState.c_str());
+    if (t.recoveryNs != 0)
+        std::printf("speedup over reboot: %.0fx\n",
+                    double(t.machineRebootNs) / t.recoveryNs);
 
-    std::printf("\ninjection log: %s\n", t.injectionReport.c_str());
+    std::printf("\nsupervisor: %s\n", t.supervisorReport.c_str());
+    std::printf("injection log: %s\n", t.injectionReport.c_str());
     std::printf("invariant audit: %llu violation(s)\n",
                 static_cast<unsigned long long>(t.auditViolations));
-    std::printf("audit report: %s\n", t.auditReport.c_str());
+
+    bool failed = false;
     if (t.auditViolations != 0) {
         std::printf("FAILED: invariant violations detected\n");
+        failed = true;
+    }
+    if (t.recoveryNs == 0 || t.reconnects == 0 || t.gaveUp) {
+        std::printf("FAILED: task A did not recover through the "
+                    "supervised path\n");
+        failed = true;
+    }
+
+    /* Second run: crash-loop the partition. Every incarnation is
+     * killed; the Supervisor must exhaust its restart budget and
+     * quarantine gpu0, and the channel must surface GaveUp. */
+    header("Figure 9b: crash-loop quarantine (restart budget)");
+    FailoverConfig loop_cfg = config;
+    loop_cfg.crashLoop = true;
+    auto loop = runFailoverTimeline(loop_cfg);
+    if (!loop.isOk()) {
+        std::printf("crash-loop run failed: %s\n",
+                    loop.status().toString().c_str());
         return 1;
     }
-    return 0;
+    const FailoverTimeline &l = loop.value();
+    std::printf("restart budget: %u, reconnects survived: %llu, "
+                "final state: %s, quarantined: %s\n",
+                loop_cfg.restartBudget,
+                static_cast<unsigned long long>(l.reconnects),
+                l.finalChannelState.c_str(),
+                l.quarantined ? "yes" : "no");
+    std::printf("supervisor: %s\n", l.supervisorReport.c_str());
+    std::printf("invariant audit: %llu violation(s)\n",
+                static_cast<unsigned long long>(l.auditViolations));
+    if (l.auditViolations != 0) {
+        std::printf("FAILED: invariant violations in crash-loop "
+                    "run\n");
+        failed = true;
+    }
+    if (!l.gaveUp || !l.quarantined) {
+        std::printf("FAILED: crash-loop did not end in quarantine "
+                    "+ GaveUp\n");
+        failed = true;
+    }
+    return failed ? 1 : 0;
 }

@@ -283,6 +283,68 @@ GpuDevice::read(GpuContextId ctx, GpuVa va, uint8_t *out,
     return Status::ok();
 }
 
+Result<Bytes>
+GpuDevice::snapshotContext(GpuContextId ctx) const
+{
+    auto it = contexts.find(ctx);
+    if (it == contexts.end())
+        return Status(ErrorCode::NotFound, "no such GPU context");
+    const Context &context = it->second;
+    ByteWriter w;
+    w.putU32(static_cast<uint32_t>(context.allocations.size()));
+    for (const auto &[va, alloc] : context.allocations) {
+        w.putU64(va);
+        w.putU64(alloc.bytes);
+        Bytes contents(alloc.bytes);
+        std::memcpy(contents.data(), vram.data() + alloc.offset,
+                    alloc.bytes);
+        w.putBytes(contents);
+    }
+    return w.take();
+}
+
+Status
+GpuDevice::restoreContext(GpuContextId ctx, const Bytes &snapshot)
+{
+    auto c = findContext(ctx);
+    if (!c.isOk())
+        return c.status();
+    if (!c.value()->allocations.empty())
+        return Status(ErrorCode::InvalidState,
+                      "restore requires a fresh context");
+    ByteReader r(snapshot);
+    auto count = r.getU32();
+    if (!count.isOk())
+        return count.status();
+    if (count.value() > (1u << 20))
+        return Status(ErrorCode::InvalidArgument,
+                      "implausible allocation count");
+    for (uint32_t i = 0; i < count.value(); ++i) {
+        auto va = r.getU64();
+        if (!va.isOk())
+            return va.status();
+        auto bytes = r.getU64();
+        if (!bytes.isOk())
+            return bytes.status();
+        auto contents = r.getBytes();
+        if (!contents.isOk())
+            return contents.status();
+        if (contents.value().size() != bytes.value())
+            return Status(ErrorCode::InvalidArgument,
+                          "snapshot length mismatch");
+        auto placed = malloc(ctx, bytes.value());
+        if (!placed.isOk())
+            return placed.status();
+        if (placed.value() != va.value())
+            return Status(ErrorCode::InvalidState,
+                          "restored VA diverged from snapshot");
+        CRONUS_RETURN_IF_ERROR(write(ctx, placed.value(),
+                                     contents.value().data(),
+                                     contents.value().size()));
+    }
+    return Status::ok();
+}
+
 Status
 GpuDevice::loadModule(GpuContextId ctx, const GpuModuleImage &image)
 {

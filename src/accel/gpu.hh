@@ -167,6 +167,23 @@ class GpuDevice : public hw::Device
     /** Free VRAM remaining, bytes. */
     uint64_t freeVram() const;
 
+    /* --- checkpoint / restore --- */
+
+    /**
+     * Serialize the context's allocations (VA, size, contents) into
+     * an opaque blob. Allocation order is the VA-sorted map order,
+     * so the blob is deterministic.
+     */
+    Result<Bytes> snapshotContext(GpuContextId ctx) const;
+
+    /**
+     * Rebuild a *fresh* context's memory from @p snapshot. VAs are
+     * assigned sequentially by malloc, so replaying the allocations
+     * in snapshot (ascending-VA) order on an empty context
+     * reproduces the original addresses; a mismatch aborts.
+     */
+    Status restoreContext(GpuContextId ctx, const Bytes &snapshot);
+
     /* --- modules and kernels --- */
     Status loadModule(GpuContextId ctx, const GpuModuleImage &image);
 

@@ -19,6 +19,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::IntegrityViolation: return "IntegrityViolation";
       case ErrorCode::Unsupported:        return "Unsupported";
       case ErrorCode::Timeout:            return "Timeout";
+      case ErrorCode::Degraded:           return "Degraded";
     }
     return "Unknown";
 }

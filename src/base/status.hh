@@ -47,6 +47,9 @@ enum class ErrorCode
     Unsupported,
     /** Operation timed out (e.g. hang detection). */
     Timeout,
+    /** The target device/partition is quarantined after exhausting
+     *  its restart budget; supervised recovery gave up. */
+    Degraded,
 };
 
 /** Human-readable name of an ErrorCode. */

@@ -38,13 +38,22 @@ EnclaveDispatcher::partitionFor(const std::string &device_type,
     /* Least-loaded placement across identical accelerators: the
      * dispatcher records each partition's usable resources
      * (§III-A) and spreads new mEnclaves for utilization. */
+    if (!device_name.empty() && isDegraded(device_name))
+        return Status(ErrorCode::Degraded,
+                      "device '" + device_name +
+                      "' is quarantined");
     MicroOS *best = nullptr;
     size_t best_load = ~size_t(0);
+    bool skipped_degraded = false;
     for (MicroOS *os : registered) {
         if (os->deviceType() != device_type)
             continue;
         if (!device_name.empty() && os->deviceName() != device_name)
             continue;
+        if (isDegraded(os->deviceName())) {
+            skipped_degraded = true;
+            continue;
+        }
         size_t load = os->enclaveManager().enclaveCount();
         if (load < best_load) {
             best = os;
@@ -56,6 +65,10 @@ EnclaveDispatcher::partitionFor(const std::string &device_type,
             placementObserver(device_type, device_name, best);
         return best;
     }
+    if (skipped_degraded)
+        return Status(ErrorCode::Degraded,
+                      "every '" + device_type +
+                      "' device is quarantined");
     return Status(ErrorCode::NotFound,
                   "no partition manages a '" + device_type +
                   "' device" +

@@ -13,6 +13,7 @@
 #define CRONUS_CORE_DISPATCHER_HH
 
 #include <functional>
+#include <set>
 
 #include "micro_enclave.hh"
 
@@ -37,6 +38,24 @@ class EnclaveDispatcher
     const std::vector<MicroOS *> &partitions() const
     {
         return registered;
+    }
+
+    /**
+     * Mark/unmark a device as degraded (quarantined by the recovery
+     * supervisor after exhausting its restart budget). Degraded
+     * devices are skipped by partitionFor; pinning one by name
+     * returns Degraded so the caller can surface GaveUp.
+     */
+    void setDegraded(const std::string &device_name, bool degraded)
+    {
+        if (degraded)
+            degradedDevices.insert(device_name);
+        else
+            degradedDevices.erase(device_name);
+    }
+    bool isDegraded(const std::string &device_name) const
+    {
+        return degradedDevices.count(device_name) > 0;
     }
 
     /**
@@ -74,6 +93,7 @@ class EnclaveDispatcher
 
   private:
     std::vector<MicroOS *> registered;
+    std::set<std::string> degradedDevices;
     std::function<MicroOS *(Eid)> misroute;
     RouteObserver routeObserver;
     PlacementObserver placementObserver;

@@ -324,6 +324,24 @@ CudaRuntime::meCall(const std::string &fn, const Bytes &args)
                   "unknown CUDA mECall '" + fn + "'");
 }
 
+Result<Bytes>
+CudaRuntime::meSnapshot()
+{
+    if (!created)
+        return Status(ErrorCode::InvalidState, "not created");
+    /* Loaded kernels are not part of the snapshot: meCreate reloads
+     * the module, so only device memory needs capturing. */
+    return gpuHal.snapshotContext(deviceCtx);
+}
+
+Status
+CudaRuntime::meRestore(const Bytes &snapshot)
+{
+    if (!created)
+        return Status(ErrorCode::InvalidState, "not created");
+    return gpuHal.restoreContext(deviceCtx, snapshot);
+}
+
 Status
 CudaRuntime::meDestroy(bool scrub)
 {

@@ -153,6 +153,8 @@ class CudaRuntime : public EnclaveRuntime
     Result<Bytes> meCall(const std::string &fn,
                          const Bytes &args) override;
     Status meDestroy(bool scrub) override;
+    Result<Bytes> meSnapshot() override;
+    Status meRestore(const Bytes &snapshot) override;
 
     /* --- argument codecs --- */
     static Bytes encodeMemAlloc(uint64_t bytes);

@@ -157,6 +157,17 @@ fuzzScenario(const Scenario &sc, const FuzzOptions &opts)
                                " final drain: " +
                                faulted.finalDrain[i]);
         }
+        /* Supervised recovery is the expected path for a killed
+         * partition: it either completes ("recovered") or
+         * deterministically quarantines ("gave-up"). Anything else
+         * means the recovery machinery itself broke. */
+        for (size_t i = 0; i < faulted.enclaveRecovery.size(); ++i) {
+            const std::string &out = faulted.enclaveRecovery[i];
+            if (out.rfind("failed:", 0) == 0)
+                addFailure(rep, "liveness",
+                           "enclave " + std::to_string(i) +
+                               " supervised recovery " + out);
+        }
     }
 
     /* Differential baseline: same scenario, faults stripped. A fault

@@ -7,6 +7,7 @@
 #include "core/auto_partition.hh"
 #include "core/pipe.hh"
 #include "core/system.hh"
+#include "recover/supervisor.hh"
 
 namespace cronus::fuzz
 {
@@ -260,6 +261,7 @@ class Run
         cfg.withNpu = sc.withNpu;
         sys = std::make_unique<CronusSystem>(cfg);
         auditor.attachSpm(sys->spm());
+        supervisor = std::make_unique<recover::Supervisor>(*sys);
 
         sys->dispatcher().setPlacementObserver(
             [this](const std::string &type, const std::string &device,
@@ -294,6 +296,7 @@ class Run
             st.plan = plan;
             CRONUS_RETURN_IF_ERROR(buildState(st));
             states.push_back(std::move(st));
+            recoveryOutcome.push_back("none");
         }
 
         if (sc.withPipe && sc.pipeEnclave < states.size()) {
@@ -461,8 +464,12 @@ class Run
             rec->tainted = true;
     }
 
-    /** Proceed-trap recovery before a device op whose channel saw the
-     *  peer die: recover the partition, stand the enclave back up. */
+    /** Supervised recovery before a device op whose channel saw the
+     *  peer die: the Supervisor (src/recover/) stages backoff +
+     *  scrub + reboot under its restart budget, then the enclave is
+     *  stood back up. A quarantined device ends as "gave-up" -- the
+     *  expected terminal outcome of a crash-looping plan, not a
+     *  liveness bug. */
     void
     maybeRecover(const ScenarioOp &op)
     {
@@ -473,25 +480,40 @@ class Run
             return;
 
         graveyard.push_back(std::move(st.channel));
-        Status r = sys->recover(st.plan.deviceName);
+        Status r = supervisor->watch(st.plan.deviceName);
+        if (r.isOk())
+            r = supervisor->awaitRecovery(st.plan.deviceName);
         note("recover", [&](JsonObject &o) {
             o["device"] = st.plan.deviceName;
             o["code"] = errorCodeName(r.code());
+            o["restarts"] = static_cast<int64_t>(
+                supervisor->restartsOf(st.plan.deviceName));
         });
         if (r.isOk()) {
             Status rebuilt = buildState(st);
             if (!rebuilt.isOk()) {
                 st.alive = false;
+                recoveryOutcome[op.enclave] =
+                    "failed:" +
+                    std::string(errorCodeName(rebuilt.code()));
                 note("rebuild-failed", [&](JsonObject &o) {
                     o["device"] = st.plan.deviceName;
                     o["code"] = errorCodeName(rebuilt.code());
                 });
-            } else if (injector) {
-                injector->attachChannel(*st.channel);
-                attachEnclave.push_back(op.enclave);
+            } else {
+                recoveryOutcome[op.enclave] = "recovered";
+                if (injector) {
+                    injector->attachChannel(*st.channel);
+                    attachEnclave.push_back(op.enclave);
+                }
             }
         } else {
             st.alive = false;
+            recoveryOutcome[op.enclave] =
+                r.code() == ErrorCode::Degraded
+                    ? "gave-up"
+                    : "failed:" +
+                          std::string(errorCodeName(r.code()));
         }
         /* Fault events can fire on recovery traffic too. */
         applyFired(kStreamDriver, nullptr);
@@ -763,6 +785,7 @@ class Run
             rep.faultsFired = injector->fired();
         for (const EnclaveState &st : states)
             rep.enclaveTainted.push_back(st.tainted);
+        rep.enclaveRecovery = recoveryOutcome;
         rep.driverTainted = driverTainted;
         rep.pipeTainted = pipeTainted;
         rep.corruptFired = corruptFired;
@@ -774,6 +797,7 @@ class Run
 
     std::unique_ptr<CronusSystem> sys;
     inject::InvariantAuditor auditor;
+    std::unique_ptr<recover::Supervisor> supervisor;
     std::unique_ptr<inject::FaultInjector> injector;
     AppHandle driver;
     std::vector<EnclaveState> states;
@@ -782,6 +806,9 @@ class Run
 
     /** Injector attach order -> enclave index (corrupt targeting). */
     std::vector<size_t> attachEnclave;
+    /** Per-enclave supervised-recovery outcome ("none" if never
+     *  needed, "recovered", "gave-up", "failed:<code>"). */
+    std::vector<std::string> recoveryOutcome;
     size_t firedSeen = 0;
     bool driverTainted = false;
     bool pipeTainted = false;
@@ -864,6 +891,11 @@ RunReport::toJson(const Scenario &sc, const RunOptions &opts) const
     for (bool t : enclaveTainted)
         taints.push_back(JsonValue(t));
     root["enclave_tainted"] = JsonValue(taints);
+
+    JsonArray recoveries;
+    for (const std::string &r : enclaveRecovery)
+        recoveries.push_back(JsonValue(r));
+    root["enclave_recovery"] = JsonValue(recoveries);
     root["driver_tainted"] = driverTainted;
     root["pipe_tainted"] = pipeTainted;
     root["corrupt_fired"] = corruptFired;

@@ -73,6 +73,12 @@ struct RunReport
     /** Final per-enclave drain outcome ("Ok", "skipped", ...). */
     std::vector<std::string> finalDrain;
 
+    /** Per-enclave supervised-recovery outcome: "none" (never
+     *  needed), "recovered", "gave-up" (restart budget exhausted,
+     *  deterministic quarantine) or "failed:<code>" (recovery
+     *  machinery itself errored -- always a bug). */
+    std::vector<std::string> enclaveRecovery;
+
     /* Stream taints at end of run. */
     std::vector<bool> enclaveTainted;
     bool driverTainted = false;

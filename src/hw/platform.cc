@@ -163,6 +163,13 @@ Platform::findDevice(const std::string &name)
     return it == devices.end() ? nullptr : it->second.get();
 }
 
+const Device *
+Platform::findDevice(const std::string &name) const
+{
+    auto it = devices.find(name);
+    return it == devices.end() ? nullptr : it->second.get();
+}
+
 DeviceTree
 Platform::buildDeviceTree() const
 {

@@ -73,6 +73,7 @@ class Platform
     /* --- construction --- */
     Device *registerDevice(std::unique_ptr<Device> dev, uint32_t irq);
     Device *findDevice(const std::string &name);
+    const Device *findDevice(const std::string &name) const;
 
     /** Build a DT describing the registered devices. */
     DeviceTree buildDeviceTree() const;

@@ -49,6 +49,21 @@ FaultPlan::killAtTime(SimTime when, PartitionId victim)
 }
 
 FaultPlan &
+FaultPlan::killIncarnation(uint64_t incarnation, SimTime when,
+                           PartitionId victim, AccessFilter f)
+{
+    FaultTrigger t;
+    t.kind = FaultTrigger::Kind::AtIncarnation;
+    t.nth = incarnation;
+    t.when = when;
+    t.filter = f;
+    FaultAction a;
+    a.kind = FaultAction::Kind::KillPartition;
+    a.victim = victim;
+    return add(t, a);
+}
+
+FaultPlan &
 FaultPlan::failAccess(uint64_t nth, AccessFilter f)
 {
     FaultTrigger t;
@@ -136,6 +151,7 @@ triggerKindName(FaultTrigger::Kind k)
     switch (k) {
       case FaultTrigger::Kind::NthAccess: return "nth_access";
       case FaultTrigger::Kind::AtTime: return "at_time";
+      case FaultTrigger::Kind::AtIncarnation: return "at_incarnation";
     }
     return "?";
 }
@@ -161,9 +177,9 @@ FaultPlan::toJson() const
     for (const FaultEvent &e : schedule) {
         JsonObject t;
         t["kind"] = triggerKindName(e.trigger.kind);
-        if (e.trigger.kind == FaultTrigger::Kind::NthAccess)
+        if (e.trigger.kind != FaultTrigger::Kind::AtTime)
             t["nth"] = static_cast<int64_t>(e.trigger.nth);
-        else
+        if (e.trigger.kind != FaultTrigger::Kind::NthAccess)
             t["when_ns"] = static_cast<int64_t>(e.trigger.when);
         if (e.trigger.filter.pid != 0)
             t["pid"] = static_cast<int64_t>(e.trigger.filter.pid);

@@ -68,6 +68,12 @@ struct FaultTrigger
          *  time (the clock only advances via simulated work, so the
          *  trap point is still deterministic). */
         AtTime,
+        /** Fire on the first matching access at/after `when` while
+         *  the kill victim's partition is Ready at incarnation
+         *  `nth`. Stacking one event per incarnation crashes every
+         *  successive reboot — a deterministic crash-loop plan that
+         *  drives a supervisor into its restart budget. */
+        AtIncarnation,
     };
 
     Kind kind = Kind::NthAccess;
@@ -161,6 +167,13 @@ class FaultPlan
 
     /** Kill @p victim on the first access at/after @p when. */
     FaultPlan &killAtTime(SimTime when, PartitionId victim);
+
+    /** Kill @p victim's incarnation @p incarnation on its first
+     *  matching access at/after @p when (crash-loop building block:
+     *  one event per incarnation). */
+    FaultPlan &killIncarnation(uint64_t incarnation, SimTime when,
+                               PartitionId victim,
+                               AccessFilter f = AccessFilter::any());
 
     /** Fail the @p nth matching access with AccessFault. */
     FaultPlan &failAccess(uint64_t nth,

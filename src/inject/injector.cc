@@ -62,10 +62,20 @@ FaultInjector::onAccess(const tee::SpmAccess &access)
         if (!e.trigger.filter.matches(access))
             continue;
         bool fire = false;
-        if (e.trigger.kind == FaultTrigger::Kind::NthAccess)
+        if (e.trigger.kind == FaultTrigger::Kind::NthAccess) {
             fire = ++matchCounts[i] == e.trigger.nth;
-        else
+        } else if (e.trigger.kind == FaultTrigger::Kind::AtTime) {
             fire = clock.now() >= e.trigger.when;
+        } else {
+            /* AtIncarnation: wait until the victim's partition is
+             * back up at the targeted incarnation; the event stays
+             * pending across intermediate deaths and reboots. */
+            auto victim = spm.partition(e.action.victim);
+            fire = clock.now() >= e.trigger.when && victim.isOk() &&
+                   victim.value()->state ==
+                       tee::PartitionState::Ready &&
+                   victim.value()->incarnation == e.trigger.nth;
+        }
         if (!fire)
             continue;
 

@@ -229,4 +229,23 @@ GpuHal::synchronize(uint64_t ctx)
     return Status::ok();
 }
 
+Result<Bytes>
+GpuHal::snapshotContext(uint64_t ctx)
+{
+    CRONUS_RETURN_IF_ERROR(ensureProbed());
+    /* A snapshot captures quiesced state. */
+    CRONUS_RETURN_IF_ERROR(synchronize(ctx));
+    return driver.device().snapshotContext(
+        static_cast<accel::GpuContextId>(ctx));
+}
+
+Status
+GpuHal::restoreContext(uint64_t ctx, const Bytes &snapshot)
+{
+    CRONUS_RETURN_IF_ERROR(ensureProbed());
+    shim.heartbeat();
+    return driver.device().restoreContext(
+        static_cast<accel::GpuContextId>(ctx), snapshot);
+}
+
 } // namespace cronus::mos

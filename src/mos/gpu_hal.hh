@@ -66,6 +66,11 @@ class GpuHal : public Hal
     /** Block (advance the clock) until the context stream drains. */
     Status synchronize(uint64_t ctx);
 
+    /** Serialize the context's device memory (checkpointing). */
+    Result<Bytes> snapshotContext(uint64_t ctx);
+    /** Rebuild a fresh context's device memory from a snapshot. */
+    Status restoreContext(uint64_t ctx, const Bytes &snapshot);
+
     accel::GpuDevice &rawDevice() { return driver.device(); }
 
     /** Host address (IOVA) of the DMA bounce buffer, for tests. */

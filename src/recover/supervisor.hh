@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Supervised recovery (§IV-D operationalized).
+ *
+ * The Supervisor moves failure handling out of per-application code
+ * and into the platform: it owns the hang-poll / crash-detection
+ * loop for the devices it watches (virtual-time cadence), drives
+ * staged recovery (fail -> backoff -> scrub -> reboot via the SPM)
+ * under a per-partition restart budget with exponential backoff in
+ * simulated time, and quarantines crash-looping partitions, marking
+ * their device degraded so the dispatcher places new enclaves
+ * elsewhere.
+ *
+ * The state machine per watched device:
+ *
+ *   Healthy --failure/hang--> BackingOff --deadline--> Scrubbing
+ *      ^                                                   |
+ *      +------------------- reboot (deadline) -------------+
+ *
+ *   any failure with restarts >= budget --> Quarantined (terminal;
+ *   the device is marked degraded on the dispatcher)
+ *
+ * All transitions happen inside pump(), which never blocks: it only
+ * reacts to the current virtual time, so callers interleave their
+ * own work with recovery (a healthy partition's throughput is not
+ * perturbed by a failed peer's reboot). awaitRecovery() is the
+ * blocking form: it pumps and advances the clock to the next
+ * deadline until the device is back up or quarantined.
+ */
+
+#ifndef CRONUS_RECOVER_SUPERVISOR_HH
+#define CRONUS_RECOVER_SUPERVISOR_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+
+namespace cronus::recover
+{
+
+struct SupervisorConfig
+{
+    /** Restarts allowed per partition before quarantine. */
+    uint32_t restartBudget = 3;
+    /** Backoff before the Nth restart: base * factor^(N-1). */
+    SimTime backoffBaseNs = 20 * kNsPerMs;
+    uint32_t backoffFactor = 2;
+    /** Hang-poll cadence for watches with hang detection. */
+    SimTime pollPeriodNs = 50 * kNsPerMs;
+};
+
+enum class DeviceHealth
+{
+    Healthy,
+    BackingOff,   ///< failure observed; waiting out the backoff
+    Scrubbing,    ///< step-2 scrub + mOS reload in progress
+    Quarantined,  ///< restart budget exhausted (terminal)
+};
+
+const char *deviceHealthName(DeviceHealth health);
+
+/** One entry of the deterministic recovery event log. */
+struct SupervisorEvent
+{
+    SimTime t = 0;
+    std::string device;
+    std::string what;  ///< "failure" | "hang" | "scrub" | ...
+    uint32_t restarts = 0;
+};
+
+class Supervisor
+{
+  public:
+    explicit Supervisor(core::CronusSystem &system,
+                        const SupervisorConfig &config =
+                            SupervisorConfig());
+
+    /**
+     * Start supervising @p device. With @p hang_detect the
+     * supervisor also polls the partition's heartbeat at the
+     * configured cadence (only watched devices are polled: an idle
+     * caller-side CPU partition that never ticks must not be
+     * declared hung). Idempotent.
+     */
+    Status watch(const std::string &device, bool hang_detect = false);
+
+    /**
+     * Non-blocking supervision step: detect failures/hangs, start
+     * or finish backoff and scrub stages whose deadline passed.
+     * Call it from the application's event loop; time only moves
+     * through simulated work, so pumping is deterministic.
+     */
+    void pump();
+
+    /**
+     * Block (in virtual time) until @p device is Ready again or
+     * quarantined. Returns Ok after a completed recovery, Degraded
+     * when the device is (or becomes) quarantined.
+     */
+    Status awaitRecovery(const std::string &device);
+
+    DeviceHealth healthOf(const std::string &device) const;
+    uint32_t restartsOf(const std::string &device) const;
+    bool quarantined(const std::string &device) const;
+
+    /** Deterministic backoff before the Nth restart (1-based). */
+    SimTime backoffDelay(uint32_t restart_number) const;
+
+    const SupervisorConfig &config() const { return cfg; }
+    const std::vector<SupervisorEvent> &events() const
+    {
+        return eventLog;
+    }
+
+    /** Recovery log + per-device health as JSON (bench reports). */
+    JsonValue report() const;
+
+  private:
+    struct DeviceWatch
+    {
+        tee::PartitionId pid = 0;
+        DeviceHealth health = DeviceHealth::Healthy;
+        SimTime deadline = 0;        ///< backoff/scrub end time
+        uint32_t restarts = 0;
+        bool hangDetect = false;
+        uint64_t lastSeenHeartbeat = 0;
+        SimTime nextHangPoll = 0;
+    };
+
+    void onFailure(const std::string &device, DeviceWatch &w,
+                   const char *what);
+    void logEvent(const std::string &device, const std::string &what,
+                  uint32_t restarts);
+
+    core::CronusSystem &sys;
+    SupervisorConfig cfg;
+    std::map<std::string, DeviceWatch> watches;
+    std::vector<SupervisorEvent> eventLog;
+};
+
+} // namespace cronus::recover
+
+#endif // CRONUS_RECOVER_SUPERVISOR_HH

@@ -94,6 +94,9 @@ Spm::createPartition(const MosImage &image,
 
     PartitionId pid = p.id;
     partitions.emplace(pid, std::move(p));
+    /* Seed hang detection: a partition that never heartbeats after
+     * boot (born hung) is caught within one poll interval. */
+    lastHeartbeat[pid] = 0;
     return pid;
 }
 
@@ -137,7 +140,13 @@ Spm::panic(PartitionId pid)
 Status
 Spm::requestRestart(PartitionId pid, const MosImage &new_image)
 {
-    CRONUS_RETURN_IF_ERROR(failPartition(pid));
+    auto pr = partition(pid);
+    if (!pr.isOk())
+        return pr.status();
+    /* The fail step is idempotent: a partition that already crashed
+     * (panic/hang) skips straight to recovery. */
+    if (pr.value()->state != PartitionState::Failed)
+        CRONUS_RETURN_IF_ERROR(failPartition(pid));
     return recoverPartition(pid, new_image);
 }
 
@@ -188,8 +197,8 @@ Spm::recoveryCost(const Partition &p) const
 {
     const CostModel &costs = sm.platform().costs();
     uint64_t mib = (p.memBytes + (1 << 20) - 1) >> 20;
-    hw::Device *dev = const_cast<SecureMonitor &>(sm)
-                          .platform().findDevice(p.deviceName);
+    const hw::Platform &plat = sm.platform();
+    const hw::Device *dev = plat.findDevice(p.deviceName);
     uint64_t dev_mib = dev == nullptr
                            ? 0
                            : (dev->memoryBytes() + (1 << 20) - 1) >> 20;
@@ -221,7 +230,9 @@ Spm::scrubPartition(Partition &p, const MosImage &image)
     p.image = image;
     p.mosHash = image.measure();
     p.heartbeat = 0;
-    lastHeartbeat.erase(p.id);
+    /* Re-seed hang detection so a born-hung new incarnation is
+     * caught within one poll interval. */
+    lastHeartbeat[p.id] = 0;
     ++p.incarnation;
     p.rf = false;
     p.state = PartitionState::Ready;

@@ -5,6 +5,7 @@
 #include "core/system.hh"
 #include "inject/injector.hh"
 #include "inject/invariant_auditor.hh"
+#include "recover/resumable_channel.hh"
 
 namespace cronus::workloads
 {
@@ -40,44 +41,40 @@ cpuManifest(const Bytes &image_bytes)
     return m.toJson();
 }
 
-/** One matrix task bound to a GPU partition. */
+/** One matrix task riding a resumable channel to a GPU enclave. */
 struct MatrixTask
 {
-    CronusSystem *system = nullptr;
-    std::string device;
-    AppHandle cpu;
-    AppHandle enclave;
-    std::unique_ptr<SrpcChannel> channel;
+    std::unique_ptr<recover::ResumableChannel> channel;
     uint64_t vaA = 0, vaB = 0, vaC = 0;
     uint64_t dim = 0;
-    bool alive = false;
 
     Status
-    start(CronusSystem &sys, const AppHandle &cpu_enclave,
-          const std::string &device_name, uint64_t matrix_dim)
+    start(CronusSystem &sys, recover::Supervisor &sup,
+          inject::InvariantAuditor &auditor, AppHandle &cpu_enclave,
+          const std::string &device_name, uint64_t matrix_dim,
+          uint64_t checkpoint_every)
     {
-        system = &sys;
-        cpu = cpu_enclave;
-        device = device_name;
         dim = matrix_dim;
-
         accel::GpuModuleImage module{"mat.cubin",
                                      {"matmul_f32", "fill_f32"}};
         Bytes image = module.serialize();
-        auto handle = sys.createEnclave(gpuManifest(image),
-                                        "mat.cubin", image,
-                                        device_name);
-        if (!handle.isOk())
-            return handle.status();
-        enclave = handle.value();
-        auto ch = sys.connect(cpu, enclave);
-        if (!ch.isOk())
-            return ch.status();
-        channel = std::move(ch.value());
+        recover::CalleeSpec spec;
+        spec.manifestJson = gpuManifest(image);
+        spec.imageName = "mat.cubin";
+        spec.image = image;
+        spec.deviceName = device_name;
+        spec.autoCheckpointEvery = checkpoint_every;
+        channel = std::make_unique<recover::ResumableChannel>(
+            sys, sup, cpu_enclave, std::move(spec));
+        /* Re-attach the auditor to every incarnation's channel. */
+        channel->setOnConnect([&auditor](SrpcChannel &c) {
+            auditor.attachChannel(c);
+        });
+        CRONUS_RETURN_IF_ERROR(channel->open());
 
         uint64_t bytes = dim * dim * sizeof(float);
         for (uint64_t *va : {&vaA, &vaB, &vaC}) {
-            auto r = channel->callSync(
+            auto r = channel->call(
                 "cuMemAlloc", CudaRuntime::encodeMemAlloc(bytes));
             if (!r.isOk())
                 return r.status();
@@ -93,31 +90,31 @@ struct MatrixTask
             if (!r.isOk())
                 return r.status();
         }
-        alive = true;
-        return Status::ok();
+        /* Seal the initialized operands: a reconnect restores A/B/C
+         * from the checkpoint instead of replaying the setup. */
+        return channel->checkpoint();
     }
 
-    /** One task step: a matmul + sync. */
+    bool
+    live() const
+    {
+        return channel &&
+               channel->state() == recover::ChannelState::Live;
+    }
+
+    /** One task step: a matmul + sync (journaled calls). */
     Status
     step()
     {
-        if (!alive)
-            return Status(ErrorCode::InvalidState, "task down");
         auto launch = channel->call(
             "cuLaunchKernel",
             CudaRuntime::encodeLaunchKernel(
                 "matmul_f32", {vaA, vaB, vaC, dim, dim, dim},
                 dim * dim * dim));
-        if (!launch.isOk()) {
-            alive = false;
+        if (!launch.isOk())
             return launch.status();
-        }
         auto sync = channel->call("cuCtxSynchronize", Bytes{});
-        if (!sync.isOk()) {
-            alive = false;
-            return sync.status();
-        }
-        return Status::ok();
+        return sync.status();
     }
 };
 
@@ -148,33 +145,49 @@ runFailoverTimeline(const FailoverConfig &config)
                                     cpu_bytes);
     if (!cpu.isOk())
         return cpu.status();
+    AppHandle cpu_handle = cpu.value();
 
     /* Audits grant accounting, streamCheck and slot lifetimes for
      * the whole run; attached before the first channel exists. */
     inject::InvariantAuditor auditor;
     auditor.attachSpm(system.spm());
 
+    recover::SupervisorConfig sup_cfg;
+    sup_cfg.restartBudget = config.restartBudget;
+    sup_cfg.backoffBaseNs = config.backoffBaseNs;
+    recover::Supervisor supervisor(system, sup_cfg);
+
     MatrixTask task_a, task_b;
-    CRONUS_RETURN_IF_ERROR(
-        task_a.start(system, cpu.value(), "gpu0", config.matrixDim));
-    CRONUS_RETURN_IF_ERROR(
-        task_b.start(system, cpu.value(), "gpu1", config.matrixDim));
-    auditor.attachChannel(*task_a.channel);
-    auditor.attachChannel(*task_b.channel);
+    CRONUS_RETURN_IF_ERROR(task_a.start(
+        system, supervisor, auditor, cpu_handle, "gpu0",
+        config.matrixDim, config.checkpointEvery));
+    CRONUS_RETURN_IF_ERROR(task_b.start(
+        system, supervisor, auditor, cpu_handle, "gpu1",
+        config.matrixDim, config.checkpointEvery));
 
     hw::Platform &plat = system.platform();
     SimTime origin = plat.clock().now();
     SimTime end_at = origin + config.runForNs;
 
     /* The crash is scripted, not hand-delivered: the plan kills
-     * gpu0's partition on the first checked SPM access at or after
-     * the crash time, and the tasks find out via proceed-trap. */
+     * gpu0's partition on a checked SPM access at or after the crash
+     * time, and the tasks find out via proceed-trap. In crash-loop
+     * mode every recovered incarnation is killed again the same way
+     * until the Supervisor's restart budget runs out. */
     auto gpu0_mos = system.mosForDevice("gpu0");
     if (!gpu0_mos.isOk())
         return gpu0_mos.status();
+    tee::PartitionId gpu0_pid = gpu0_mos.value()->partitionId();
     inject::FaultPlan plan(config.faultSeed);
-    plan.killAtTime(origin + config.crashAtNs,
-                    gpu0_mos.value()->partitionId());
+    if (config.crashLoop) {
+        /* Incarnations start at 1; budget restarts reach incarnation
+         * budget+1, so budget+1 kills force the quarantine. */
+        for (uint64_t k = 1; k <= config.restartBudget + 1; ++k)
+            plan.killIncarnation(k, origin + config.crashAtNs,
+                                 gpu0_pid);
+    } else {
+        plan.killAtTime(origin + config.crashAtNs, gpu0_pid);
+    }
     inject::FaultInjector injector(system.spm(), plan);
     injector.arm();
 
@@ -183,56 +196,55 @@ runFailoverTimeline(const FailoverConfig &config)
     FailoverTimeline timeline;
 
     bool crashed = false;
+    SimTime crash_at = 0;
     SimTime recovered_at = 0;
     while (plat.clock().now() < end_at) {
-        /* Alternate the two tasks. */
-        if (task_a.alive) {
-            if (task_a.step().isOk()) {
+        supervisor.pump();
+        if (!timeline.gaveUp) {
+            Status s = task_a.step();
+            if (s.isOk()) {
                 series_a.record(plat.clock().now() - origin);
-            } else if (!crashed && injector.allFired()) {
-                /* The injected kill surfaced through the proceed-
-                 * trap path: a step's shared-memory access returned
-                 * PeerFailed. Recovery runs concurrently with task
-                 * B: the SPM clears + reloads gpu0's partition while
-                 * gpu1 keeps serving. Task B steps fill the recovery
-                 * window, then the (already-elapsed) recovery
-                 * completes without charging the clock twice. */
-                crashed = true;
-                auto estimate = system.recoveryEstimate("gpu0");
-                if (!estimate.isOk())
-                    return estimate.status();
-                SimTime recover_start = plat.clock().now();
-                SimTime done_at = recover_start + estimate.value();
-                while (plat.clock().now() < done_at &&
-                       plat.clock().now() < end_at) {
-                    if (!task_b.step().isOk())
-                        break;
-                    series_b.record(plat.clock().now() - origin);
-                    ++timeline.taskBStepsDuringOutage;
+                if (crashed && recovered_at == 0) {
+                    /* The step above resumed the channel: reconnect,
+                     * checkpoint restore and journal replay all
+                     * happened inside it. */
+                    recovered_at = plat.clock().now();
+                    timeline.recoveryNs = recovered_at - crash_at;
                 }
-                plat.clock().advanceTo(done_at);
-                CRONUS_RETURN_IF_ERROR(system.recover("gpu0",
-                                                      false));
-                CRONUS_RETURN_IF_ERROR(task_a.start(
-                    system, cpu.value(), "gpu0", config.matrixDim));
-                auditor.attachChannel(*task_a.channel);
-                recovered_at = plat.clock().now();
-                timeline.recoveryNs = recovered_at - recover_start;
-                continue;
+            } else if (s.code() == ErrorCode::PeerFailed) {
+                if (!crashed) {
+                    crashed = true;
+                    crash_at = plat.clock().now();
+                }
+                /* Parked: the Supervisor recovers gpu0 while task B
+                 * keeps the machine busy below. */
+            } else if (s.code() == ErrorCode::Degraded) {
+                timeline.gaveUp = true;
+            } else {
+                return s;
             }
         }
-        if (task_b.alive) {
+        if (task_b.live()) {
             if (task_b.step().isOk()) {
-                SimTime when = plat.clock().now() - origin;
-                series_b.record(when);
-                if (crashed && recovered_at != 0 &&
-                    plat.clock().now() <= recovered_at)
+                series_b.record(plat.clock().now() - origin);
+                if (crashed && recovered_at == 0 &&
+                    !timeline.gaveUp)
                     ++timeline.taskBStepsDuringOutage;
             }
         }
     }
 
-    /* Orderly teardown before the audit: close both channels so
+    timeline.quarantined = supervisor.quarantined("gpu0") &&
+                           system.dispatcher().isDegraded("gpu0");
+    timeline.gaveUp =
+        timeline.gaveUp ||
+        task_a.channel->state() == recover::ChannelState::GaveUp;
+    timeline.finalChannelState =
+        recover::channelStateName(task_a.channel->state());
+    timeline.replayedCalls = task_a.channel->replayedCalls();
+    timeline.reconnects = task_a.channel->reconnects();
+
+    /* Orderly teardown before the audit: drop both channels so
      * every grant reaches its teardown event. */
     task_a.channel.reset();
     task_b.channel.reset();
@@ -241,6 +253,7 @@ runFailoverTimeline(const FailoverConfig &config)
     timeline.taskARate = series_a.ratesPerSecond(config.runForNs);
     timeline.taskBRate = series_b.ratesPerSecond(config.runForNs);
     timeline.machineRebootNs = plat.costs().machineRebootNs;
+    timeline.supervisorReport = supervisor.report().dump();
     timeline.injectionReport = injector.report().dump();
     (void)auditor.finalCheck();
     timeline.auditViolations = auditor.violations().size();

@@ -1,15 +1,21 @@
 /**
  * @file
- * Failover timeline driver (§VI-D, Fig. 9).
+ * Failover timeline driver (§VI-D, Fig. 9), supervised edition.
  *
  * Two matrix-computing tasks run on separate S-EL2 partitions (two
  * GPUs). Mid-run, one partition is crashed by a deterministic fault
  * plan (src/inject/): the injected kill fires inside a checked SPM
  * access, so the victim's peers discover it through the proceed-trap
- * path exactly as on real hardware. CRONUS's recovery restarts only
- * the fault-inducing partition (hundreds of ms) and the other task
- * is never interrupted; the monolithic comparator reboots the whole
- * machine (minutes) and loses both. An InvariantAuditor rides along
+ * path exactly as on real hardware. Recovery is *not* hand-scripted:
+ * a Supervisor (src/recover/) stages backoff + scrub + reboot under
+ * a restart budget, and task A rides a ResumableChannel that parks
+ * on PeerFailed, reconnects to the recovered incarnation (re-running
+ * attestation + dCheck), restores the sealed checkpoint and replays
+ * the un-acked in-flight calls. Task B is never interrupted; the
+ * monolithic comparator reboots the whole machine (minutes) and
+ * loses both. With crashLoop set, the plan kills every incarnation
+ * until the budget is exhausted and the run must end in quarantine
+ * with the channel reporting GaveUp. An InvariantAuditor rides along
  * and the timeline carries its report.
  */
 
@@ -31,6 +37,14 @@ struct FailoverConfig
     uint64_t matrixDim = 48;
     /** Seed of the deterministic fault plan (src/inject/). */
     uint64_t faultSeed = 1;
+    /** Kill every new incarnation of task A's partition until the
+     *  restart budget is exhausted (quarantine path). */
+    bool crashLoop = false;
+    /* Supervisor policy (src/recover/). */
+    uint32_t restartBudget = 3;
+    SimTime backoffBaseNs = 20 * kNsPerMs;
+    /** Auto-checkpoint cadence of task A's channel (calls). */
+    uint64_t checkpointEvery = 8;
 };
 
 struct FailoverTimeline
@@ -44,6 +58,18 @@ struct FailoverTimeline
     SimTime machineRebootNs = 0;
     /** Task B steps completed while A was down (isolation proof). */
     uint64_t taskBStepsDuringOutage = 0;
+    /** Journaled calls replayed into recovered incarnations. */
+    uint64_t replayedCalls = 0;
+    /** Successful channel reconnects (one per survived kill). */
+    uint64_t reconnects = 0;
+    /** Task A's channel gave up (crash-loop path). */
+    bool gaveUp = false;
+    /** gpu0 ended the run quarantined on the dispatcher. */
+    bool quarantined = false;
+    /** Task A channel state at the end ("live"/"parked"/...). */
+    std::string finalChannelState;
+    /** Supervisor event log + per-device health (JSON). */
+    std::string supervisorReport;
     /** Fault-injection log (JSON) from the FaultInjector. */
     std::string injectionReport;
     /** Invariant audit report (JSON) from the InvariantAuditor. */

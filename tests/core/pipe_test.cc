@@ -209,11 +209,41 @@ TEST_F(CheckpointTest, WrongSecretCannotOpen)
               ErrorCode::IntegrityViolation);
 }
 
-TEST_F(CheckpointTest, GpuEnclaveHasNoSnapshotSupport)
+TEST_F(CheckpointTest, GpuEnclaveRoundTripsDeviceMemory)
 {
+    /* GPU snapshots capture the enclave's device allocations; a
+     * restore re-mallocs them in VA order, which requires a *fresh*
+     * context -- the reconnect path always restores into a newly
+     * created enclave, and that is the shape tested here. */
     auto gpu = makeGpuEnclave().value();
-    EXPECT_EQ(system->checkpointEnclave(gpu).code(),
-              ErrorCode::Unsupported);
+    auto va = system->ecall(gpu, "cuMemAlloc",
+                            CudaRuntime::encodeMemAlloc(16));
+    ASSERT_TRUE(va.isOk());
+    uint64_t ptr = CudaRuntime::decodeU64Result(va.value()).value();
+    Bytes fill(16, 0xAB);
+    ASSERT_TRUE(system->ecall(gpu, "cuMemcpyHtoD",
+                              CudaRuntime::encodeMemcpyHtoD(
+                                  ptr, fill)).isOk());
+    ASSERT_TRUE(system->ecall(gpu, "cuCtxSynchronize",
+                              Bytes{}).isOk());
+
+    auto sealed = system->checkpointEnclave(gpu);
+    ASSERT_TRUE(sealed.isOk()) << sealed.status().toString();
+
+    /* The old enclave dies with its partition; a fresh enclave on
+     * the recovered incarnation restores the sealed snapshot. */
+    ASSERT_TRUE(system->injectPanic("gpu0").isOk());
+    ASSERT_TRUE(system->recover("gpu0").isOk());
+    auto fresh = makeGpuEnclave().value();
+    ASSERT_TRUE(system->restoreEnclave(fresh, sealed.value(),
+                                       gpu.secret).isOk());
+
+    /* A fresh context re-mallocs in ascending VA order, so the
+     * snapshot's VAs are reproduced exactly. */
+    auto back = system->ecall(fresh, "cuMemcpyDtoH",
+                              CudaRuntime::encodeMemcpyDtoH(ptr, 16));
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back.value(), fill);
 }
 
 } // namespace

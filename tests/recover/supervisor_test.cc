@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Supervisor unit tests (src/recover/): staged recovery under a
+ * restart budget, deterministic backoff schedule, quarantine of
+ * crash-looping partitions with dispatcher re-placement, and
+ * born-hung detection through the seeded heartbeat table.
+ */
+
+#include "../core/test_fixtures.hh"
+#include "recover/supervisor.hh"
+
+namespace cronus::recover
+{
+namespace
+{
+
+using core::AppHandle;
+using core::CronusConfig;
+using core::CronusSystem;
+
+std::unique_ptr<CronusSystem>
+makeTwoGpuSystem()
+{
+    Logger::instance().setQuiet(true);
+    core::testing::registerTestCpuFunctions();
+    accel::registerBuiltinKernels();
+    CronusConfig cfg;
+    cfg.numGpus = 2;
+    cfg.withNpu = false;
+    return std::make_unique<CronusSystem>(cfg);
+}
+
+TEST(SupervisorTest, BackoffScheduleIsExponentialAndDeterministic)
+{
+    auto sys_a = makeTwoGpuSystem();
+    auto sys_b = makeTwoGpuSystem();
+    SupervisorConfig cfg;
+    cfg.backoffBaseNs = 10 * kNsPerMs;
+    cfg.backoffFactor = 3;
+    Supervisor sup_a(*sys_a, cfg);
+    Supervisor sup_b(*sys_b, cfg);
+
+    EXPECT_EQ(sup_a.backoffDelay(1), 10 * kNsPerMs);
+    EXPECT_EQ(sup_a.backoffDelay(2), 30 * kNsPerMs);
+    EXPECT_EQ(sup_a.backoffDelay(3), 90 * kNsPerMs);
+    for (uint32_t n = 1; n <= 5; ++n)
+        EXPECT_EQ(sup_a.backoffDelay(n), sup_b.backoffDelay(n));
+}
+
+TEST(SupervisorTest, StagedRecoveryBringsPartitionBack)
+{
+    auto sys = makeTwoGpuSystem();
+    Supervisor sup(*sys);
+    ASSERT_TRUE(sup.watch("gpu0").isOk());
+
+    ASSERT_TRUE(sys->injectPanic("gpu0").isOk());
+    EXPECT_EQ(sup.healthOf("gpu0"), DeviceHealth::Healthy);
+
+    SimTime t0 = sys->platform().clock().now();
+    ASSERT_TRUE(sup.awaitRecovery("gpu0").isOk());
+    EXPECT_EQ(sup.healthOf("gpu0"), DeviceHealth::Healthy);
+    EXPECT_EQ(sup.restartsOf("gpu0"), 1u);
+
+    auto mos = sys->mosForDevice("gpu0");
+    ASSERT_TRUE(mos.isOk());
+    auto p = sys->spm().partition(mos.value()->partitionId());
+    ASSERT_TRUE(p.isOk());
+    EXPECT_EQ(p.value()->state, tee::PartitionState::Ready);
+    EXPECT_EQ(p.value()->incarnation, 2u);
+
+    /* Recovery charged backoff + scrub in virtual time, far below
+     * the whole-machine reboot of the monolithic comparator. */
+    SimTime elapsed = sys->platform().clock().now() - t0;
+    EXPECT_GE(elapsed, sup.config().backoffBaseNs);
+    EXPECT_LT(elapsed, sys->platform().costs().machineRebootNs);
+}
+
+TEST(SupervisorTest, BudgetExhaustionQuarantinesAndMarksDegraded)
+{
+    auto sys = makeTwoGpuSystem();
+    SupervisorConfig cfg;
+    cfg.restartBudget = 2;
+    Supervisor sup(*sys, cfg);
+    ASSERT_TRUE(sup.watch("gpu0").isOk());
+
+    for (uint32_t i = 1; i <= cfg.restartBudget; ++i) {
+        ASSERT_TRUE(sys->injectPanic("gpu0").isOk());
+        ASSERT_TRUE(sup.awaitRecovery("gpu0").isOk());
+        EXPECT_EQ(sup.restartsOf("gpu0"), i);
+    }
+
+    /* One failure past the budget: terminal quarantine. */
+    ASSERT_TRUE(sys->injectPanic("gpu0").isOk());
+    Status s = sup.awaitRecovery("gpu0");
+    EXPECT_EQ(s.code(), ErrorCode::Degraded);
+    EXPECT_TRUE(sup.quarantined("gpu0"));
+    EXPECT_TRUE(sys->dispatcher().isDegraded("gpu0"));
+
+    /* Quarantine is terminal: further waits fail the same way. */
+    EXPECT_EQ(sup.awaitRecovery("gpu0").code(),
+              ErrorCode::Degraded);
+}
+
+TEST(SupervisorTest, QuarantinedDeviceIsSkippedByPlacement)
+{
+    auto sys = makeTwoGpuSystem();
+    SupervisorConfig cfg;
+    cfg.restartBudget = 0;  /* first failure quarantines */
+    Supervisor sup(*sys, cfg);
+    ASSERT_TRUE(sup.watch("gpu0").isOk());
+
+    ASSERT_TRUE(sys->injectPanic("gpu0").isOk());
+    EXPECT_EQ(sup.awaitRecovery("gpu0").code(),
+              ErrorCode::Degraded);
+
+    /* Pinned placement on the quarantined device is refused ... */
+    auto pinned = sys->createEnclave(core::testing::gpuManifest(),
+                                     "test.cubin",
+                                     core::testing::gpuImageBytes(),
+                                     "gpu0");
+    EXPECT_EQ(pinned.code(), ErrorCode::Degraded);
+
+    /* ... and unpinned placement lands on the healthy twin. */
+    auto placed = sys->createEnclave(core::testing::gpuManifest(),
+                                     "test.cubin",
+                                     core::testing::gpuImageBytes());
+    ASSERT_TRUE(placed.isOk());
+    EXPECT_EQ(placed.value().host->deviceName(), "gpu1");
+}
+
+TEST(SupervisorTest, BornHungPartitionCaughtWithinOnePoll)
+{
+    auto sys = makeTwoGpuSystem();
+    Supervisor sup(*sys);
+    ASSERT_TRUE(sup.watch("gpu0", /*hang_detect=*/true).isOk());
+
+    /* gpu0's mOS never heartbeats after boot. Advancing past one
+     * poll period must fail it and stage recovery. */
+    SimClock &clock = sys->platform().clock();
+    clock.advance(sup.config().pollPeriodNs + 1);
+    sup.pump();
+    EXPECT_EQ(sup.healthOf("gpu0"), DeviceHealth::BackingOff);
+
+    ASSERT_TRUE(sup.awaitRecovery("gpu0").isOk());
+    EXPECT_EQ(sup.restartsOf("gpu0"), 1u);
+}
+
+TEST(SupervisorTest, EventLogIsByteIdenticalAcrossRuns)
+{
+    auto run = [] {
+        auto sys = makeTwoGpuSystem();
+        SupervisorConfig cfg;
+        cfg.restartBudget = 1;
+        Supervisor sup(*sys, cfg);
+        EXPECT_TRUE(sup.watch("gpu0").isOk());
+        EXPECT_TRUE(sys->injectPanic("gpu0").isOk());
+        EXPECT_TRUE(sup.awaitRecovery("gpu0").isOk());
+        EXPECT_TRUE(sys->injectPanic("gpu0").isOk());
+        EXPECT_EQ(sup.awaitRecovery("gpu0").code(),
+                  ErrorCode::Degraded);
+        return sup.report().dump();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace cronus::recover

@@ -286,6 +286,50 @@ TEST_F(SpmTest, HangDetection)
               PartitionState::Failed);
 }
 
+TEST_F(SpmTest, BornHungPartitionFailsOnFirstPoll)
+{
+    /* A partition that never heartbeats after boot must be caught
+     * by the very first poll: createPartition seeds the heartbeat
+     * table, so "no entry yet" can't read as progress. */
+    PartitionId a = makePartition("gpu0");
+    auto failed = spm->pollHangs();
+    ASSERT_EQ(failed.size(), 1u);
+    EXPECT_EQ(failed[0], a);
+    EXPECT_EQ(spm->partition(a).value()->state,
+              PartitionState::Failed);
+
+    /* The same holds after a restart: the re-seeded entry catches a
+     * born-hung new incarnation within one poll too. */
+    ASSERT_TRUE(spm->recoverPartition(a, image("gpu0.mos")).isOk());
+    auto again = spm->pollHangs();
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_EQ(again[0], a);
+}
+
+TEST_F(SpmTest, RequestRestartIsIdempotentForFailedPartitions)
+{
+    /* Regression: requestRestart used to fail-then-recover
+     * unconditionally, so calling it on a partition that already
+     * panicked bounced with InvalidState from the fail step. */
+    PartitionId a = makePartition("gpu0");
+    ASSERT_TRUE(spm->panic(a).isOk());
+    ASSERT_EQ(spm->partition(a).value()->state,
+              PartitionState::Failed);
+
+    ASSERT_TRUE(spm->requestRestart(a, image("gpu0.mos")).isOk());
+    auto p = spm->partition(a);
+    ASSERT_TRUE(p.isOk());
+    EXPECT_EQ(p.value()->state, PartitionState::Ready);
+    EXPECT_EQ(p.value()->incarnation, 2u);
+
+    /* The Ready path still runs both steps. */
+    ASSERT_TRUE(spm->requestRestart(a, image("gpu0.mos")).isOk());
+    EXPECT_EQ(spm->partition(a).value()->incarnation, 3u);
+
+    EXPECT_EQ(spm->requestRestart(99, image("x")).code(),
+              ErrorCode::NotFound);
+}
+
 TEST_F(SpmTest, RevokeGrantRestoresShareBudget)
 {
     PartitionId a = makePartition("gpu0");
