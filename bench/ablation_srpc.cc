@@ -8,11 +8,14 @@
  * paper contrasts. This is the design choice sRPC exists for.
  */
 
+#include <chrono>
+
 #include "accel/builtin_kernels.hh"
 #include "bench_util.hh"
 #include "core/auto_partition.hh"
 #include "core/system.hh"
 #include "crypto/aes.hh"
+#include "hw/translation_cache.hh"
 
 using namespace cronus;
 using namespace cronus::bench;
@@ -90,17 +93,22 @@ main()
 
     /* --- 1. sRPC (CRONUS) --- */
     double srpc_us;
+    double srpc_host_ns;
     uint64_t srpc_switches;
     {
         Setup s;
         uint64_t switches0 = s.system->monitor().worldSwitchCount() +
                              s.system->monitor().sel2SwitchCount();
         SimTime t0 = s.system->platform().clock().now();
+        auto h0 = std::chrono::steady_clock::now();
         for (int i = 0; i < kCalls; ++i)
             s.channel->callAsync("cuMemAlloc", args);
         s.channel->drain();
+        auto h1 = std::chrono::steady_clock::now();
         srpc_us = (s.system->platform().clock().now() - t0) /
                   (1000.0 * kCalls);
+        srpc_host_ns = std::chrono::duration<double, std::nano>(
+                           h1 - h0).count() / kCalls;
         srpc_switches = s.system->monitor().worldSwitchCount() +
                         s.system->monitor().sel2SwitchCount() -
                         switches0;
@@ -177,6 +185,13 @@ main()
     std::printf("\nsRPC speedup: %.1fx vs sync, %.1fx vs "
                 "encrypted\n",
                 sync_us / srpc_us, enc_us / srpc_us);
+    /* Host (wall-clock) per-call cost of the simulator itself; this
+     * is what the software-TLB fast path ablation moves
+     * (CRONUS_DISABLE_TLB=1), while the virtual-time table above is
+     * byte-identical by construction. */
+    std::printf("sRPC host-time per call: %.0f ns (wall clock, "
+                "TLB %s)\n", srpc_host_ns,
+                hw::TranslationCache::globalEnable() ? "on" : "off");
 
     /* --- §VII-B hardware advice: trusted TEE shared memory --- */
     header("Ablation: channel setup with hardware trusted shared "

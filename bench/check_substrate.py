@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate for the memory fast path.
+
+Reads the google-benchmark JSON written by `micro_substrate`
+(BENCH_substrate.json) and compares each fast-path benchmark's
+TLB-off variant (/0) against its TLB-on variant (/1). A single run
+contains both: the benches flip the software TLB per measurement.
+
+Fails (exit 1) if the TLB-on variant is slower than the floor for
+its family. The SPM copy benches are translation-bound and must show
+a real multiple; the sRPC per-call benches are dominated by fixed
+executor cost (see DESIGN.md section 8), so their floor only asserts
+the fast path never regresses below the uncached walk.
+"""
+
+import json
+import sys
+
+# family -> minimum required off/on real_time ratio
+FLOORS = {
+    "BM_SpmRead": 2.0,
+    "BM_SpmWrite": 2.0,
+    "BM_SrpcCallSync": 1.0,
+    "BM_SrpcCallAsync": 1.0,
+}
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name", "")
+        if b.get("run_type") == "aggregate":
+            continue
+        times[name] = float(b["real_time"])
+    failures = []
+    for family, floor in FLOORS.items():
+        off = times.get(f"{family}/0")
+        on = times.get(f"{family}/1")
+        if off is None or on is None:
+            failures.append(f"{family}: missing /0 or /1 result")
+            continue
+        ratio = off / on if on > 0 else float("inf")
+        status = "ok" if ratio >= floor else "FAIL"
+        print(f"{family}: off={off:.1f}ns on={on:.1f}ns "
+              f"ratio={ratio:.2f}x (floor {floor:.1f}x) {status}")
+        if ratio < floor:
+            failures.append(
+                f"{family}: {ratio:.2f}x < required {floor:.1f}x")
+    if failures:
+        print("perf-smoke FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("perf-smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1
+                  else "BENCH_substrate.json"))

@@ -6,14 +6,24 @@
  * else is built on: SHA-256, HMAC, AES-CTR, Schnorr, U256 modexp,
  * page-table translation, sRPC framing. These are host-time
  * numbers, unlike the virtual-time figure benches.
+ *
+ * The memory fast-path benches (BM_Spm*, BM_Srpc*) take Arg(0) =
+ * software TLB off / Arg(1) = TLB on, so a single run quantifies the
+ * fast path against the uncached walk. Results are also written to
+ * BENCH_substrate.json (benchmark's JSON format) unless the caller
+ * passes its own --benchmark_out.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "accel/builtin_kernels.hh"
+#include "core/auto_partition.hh"
+#include "core/system.hh"
 #include "crypto/aes.hh"
 #include "crypto/keys.hh"
 #include "crypto/sha256.hh"
 #include "hw/page_table.hh"
+#include "tee/spm.hh"
 
 using namespace cronus;
 
@@ -147,6 +157,189 @@ BM_DhSharedSecret(benchmark::State &state)
 }
 BENCHMARK(BM_DhSharedSecret);
 
+/* ---------------- memory fast path (TLB off/on) ---------------- */
+
+/** RAII toggle: Arg(0) = uncached walk, Arg(1) = software TLB. */
+struct TlbScope
+{
+    explicit TlbScope(bool on)
+    {
+        hw::TranslationCache::setGlobalEnable(on);
+    }
+    ~TlbScope() { hw::TranslationCache::setGlobalEnable(true); }
+};
+
+/** Minimal SPM stack: one platform, one GPU partition. */
+struct SpmBench
+{
+    std::unique_ptr<hw::Platform> platform;
+    std::unique_ptr<tee::SecureMonitor> monitor;
+    std::unique_ptr<tee::Spm> spm;
+    tee::PartitionId pid = 0;
+    tee::PhysAddr base = 0;
+
+    SpmBench()
+    {
+        Logger::instance().setQuiet(true);
+        platform = std::make_unique<hw::Platform>();
+        platform->registerDevice(
+            std::make_unique<accel::GpuDevice>(), 40);
+        monitor = std::make_unique<tee::SecureMonitor>(*platform);
+        hw::DeviceTree dt;
+        hw::DeviceTree discovered = platform->buildDeviceTree();
+        for (auto node : discovered.all()) {
+            node.world = hw::World::Secure;
+            dt.addNode(node);
+        }
+        monitor->boot(dt);
+        spm = std::make_unique<tee::Spm>(*monitor);
+        tee::MosImage image{"gpu0.mos", "gpu", toBytes("bench")};
+        pid = spm->createPartition(image, "gpu0", 1 << 20).value();
+        base = spm->partition(pid).value()->memBase;
+    }
+};
+
+void
+BM_SpmRead(benchmark::State &state)
+{
+    TlbScope tlb(state.range(0) != 0);
+    SpmBench b;
+    uint8_t buf[64];
+    /* Stride one page per access across the whole partition, the
+     * pattern ring + heap traffic produces; touch everything once so
+     * neither variant measures first-touch page materialization. */
+    constexpr uint64_t kPages = (1 << 20) / hw::kPageSize;
+    for (uint64_t i = 0; i < kPages; ++i)
+        b.spm->write(b.pid, b.base + i * hw::kPageSize, buf,
+                     sizeof(buf));
+    uint64_t page = 0;
+    for (auto _ : state) {
+        Status s = b.spm->readInto(
+            b.pid, b.base + page * hw::kPageSize, buf, sizeof(buf));
+        benchmark::DoNotOptimize(s);
+        page = (page + 1) % kPages;
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            sizeof(buf));
+}
+BENCHMARK(BM_SpmRead)->Arg(0)->Arg(1);
+
+void
+BM_SpmWrite(benchmark::State &state)
+{
+    TlbScope tlb(state.range(0) != 0);
+    SpmBench b;
+    uint8_t buf[64] = {0x5a};
+    constexpr uint64_t kPages = (1 << 20) / hw::kPageSize;
+    for (uint64_t i = 0; i < kPages; ++i)
+        b.spm->write(b.pid, b.base + i * hw::kPageSize, buf,
+                     sizeof(buf));
+    uint64_t page = 0;
+    for (auto _ : state) {
+        Status s = b.spm->write(
+            b.pid, b.base + page * hw::kPageSize, buf, sizeof(buf));
+        benchmark::DoNotOptimize(s);
+        page = (page + 1) % kPages;
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            sizeof(buf));
+}
+BENCHMARK(BM_SpmWrite)->Arg(0)->Arg(1);
+
+/** Full CRONUS machine with a CPU caller and GPU callee, as in the
+ *  ablation bench; cuCtxSynchronize keeps iterations resource-flat. */
+struct SrpcBench
+{
+    std::unique_ptr<core::CronusSystem> system;
+    core::AppHandle cpu, gpu;
+    std::unique_ptr<core::SrpcChannel> channel;
+
+    SrpcBench()
+    {
+        Logger::instance().setQuiet(true);
+        accel::registerBuiltinKernels();
+        auto &reg = core::CpuFunctionRegistry::instance();
+        if (!reg.has("bench_noop")) {
+            reg.registerFunction(
+                "bench_noop", [](core::CpuCallContext &ctx) {
+                    ctx.charge(1);
+                    return Result<Bytes>(Bytes{});
+                });
+        }
+        system = std::make_unique<core::CronusSystem>();
+        core::Manifest cm;
+        cm.deviceType = "cpu";
+        cm.mEcalls.push_back({"bench_noop", false});
+        core::CpuImage ci;
+        ci.exports = {"bench_noop"};
+        Bytes cb = ci.serialize();
+        cm.images["a.so"] = crypto::digestHex(crypto::sha256(cb));
+        cm.memoryBytes = 4ull << 20;
+        cpu = system->createEnclave(cm.toJson(), "a.so", cb).value();
+
+        core::Manifest gm;
+        gm.deviceType = "gpu";
+        accel::GpuModuleImage module{"a.cubin", {"fill_f32"}};
+        Bytes gb = module.serialize();
+        gm.images["a.cubin"] = crypto::digestHex(crypto::sha256(gb));
+        for (const auto &fn : core::CudaRuntime::apiSurface())
+            gm.mEcalls.push_back(
+                {fn, core::AutoPartitioner::cudaCallIsAsync(fn)});
+        gm.memoryBytes = 4ull << 20;
+        gpu = system->createEnclave(gm.toJson(), "a.cubin", gb)
+                  .value();
+        channel = std::move(system->connect(cpu, gpu).value());
+    }
+};
+
+void
+BM_SrpcCallSync(benchmark::State &state)
+{
+    TlbScope tlb(state.range(0) != 0);
+    SrpcBench b;
+    for (auto _ : state) {
+        auto r = b.channel->callSync("cuCtxSynchronize", Bytes{});
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_SrpcCallSync)->Arg(0)->Arg(1);
+
+void
+BM_SrpcCallAsync(benchmark::State &state)
+{
+    TlbScope tlb(state.range(0) != 0);
+    SrpcBench b;
+    /* Streaming steady state: enqueue + executor keeps pace. */
+    for (auto _ : state) {
+        auto r = b.channel->callAsync("cuCtxSynchronize", Bytes{});
+        benchmark::DoNotOptimize(r);
+        b.channel->pump(1);
+    }
+    b.channel->drain();
+}
+BENCHMARK(BM_SrpcCallAsync)->Arg(0)->Arg(1);
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0)
+            has_out = true;
+    std::vector<char *> args(argv, argv + argc);
+    std::string out = "--benchmark_out=BENCH_substrate.json";
+    std::string fmt = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out.data());
+        args.push_back(fmt.data());
+    }
+    int ac = static_cast<int>(args.size());
+    benchmark::Initialize(&ac, args.data());
+    if (benchmark::ReportUnrecognizedArguments(ac, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -220,6 +220,17 @@ class GpuDevice : public hw::Device
 
     const GpuConfig &config() const { return cfg; }
 
+    /** Aggregated software-TLB counters over all context VA spaces
+     *  (kernel bodies translate every span through them). */
+    hw::TlbCounters
+    tlbCounters() const
+    {
+        hw::TlbCounters sum;
+        for (const auto &[id, context] : contexts)
+            sum.add(context.vaSpace.tlbCounters());
+        return sum;
+    }
+
   private:
     friend class GpuAccessor;
 

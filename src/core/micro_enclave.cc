@@ -13,10 +13,13 @@ namespace cronus::core
 Result<Bytes>
 MicroEnclave::invoke(const std::string &fn, const Bytes &args)
 {
-    if (!manifest.declaresCall(fn))
-        return Status(ErrorCode::PermissionDenied,
-                      "mECall '" + fn +
-                      "' not declared in the manifest");
+    if (fn != lastDeclaredFn) {
+        if (!manifest.declaresCall(fn))
+            return Status(ErrorCode::PermissionDenied,
+                          "mECall '" + fn +
+                          "' not declared in the manifest");
+        lastDeclaredFn = fn;
+    }
     return runtime->meCall(fn, args);
 }
 

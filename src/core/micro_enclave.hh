@@ -68,6 +68,10 @@ class MicroEnclave
     std::unique_ptr<EnclaveRuntime> runtime;
     Bytes secretDhke;
     crypto::PublicKey ownerPub;
+    /* One-entry declaresCall() memo for the streaming mECall hot
+     * path. Sound because the manifest is part of the attested
+     * identity and never changes after creation. */
+    std::string lastDeclaredFn;
 };
 
 class MicroOS;

@@ -24,11 +24,22 @@ u64Bytes(uint64_t v)
     return w.take();
 }
 
-Result<uint64_t>
-u64From(const Bytes &b)
+/* Little-endian, matching ByteWriter::putU32 — the in-ring fast
+ * path serializes the same wire format the Bytes path produced. */
+void
+encodeU32(uint8_t *buf, uint32_t v)
 {
-    ByteReader r(b);
-    return r.getU64();
+    for (int i = 0; i < 4; ++i)
+        buf[i] = (v >> (8 * i)) & 0xff;
+}
+
+uint32_t
+decodeU32(const uint8_t *buf)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= uint32_t(buf[i]) << (8 * i);
+    return v;
 }
 
 } // namespace
@@ -121,6 +132,90 @@ SrpcChannel::readCallee(uint64_t off, uint64_t len)
         return Status(ErrorCode::PeerFailed, "callee partition down");
     }
     return r;
+}
+
+Status
+SrpcChannel::writeCallerRaw(uint64_t off, const uint8_t *data,
+                            uint64_t len)
+{
+    Status s = callerOs.spm().write(callerOs.partitionId(),
+                                    smemBase + off, data, len);
+    if (s.code() == ErrorCode::PeerFailed)
+        markFailed();
+    return s;
+}
+
+Status
+SrpcChannel::readCallerRaw(uint64_t off, uint8_t *out, uint64_t len)
+{
+    Status s = callerOs.spm().readInto(callerOs.partitionId(),
+                                       smemBase + off, out, len);
+    if (s.code() == ErrorCode::PeerFailed)
+        markFailed();
+    return s;
+}
+
+Status
+SrpcChannel::writeCalleeRaw(uint64_t off, const uint8_t *data,
+                            uint64_t len)
+{
+    Status s = calleeOs.spm().write(calleeOs.partitionId(),
+                                    smemBase + off, data, len);
+    if (s.code() == ErrorCode::PeerFailed ||
+        s.code() == ErrorCode::InvalidState) {
+        markFailed();
+        return Status(ErrorCode::PeerFailed, "callee partition down");
+    }
+    return s;
+}
+
+Status
+SrpcChannel::readCalleeRaw(uint64_t off, uint8_t *out, uint64_t len)
+{
+    Status s = calleeOs.spm().readInto(calleeOs.partitionId(),
+                                       smemBase + off, out, len);
+    if (s.code() == ErrorCode::PeerFailed ||
+        s.code() == ErrorCode::InvalidState) {
+        markFailed();
+        return Status(ErrorCode::PeerFailed, "callee partition down");
+    }
+    return s;
+}
+
+Result<uint64_t>
+SrpcChannel::readCounter(uint64_t off, bool callee_side)
+{
+    MicroOS &os = callee_side ? calleeOs : callerOs;
+    auto r = os.spm().readU64(os.partitionId(), smemBase + off);
+    if (r.code() == ErrorCode::PeerFailed ||
+        (callee_side && r.code() == ErrorCode::InvalidState)) {
+        markFailed();
+        if (callee_side)
+            return Status(ErrorCode::PeerFailed,
+                          "callee partition down");
+    }
+    if (r.isOk())
+        ++channelStats.counterFastOps;
+    return r;
+}
+
+Status
+SrpcChannel::writeCounter(uint64_t off, uint64_t value,
+                          bool callee_side)
+{
+    MicroOS &os = callee_side ? calleeOs : callerOs;
+    Status s = os.spm().writeU64(os.partitionId(), smemBase + off,
+                                 value);
+    if (s.code() == ErrorCode::PeerFailed ||
+        (callee_side && s.code() == ErrorCode::InvalidState)) {
+        markFailed();
+        if (callee_side)
+            return Status(ErrorCode::PeerFailed,
+                          "callee partition down");
+    }
+    if (s.isOk())
+        ++channelStats.counterFastOps;
+    return s;
 }
 
 void
@@ -310,26 +405,37 @@ SrpcChannel::callAsync(const std::string &fn, const Bytes &args)
                           "ring stalled");
     }
 
-    ByteWriter w;
-    w.putString(fn);
-    w.putBytes(args);
-    Bytes request = w.take();
-    if (request.size() > cfg.requestBytes())
+    /* Serialize the frame directly into the ring -- same wire format
+     * the ByteWriter path produced:
+     *   [u32 frame_len][u32 fn_len][fn][u32 args_len][args] */
+    uint64_t request_size = 4 + fn.size() + 4 + args.size();
+    if (request_size > cfg.requestBytes())
         return Status(ErrorCode::InvalidArgument,
                       "request exceeds slot capacity");
 
     uint64_t slot = slotOffset(rid);
-    ByteWriter framed;
-    framed.putU32(static_cast<uint32_t>(request.size()));
-    framed.putRaw(request.data(), request.size());
-    CRONUS_RETURN_IF_ERROR(writeCaller(slot, framed.take()));
-    plat.chargeMemcpy(request.size());
+    uint8_t hdr[8];
+    encodeU32(hdr, static_cast<uint32_t>(request_size));
+    encodeU32(hdr + 4, static_cast<uint32_t>(fn.size()));
+    CRONUS_RETURN_IF_ERROR(writeCallerRaw(slot, hdr, 8));
+    if (!fn.empty())
+        CRONUS_RETURN_IF_ERROR(writeCallerRaw(
+            slot + 8, reinterpret_cast<const uint8_t *>(fn.data()),
+            fn.size()));
+    encodeU32(hdr, static_cast<uint32_t>(args.size()));
+    CRONUS_RETURN_IF_ERROR(writeCallerRaw(slot + 8 + fn.size(), hdr,
+                                          4));
+    if (!args.empty())
+        CRONUS_RETURN_IF_ERROR(writeCallerRaw(slot + 12 + fn.size(),
+                                              args.data(),
+                                              args.size()));
+    plat.chargeMemcpy(request_size);
     plat.clock().advance(plat.costs().ringBufferOpNs);
 
     uint64_t this_rid = rid++;
-    CRONUS_RETURN_IF_ERROR(writeCaller(kRidOff, u64Bytes(rid)));
+    CRONUS_RETURN_IF_ERROR(writeCounter(kRidOff, rid, false));
     ++channelStats.asyncCalls;
-    channelStats.bytesTransferred += request.size();
+    channelStats.bytesTransferred += request_size;
     if (observer)
         observer->onEnqueue(*this, rid, sid);
     return this_rid;
@@ -344,41 +450,56 @@ SrpcChannel::pump(uint64_t max)
     hw::Platform &plat = calleeOs.spm().monitor().platform();
 
     while (executed < max) {
-        /* Executor view of the ring: fetch Rid from smem. */
-        auto rid_now = readCallee(kRidOff, 8);
+        /* Executor view of the ring: fetch Rid from smem. This is
+         * the poll — one in-place counter read, no allocation. */
+        auto rid_now = readCounter(kRidOff, true);
         if (!rid_now.isOk())
             return executed;
-        uint64_t remote_rid = u64From(rid_now.value()).value();
+        uint64_t remote_rid = rid_now.value();
         if (sid >= remote_rid)
             break;
 
+        /* Parse the request frame in place:
+         *   [u32 frame_len][u32 fn_len][fn][u32 args_len][args]
+         * Each length is validated against the enclosing frame
+         * before the bytes it promises are read. */
         uint64_t slot = slotOffset(sid);
-        auto len_bytes = readCallee(slot, 4);
-        if (!len_bytes.isOk())
+        uint8_t hdr[8];
+        if (!readCalleeRaw(slot, hdr, 8).isOk())
             return executed;
-        uint32_t req_len = len_bytes.value()[0] |
-                           (uint32_t(len_bytes.value()[1]) << 8) |
-                           (uint32_t(len_bytes.value()[2]) << 16) |
-                           (uint32_t(len_bytes.value()[3]) << 24);
+        uint32_t req_len = decodeU32(hdr);
+        uint32_t fn_len = decodeU32(hdr + 4);
         Status resp_status = Status::ok();
         Bytes resp_payload;
         if (req_len > cfg.requestBytes()) {
             resp_status = Status(ErrorCode::InvalidArgument,
                                  "corrupt request length");
+        } else if (4 + uint64_t(fn_len) + 4 > req_len) {
+            resp_status = Status(ErrorCode::InvalidArgument,
+                                 "corrupt request frame");
         } else {
-            auto req = readCallee(slot + 4, req_len);
-            if (!req.isOk())
+            execFn.resize(fn_len);
+            if (fn_len > 0 &&
+                !readCalleeRaw(
+                     slot + 8,
+                     reinterpret_cast<uint8_t *>(execFn.data()),
+                     fn_len).isOk())
                 return executed;
-            ByteReader r(req.value());
-            auto fn = r.getString();
-            auto args = fn.isOk() ? r.getBytes()
-                                  : Result<Bytes>(fn.status());
-            if (!fn.isOk() || !args.isOk()) {
+            if (!readCalleeRaw(slot + 8 + fn_len, hdr, 4).isOk())
+                return executed;
+            uint32_t args_len = decodeU32(hdr);
+            if (4 + uint64_t(fn_len) + 4 + args_len > req_len) {
                 resp_status = Status(ErrorCode::InvalidArgument,
                                      "corrupt request frame");
             } else {
+                execArgs.resize(args_len);
+                if (args_len > 0 &&
+                    !readCalleeRaw(slot + 12 + fn_len,
+                                   execArgs.data(),
+                                   args_len).isOk())
+                    return executed;
                 auto result = calleeOs.enclaveManager().invokeLocal(
-                    calleeEid, fn.value(), args.value());
+                    calleeEid, execFn, execArgs);
                 if (result.isOk())
                     resp_payload = result.value();
                 else
@@ -386,28 +507,31 @@ SrpcChannel::pump(uint64_t max)
             }
         }
 
-        /* Write the response into the slot's response half. An
-         * oversized payload is replaced by an error frame; the whole
-         * 8-byte header is re-serialized through ByteWriter so the
-         * encoding never depends on endianness or code width. */
+        /* Write the response header directly into the slot's
+         * response half. An oversized payload is replaced by an
+         * error frame. */
         if (resp_payload.size() > cfg.responseBytes()) {
             resp_status = Status(ErrorCode::ResourceExhausted,
                                  "response exceeds slot capacity");
             resp_payload.clear();
         }
-        ByteWriter resp;
-        resp.putU32(static_cast<uint32_t>(resp_status.code()));
-        resp.putU32(static_cast<uint32_t>(resp_payload.size()));
-        resp.putRaw(resp_payload.data(), resp_payload.size());
-        Bytes resp_frame = resp.take();
-        if (!writeCallee(slot + cfg.slotBytes / 2, resp_frame).isOk())
+        uint64_t resp_off = slot + cfg.slotBytes / 2;
+        encodeU32(hdr, static_cast<uint32_t>(resp_status.code()));
+        encodeU32(hdr + 4,
+                  static_cast<uint32_t>(resp_payload.size()));
+        if (!writeCalleeRaw(resp_off, hdr, 8).isOk())
             return executed;
-        plat.chargeMemcpy(resp_frame.size());
+        if (!resp_payload.empty() &&
+            !writeCalleeRaw(resp_off + 8, resp_payload.data(),
+                            resp_payload.size()).isOk())
+            return executed;
+        uint64_t resp_frame_size = 8 + resp_payload.size();
+        plat.chargeMemcpy(resp_frame_size);
         plat.clock().advance(plat.costs().ringBufferOpNs);
-        channelStats.bytesTransferred += resp_frame.size();
+        channelStats.bytesTransferred += resp_frame_size;
 
         ++sid;
-        if (!writeCallee(kSidOff, u64Bytes(sid)).isOk())
+        if (!writeCounter(kSidOff, sid, true).isOk())
             return executed;
         ++executed;
         ++channelStats.executed;
@@ -438,12 +562,10 @@ SrpcChannel::resultOf(uint64_t request_id)
     if (observer)
         observer->onResultRead(*this, request_id, rid, sid);
     uint64_t slot = slotOffset(request_id) + cfg.slotBytes / 2;
-    auto header = readCaller(slot, 8);
-    if (!header.isOk())
-        return header.status();
-    ByteReader r(header.value());
-    uint32_t code = r.getU32().value();
-    uint32_t len = r.getU32().value();
+    uint8_t header[8];
+    CRONUS_RETURN_IF_ERROR(readCallerRaw(slot, header, 8));
+    uint32_t code = decodeU32(header);
+    uint32_t len = decodeU32(header + 4);
     if (code != uint32_t(ErrorCode::Ok))
         return Status(static_cast<ErrorCode>(code),
                       "remote mECall failed");
@@ -496,13 +618,13 @@ SrpcChannel::drain()
         if (done == 0)
             return Status(ErrorCode::Timeout, "executor stalled");
     }
-    /* streamCheck: Sid == Rid, cross-checked against smem. */
-    auto rid_mem = readCaller(kRidOff, 8);
-    auto sid_mem = readCaller(kSidOff, 8);
+    /* streamCheck: Sid == Rid, cross-checked against smem. Each
+     * check is one in-place counter read — no allocation. */
+    auto rid_mem = readCounter(kRidOff, false);
+    auto sid_mem = readCounter(kSidOff, false);
     if (!rid_mem.isOk() || !sid_mem.isOk())
         return Status(ErrorCode::PeerFailed, "channel failed");
-    if (u64From(rid_mem.value()).value() !=
-        u64From(sid_mem.value()).value())
+    if (rid_mem.value() != sid_mem.value())
         return Status(ErrorCode::IntegrityViolation,
                       "streamCheck failed (Sid != Rid)");
     return Status::ok();

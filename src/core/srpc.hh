@@ -63,6 +63,9 @@ struct SrpcStats
     /** Request and response bytes moved through the ring. */
     uint64_t bytesTransferred = 0;
     uint64_t setupWorldSwitches = 0;
+    /** Ring-counter reads/writes served by the zero-copy fast path
+     *  (in-place u64 accesses, no intermediate Bytes). */
+    uint64_t counterFastOps = 0;
 };
 
 class SrpcChannel;
@@ -187,6 +190,14 @@ class SrpcChannel
     Result<Bytes> readCaller(uint64_t off, uint64_t len);
     Status writeCallee(uint64_t off, const Bytes &data);
     Result<Bytes> readCallee(uint64_t off, uint64_t len);
+    /* Non-allocating variants: headers/payloads move between the
+     * ring and caller-provided buffers. */
+    Status writeCallerRaw(uint64_t off, const uint8_t *data,
+                          uint64_t len);
+    Status readCallerRaw(uint64_t off, uint8_t *out, uint64_t len);
+    Status writeCalleeRaw(uint64_t off, const uint8_t *data,
+                          uint64_t len);
+    Status readCalleeRaw(uint64_t off, uint8_t *out, uint64_t len);
     Result<uint64_t> readCounter(uint64_t off, bool callee_side);
     Status writeCounter(uint64_t off, uint64_t value,
                         bool callee_side);
@@ -206,6 +217,11 @@ class SrpcChannel
     uint64_t grant = 0;
     uint64_t rid = 0;  ///< caller-side cached request index
     uint64_t sid = 0;  ///< executor-side cached progress index
+    /* Executor scratch: reused across pump() iterations so the
+     * steady-state call path performs no per-call allocations once
+     * the high-water capacity is reached. */
+    std::string execFn;
+    Bytes execArgs;
     bool open = false;
     bool closed = false;  ///< close() already ran (resources gone)
     bool peerFailed = false;

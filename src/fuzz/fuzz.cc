@@ -159,8 +159,10 @@ fuzzScenario(const Scenario &sc, const FuzzOptions &opts)
         }
         /* Supervised recovery is the expected path for a killed
          * partition: it either completes ("recovered") or
-         * deterministically quarantines ("gave-up"). Anything else
-         * means the recovery machinery itself broke. */
+         * deterministically quarantines ("gave-up"). A "faulted:"
+         * outcome means a planned fault landed on the recovery
+         * traffic itself -- perturbed, not a machinery bug. Only a
+         * plain "failed:" means the recovery machinery broke. */
         for (size_t i = 0; i < faulted.enclaveRecovery.size(); ++i) {
             const std::string &out = faulted.enclaveRecovery[i];
             if (out.rfind("failed:", 0) == 0)

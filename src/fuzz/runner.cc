@@ -480,6 +480,14 @@ class Run
             return;
 
         graveyard.push_back(std::move(st.channel));
+        /* A planned fault can land on the recovery traffic itself;
+         * such a failure is the *fault's* doing, not the recovery
+         * machinery's, and is recorded as "faulted:" so the liveness
+         * oracle does not mistake it for a broken supervisor. */
+        size_t fired_before = injector ? injector->fired().size() : 0;
+        auto perturbed = [&] {
+            return injector && injector->fired().size() > fired_before;
+        };
         Status r = supervisor->watch(st.plan.deviceName);
         if (r.isOk())
             r = supervisor->awaitRecovery(st.plan.deviceName);
@@ -493,9 +501,11 @@ class Run
             Status rebuilt = buildState(st);
             if (!rebuilt.isOk()) {
                 st.alive = false;
+                if (perturbed())
+                    st.tainted = true;
                 recoveryOutcome[op.enclave] =
-                    "failed:" +
-                    std::string(errorCodeName(rebuilt.code()));
+                    std::string(perturbed() ? "faulted:" : "failed:") +
+                    errorCodeName(rebuilt.code());
                 note("rebuild-failed", [&](JsonObject &o) {
                     o["device"] = st.plan.deviceName;
                     o["code"] = errorCodeName(rebuilt.code());
@@ -509,11 +519,15 @@ class Run
             }
         } else {
             st.alive = false;
+            if (perturbed() &&
+                r.code() != ErrorCode::Degraded)
+                st.tainted = true;
             recoveryOutcome[op.enclave] =
                 r.code() == ErrorCode::Degraded
                     ? "gave-up"
-                    : "failed:" +
-                          std::string(errorCodeName(r.code()));
+                    : std::string(perturbed() ? "faulted:"
+                                              : "failed:") +
+                          errorCodeName(r.code());
         }
         /* Fault events can fire on recovery traffic too. */
         applyFired(kStreamDriver, nullptr);
@@ -728,14 +742,19 @@ class Run
     void
     finalDrain(RunReport &rep)
     {
-        for (EnclaveState &st : states) {
+        for (size_t i = 0; i < states.size(); ++i) {
+            EnclaveState &st = states[i];
             if (!st.alive || !st.channel || st.channel->failed()) {
                 rep.finalDrain.push_back("skipped");
                 continue;
             }
             Status s = st.channel->drain();
             rep.finalDrain.push_back(errorCodeName(s.code()));
-            applyFired(kStreamDriver, nullptr);
+            /* The drain is this enclave's stream traffic: a fault
+             * firing here perturbs *its* channel, so taint the
+             * enclave (not the driver) or the liveness oracle would
+             * flag the perturbed drain of an "untainted" enclave. */
+            applyFired(static_cast<int>(i), nullptr);
         }
     }
 

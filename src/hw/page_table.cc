@@ -16,6 +16,8 @@ PageTable::map(VirtAddr va, PhysAddr pa, PagePerms perms,
         return Status(ErrorCode::InvalidState,
                       "page already mapped");
     entries[idx] = PageEntry{pa, perms, true, share_tag};
+    /* The page's translation (phys/perms) may have changed. */
+    tlb.evictPage(idx);
     return Status::ok();
 }
 
@@ -25,6 +27,7 @@ PageTable::unmap(VirtAddr va)
     uint64_t idx = va >> kPageShift;
     if (entries.erase(idx) == 0)
         return Status(ErrorCode::NotFound, "page not mapped");
+    tlb.evictPage(idx);
     return Status::ok();
 }
 
@@ -36,6 +39,7 @@ PageTable::invalidate(VirtAddr va)
     if (it == entries.end())
         return Status(ErrorCode::NotFound, "page not mapped");
     it->second.valid = false;
+    tlb.evictPage(idx);
     return Status::ok();
 }
 
@@ -47,6 +51,8 @@ PageTable::revalidate(VirtAddr va)
     if (it == entries.end())
         return Status(ErrorCode::NotFound, "page not mapped");
     it->second.valid = true;
+    /* No eviction needed: faults are never cached, so a stale miss
+     * simply re-walks and sees the revalidated entry. */
     return Status::ok();
 }
 
@@ -57,23 +63,49 @@ PageTable::translate(VirtAddr va, uint64_t len, bool write) const
         len = 1;
     uint64_t first = va >> kPageShift;
     uint64_t last = (va + len - 1) >> kPageShift;
+
+    /* Fast path: single-page access through the software TLB. Only
+     * valid translations are cached, so a hit can at most differ on
+     * permissions, which are stored (and re-checked) per entry. */
+    if (first == last && TranslationCache::globalEnable()) {
+        PhysAddr phys_page = 0;
+        PagePerms perms;
+        if (tlb.lookup(first, phys_page, perms)) {
+            if (write ? !perms.write : !perms.read)
+                return Translation{0, FaultKind::Permission, va};
+            return Translation{phys_page + (va & (kPageSize - 1)),
+                               FaultKind::None};
+        }
+    }
+
+    /* Slow path: walk each covered page exactly once. Pages are
+     * consecutive map keys, so after finding the first entry the
+     * rest are reached by iterator increment; a key gap is an
+     * unmapped page. */
+    auto it = entries.find(first);
     PhysAddr phys = 0;
+    PhysAddr prev_phys = 0;
     for (uint64_t idx = first; idx <= last; ++idx) {
-        auto it = entries.find(idx);
-        if (it == entries.end())
-            return Translation{0, FaultKind::Unmapped};
+        VirtAddr fault_va = idx == first ? va : (idx << kPageShift);
+        if (it == entries.end() || it->first != idx)
+            return Translation{0, FaultKind::Unmapped, fault_va};
         const PageEntry &entry = it->second;
         if (!entry.valid)
-            return Translation{0, FaultKind::Invalidated};
+            return Translation{0, FaultKind::Invalidated, fault_va};
         if (write ? !entry.perms.write : !entry.perms.read)
-            return Translation{0, FaultKind::Permission};
-        if (idx == first)
+            return Translation{0, FaultKind::Permission, fault_va};
+        if (idx == first) {
             phys = entry.phys + (va & (kPageSize - 1));
-        else if (entry.phys !=
-                 entries.at(idx - 1).phys + kPageSize)
+        } else if (entry.phys != prev_phys + kPageSize) {
             /* Access must be physically contiguous to be a single
              * bus transaction in this model. */
-            return Translation{0, FaultKind::Unmapped};
+            return Translation{0, FaultKind::Unmapped, fault_va};
+        }
+        prev_phys = entry.phys;
+        if (idx == first && idx == last &&
+            TranslationCache::globalEnable())
+            tlb.fill(idx, entry.phys, entry.perms);
+        ++it;
     }
     return Translation{phys, FaultKind::None};
 }
@@ -85,6 +117,7 @@ PageTable::invalidateByTag(uint64_t share_tag)
     for (auto &[idx, entry] : entries) {
         if (entry.shareTag == share_tag && entry.valid) {
             entry.valid = false;
+            tlb.evictPage(idx);
             ++count;
         }
     }
@@ -97,6 +130,7 @@ PageTable::unmapByTag(uint64_t share_tag)
     size_t count = 0;
     for (auto it = entries.begin(); it != entries.end();) {
         if (it->second.shareTag == share_tag) {
+            tlb.evictPage(it->first);
             it = entries.erase(it);
             ++count;
         } else {

@@ -18,6 +18,7 @@
 #include <optional>
 
 #include "base/status.hh"
+#include "translation_cache.hh"
 #include "types.hh"
 
 namespace cronus::hw
@@ -50,6 +51,9 @@ struct Translation
 {
     PhysAddr phys = 0;
     FaultKind fault = FaultKind::None;
+    /** VA of the first faulting byte (valid when fault != None);
+     *  trap handlers report the precise page, not the access base. */
+    VirtAddr faultVa = 0;
 
     bool ok() const { return fault == FaultKind::None; }
 };
@@ -77,6 +81,30 @@ class PageTable
      *  @p write selects the permission checked. */
     Translation translate(VirtAddr va, uint64_t len, bool write) const;
 
+    /**
+     * TLB-only peek for the SPM zero-copy fast path: hit iff the
+     * page is cached, valid and @p write is permitted. Never walks
+     * the table, so a miss (or disabled cache) means "take the full
+     * translate() path". @p host is the annotated backing page
+     * (nullptr until cacheHostPage() resolves it).
+     */
+    bool
+    cachedTranslate(uint64_t page_idx, PhysAddr &phys_page,
+                    bool write, uint8_t *&host) const
+    {
+        PagePerms perms;
+        if (!tlb.lookup(page_idx, phys_page, perms, host))
+            return false;
+        return write ? perms.write : perms.read;
+    }
+
+    /** Attach the backing host page to a cached translation. */
+    void
+    cacheHostPage(uint64_t page_idx, uint8_t *host)
+    {
+        tlb.annotateHost(page_idx, host);
+    }
+
     /** Invalidate every entry whose shareTag matches. Returns count. */
     size_t invalidateByTag(uint64_t share_tag);
 
@@ -91,11 +119,24 @@ class PageTable
     std::optional<PageEntry> lookup(VirtAddr va) const;
 
     size_t entryCount() const { return entries.size(); }
-    void clear() { entries.clear(); }
+
+    void
+    clear()
+    {
+        entries.clear();
+        tlb.shootdownAll();
+    }
+
+    /** Software-TLB introspection (stats, tests). */
+    const TlbCounters &tlbCounters() const { return tlb.counters(); }
+    void resetTlbCounters() { tlb.resetCounters(); }
 
   private:
     /* page index -> entry */
     std::map<uint64_t, PageEntry> entries;
+    /* Consulted before the map walk for single-page accesses;
+     * mutable because translate() is logically const. */
+    mutable TranslationCache tlb;
 };
 
 } // namespace cronus::hw

@@ -42,6 +42,14 @@ class PhysicalMemory
     /** Zero a range (used by failure-clearing logic, A3). */
     Status clear(PhysAddr addr, uint64_t len);
 
+    /**
+     * Borrow a direct pointer to @p len bytes at @p addr for
+     * zero-copy access. Fails (null span) if the run crosses a page
+     * boundary or is out of range. Always materializes the backing
+     * page, so the span is valid for reads and writes alike.
+     */
+    MemSpan borrow(PhysAddr addr, uint64_t len);
+
     /** Count of pages actually materialized (test introspection). */
     size_t residentPages() const { return pages.size(); }
 

@@ -20,6 +20,7 @@ Platform::Platform(const PlatformConfig &config)
                   World::Secure},
         World::Secure);
     CRONUS_ASSERT(s.isOk(), "secure region setup: " + s.toString());
+    bytesCopied = &statGroup.counter("bus_bytes_copied");
 }
 
 Status
@@ -33,6 +34,7 @@ Platform::busRead(World from, PhysAddr addr, uint8_t *out,
     }
     if (busObserver)
         busObserver(from, addr, len, false);
+    bytesCopied->inc(len);
     return memory.read(addr, out, len);
 }
 
@@ -47,7 +49,29 @@ Platform::busWrite(World from, PhysAddr addr, const uint8_t *data,
     }
     if (busObserver)
         busObserver(from, addr, len, true);
+    bytesCopied->inc(len);
     return memory.write(addr, data, len);
+}
+
+MemSpan
+Platform::busBorrow(World from, PhysAddr addr, uint64_t len,
+                    bool is_write, Status *fault)
+{
+    if (fault)
+        *fault = Status::ok();
+    uint64_t off = addr & (kPageSize - 1);
+    if (len == 0 || off + len > kPageSize)
+        return MemSpan{};
+    Status s = addressController.checkAccess(addr, len, from);
+    if (!s.isOk()) {
+        statGroup.counter("tzasc_faults").inc();
+        if (fault)
+            *fault = s;
+        return MemSpan{};
+    }
+    if (busObserver)
+        busObserver(from, addr, len, is_write);
+    return memory.borrow(addr, len);
 }
 
 Result<Bytes>

@@ -56,6 +56,34 @@ class Platform
     Result<Bytes> busRead(World from, PhysAddr addr, uint64_t len);
     Status busWrite(World from, PhysAddr addr, const Bytes &data);
 
+    /**
+     * Borrow a zero-copy window into DRAM, with the same TZASC
+     * filtering and bus-observer visibility as a copying access.
+     * Returns a null span if the range crosses a page boundary (the
+     * caller falls back to the copy path) or fails the TZASC check.
+     * @p is_write selects the access kind the observer sees; a span
+     * intended for writing must be borrowed with is_write = true.
+     */
+    MemSpan busBorrow(World from, PhysAddr addr, uint64_t len,
+                      bool is_write, Status *fault = nullptr);
+
+    /**
+     * Bookkeeping for a software-TLB fast-path access: fires the bus
+     * observer and byte counter exactly as busRead/busWrite would.
+     * The SPM uses this when a TLB hit with an annotated host page
+     * lets it copy directly; the TZASC check is elided because it is
+     * unconditional for secure-world accesses, the only traffic the
+     * fast path carries.
+     */
+    void
+    noteFastPathAccess(World from, PhysAddr addr, uint64_t len,
+                       bool is_write)
+    {
+        if (busObserver)
+            busObserver(from, addr, len, is_write);
+        bytesCopied->inc(len);
+    }
+
     /* --- checked device access (applies TZPC gating) --- */
     Result<Device *> accessDevice(const std::string &name, World from);
 
@@ -128,6 +156,8 @@ class Platform
     StatGroup statGroup;
 
     BusObserver busObserver;
+    /* Cached so the hot path skips the StatGroup map lookup. */
+    Counter *bytesCopied = nullptr;
     std::map<std::string, std::unique_ptr<Device>> devices;
     std::map<std::string, PhysAddr> mmioBases;
     PhysAddr nextMmioBase = 1ull << 40;

@@ -37,6 +37,16 @@ class Smmu
         return tables.count(stream) > 0;
     }
 
+    /** Aggregated software-TLB counters across all stream tables. */
+    TlbCounters
+    tlbCounters() const
+    {
+        TlbCounters sum;
+        for (const auto &[stream, table] : tables)
+            sum.add(table.tlbCounters());
+        return sum;
+    }
+
   private:
     std::map<StreamId, PageTable> tables;
 };

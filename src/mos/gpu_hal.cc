@@ -180,8 +180,7 @@ GpuHal::memcpyDtoH(uint64_t ctx, accel::GpuVa src, uint64_t len)
 
     accel::GpuDevice &gpu = driver.device();
     uint64_t window = kBouncePages * hw::kPageSize;
-    Bytes out;
-    out.reserve(len);
+    Bytes out(len);
     for (uint64_t off = 0; off < len; off += window) {
         uint64_t n = std::min<uint64_t>(window, len - off);
         Bytes staged(n);
@@ -192,11 +191,9 @@ GpuHal::memcpyDtoH(uint64_t ctx, accel::GpuVa src, uint64_t len)
         /* Device DMA-writes the bounce buffer through the SMMU. */
         CRONUS_RETURN_IF_ERROR(
             plat.dmaWrite(gpu, bounce, staged.data(), n));
-        auto host = shim.read(bounce, n);
-        if (!host.isOk())
-            return host.status();
-        out.insert(out.end(), host.value().begin(),
-                   host.value().end());
+        /* Read the bounce window straight into the result buffer. */
+        CRONUS_RETURN_IF_ERROR(
+            shim.readInto(bounce, out.data() + off, n));
     }
     return out;
 }

@@ -147,8 +147,7 @@ NpuHal::readBuffer(uint64_t ctx, uint32_t buffer, uint64_t offset,
     hw::Platform &plat = shim.platform();
     accel::NpuDevice &npu = driver.device();
     uint64_t window = kBouncePages * hw::kPageSize;
-    Bytes out;
-    out.reserve(len);
+    Bytes out(len);
     for (uint64_t off = 0; off < len; off += window) {
         uint64_t n = std::min<uint64_t>(window, len - off);
         Bytes staged(n);
@@ -159,11 +158,9 @@ NpuHal::readBuffer(uint64_t ctx, uint32_t buffer, uint64_t offset,
             return s;
         CRONUS_RETURN_IF_ERROR(
             plat.dmaWrite(npu, bounce, staged.data(), n));
-        auto host = shim.read(bounce, n);
-        if (!host.isOk())
-            return host.status();
-        out.insert(out.end(), host.value().begin(),
-                   host.value().end());
+        /* Read the bounce window straight into the result buffer. */
+        CRONUS_RETURN_IF_ERROR(
+            shim.readInto(bounce, out.data() + off, n));
     }
     return out;
 }

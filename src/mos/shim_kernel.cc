@@ -76,19 +76,44 @@ ShimKernel::write(PhysAddr addr, const uint8_t *data, uint64_t len)
 }
 
 Status
+ShimKernel::readInto(PhysAddr addr, uint8_t *out, uint64_t len)
+{
+    return partitionManager.readInto(pid, addr, out, len);
+}
+
+Result<hw::MemSpan>
+ShimKernel::borrow(PhysAddr addr, uint64_t len, bool is_write)
+{
+    return partitionManager.borrow(pid, addr, len, is_write);
+}
+
+Result<uint64_t>
+ShimKernel::readU64(PhysAddr addr)
+{
+    return partitionManager.readU64(pid, addr);
+}
+
+Status
+ShimKernel::writeU64(PhysAddr addr, uint64_t value)
+{
+    return partitionManager.writeU64(pid, addr, value);
+}
+
+Status
 ShimKernel::spinLock(PhysAddr addr)
 {
     hw::Platform &plat = platform();
     /* Compare-and-swap loop on the lock word; in the deterministic
      * single-scheduler simulation at most a few spins happen. */
     for (int attempt = 0; attempt < 1024; ++attempt) {
-        auto word = partitionManager.read(pid, addr, 1);
-        if (!word.isOk())
-            return word.status();  /* PeerFailed propagates (A2) */
+        uint8_t word = 0;
+        Status s = partitionManager.readInto(pid, addr, &word, 1);
+        if (!s.isOk())
+            return s;  /* PeerFailed propagates (A2) */
         plat.clock().advance(plat.costs().spinlockOpNs);
-        if (word.value()[0] == 0) {
-            Bytes one = {1};
-            return partitionManager.write(pid, addr, one);
+        if (word == 0) {
+            const uint8_t one = 1;
+            return partitionManager.write(pid, addr, &one, 1);
         }
     }
     return Status(ErrorCode::Timeout, "spinlock livelock");
@@ -99,8 +124,8 @@ ShimKernel::spinUnlock(PhysAddr addr)
 {
     hw::Platform &plat = platform();
     plat.clock().advance(plat.costs().spinlockOpNs);
-    Bytes zero = {0};
-    return partitionManager.write(pid, addr, zero);
+    const uint8_t zero = 0;
+    return partitionManager.write(pid, addr, &zero, 1);
 }
 
 Status

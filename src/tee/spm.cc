@@ -1,6 +1,7 @@
 #include "spm.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "base/logging.hh"
 
@@ -25,10 +26,13 @@ Spm::Spm(SecureMonitor &monitor)
 Result<Partition *>
 Spm::mutablePartition(PartitionId pid)
 {
+    if (lastAccessed != nullptr && lastAccessed->id == pid)
+        return lastAccessed;
     auto it = partitions.find(pid);
     if (it == partitions.end())
         return Status(ErrorCode::NotFound,
                       "no partition " + std::to_string(pid));
+    lastAccessed = &it->second;
     return &it->second;
 }
 
@@ -202,8 +206,10 @@ Spm::recoveryCost(const Partition &p) const
     uint64_t dev_mib = dev == nullptr
                            ? 0
                            : (dev->memoryBytes() + (1 << 20) - 1) >> 20;
+    /* The scrub rebuilds the stage-2 from scratch, which is a full
+     * TLB shootdown for the partition. */
     return (mib + dev_mib) * costs.deviceClearNsPerMiB +
-           costs.mosBootNs;
+           costs.mosBootNs + costs.tlbInvalidateNs;
 }
 
 void
@@ -341,6 +347,8 @@ Spm::handleInvalidatedAccess(Partition &accessor, PhysAddr addr)
             }
             plat.clock().advance(plat.costs().pageTableUpdateNs);
         }
+        /* Trap resolution rewrote translations: shoot them down. */
+        plat.clock().advance(plat.costs().tlbInvalidateNs);
         g.pendingTrap = false;
         bool was_active = g.active;
         g.active = false;
@@ -370,60 +378,217 @@ Spm::notifyGrant(GrantEvent::Kind kind, const ShareGrant &g)
         grantHook(GrantEvent{kind, g.id, g.owner, g.peer});
 }
 
-Result<Bytes>
-Spm::read(PartitionId pid, PhysAddr addr, uint64_t len)
+Status
+Spm::accessCheck(PartitionId pid, PhysAddr addr, uint64_t len,
+                 bool is_write, Partition *&out)
 {
     if (accessHook) {
-        Status s = accessHook(SpmAccess{pid, addr, len, false,
+        Status s = accessHook(SpmAccess{pid, addr, len, is_write,
                                         ++accessSeq});
         if (!s.isOk())
             return s;
     }
-    auto pr = mutablePartition(pid);
-    if (!pr.isOk())
-        return pr.status();
-    Partition &p = *pr.value();
-    if (p.state != PartitionState::Ready)
+    /* The lookup cache is consulted *after* the hook: the hook may
+     * panic partitions, but state is re-checked below and stage-2
+     * mutations evict the TLB, so a cached pointer never bypasses a
+     * state change. */
+    Partition *p = lastAccessed;
+    if (p == nullptr || p->id != pid) {
+        auto it = partitions.find(pid);
+        if (it == partitions.end())
+            return Status(ErrorCode::NotFound,
+                          "no partition " + std::to_string(pid));
+        p = &it->second;
+        lastAccessed = p;
+    }
+    if (p->state != PartitionState::Ready)
         return Status(ErrorCode::InvalidState, "partition not ready");
-    hw::Translation t = p.stage2.translate(addr, len, false);
+    out = p;
+    return Status::ok();
+}
+
+uint8_t *
+Spm::fastPath(Partition &p, PhysAddr addr, uint64_t len,
+              bool is_write)
+{
+    uint64_t off = addr & (hw::kPageSize - 1);
+    if (len == 0 || off + len > hw::kPageSize)
+        return nullptr;
+    hw::PhysAddr phys_page = 0;
+    uint8_t *host = nullptr;
+    if (!p.stage2.cachedTranslate(addr >> hw::kPageShift, phys_page,
+                                  is_write, host) ||
+        host == nullptr)
+        return nullptr;
+    /* Same externally-visible effects as a bus access: the observer
+     * and byte counter fire; the TZASC check is skipped because the
+     * SPM only issues secure-world traffic, which it passes
+     * unconditionally. Validity is the TLB's tag/epoch discipline:
+     * any stage-2 mutation evicts the entry, so a stale host pointer
+     * can never be reached. */
+    sm.platform().noteFastPathAccess(hw::World::Secure,
+                                     phys_page + off, len, is_write);
+    return host + off;
+}
+
+Result<Bytes>
+Spm::read(PartitionId pid, PhysAddr addr, uint64_t len)
+{
+    Bytes out(len);
+    Status s = readInto(pid, addr, out.data(), len);
+    if (!s.isOk())
+        return s;
+    return out;
+}
+
+Status
+Spm::readInto(PartitionId pid, PhysAddr addr, uint8_t *out,
+              uint64_t len)
+{
+    Partition *p = nullptr;
+    CRONUS_RETURN_IF_ERROR(accessCheck(pid, addr, len, false, p));
+    if (const uint8_t *src = fastPath(*p, addr, len, false)) {
+        std::memcpy(out, src, len);
+        return Status::ok();
+    }
+    hw::Translation t = p->stage2.translate(addr, len, false);
     if (t.fault == hw::FaultKind::Invalidated)
-        return handleInvalidatedAccess(p, addr);
+        return handleInvalidatedAccess(*p, t.faultVa);
     if (!t.ok())
         return Status(ErrorCode::AccessFault,
                       "stage-2 fault on read");
-    return sm.platform().busRead(hw::World::Secure, t.phys, len);
+    Status s =
+        sm.platform().busRead(hw::World::Secure, t.phys, out, len);
+    if (s.isOk() && ((addr ^ (addr + len - 1)) >> hw::kPageShift) == 0)
+        p->stage2.cacheHostPage(
+            addr >> hw::kPageShift,
+            sm.platform().dram().borrow(
+                t.phys & ~PhysAddr(hw::kPageSize - 1), 1).data);
+    return s;
 }
 
 Status
 Spm::write(PartitionId pid, PhysAddr addr, const uint8_t *data,
            uint64_t len)
 {
-    if (accessHook) {
-        Status s = accessHook(SpmAccess{pid, addr, len, true,
-                                        ++accessSeq});
-        if (!s.isOk())
-            return s;
+    Partition *p = nullptr;
+    CRONUS_RETURN_IF_ERROR(accessCheck(pid, addr, len, true, p));
+    if (uint8_t *dst = fastPath(*p, addr, len, true)) {
+        std::memcpy(dst, data, len);
+        return Status::ok();
     }
-    auto pr = mutablePartition(pid);
-    if (!pr.isOk())
-        return pr.status();
-    Partition &p = *pr.value();
-    if (p.state != PartitionState::Ready)
-        return Status(ErrorCode::InvalidState, "partition not ready");
-    hw::Translation t = p.stage2.translate(addr, len, true);
+    hw::Translation t = p->stage2.translate(addr, len, true);
     if (t.fault == hw::FaultKind::Invalidated)
-        return handleInvalidatedAccess(p, addr);
+        return handleInvalidatedAccess(*p, t.faultVa);
     if (!t.ok())
         return Status(ErrorCode::AccessFault,
                       "stage-2 fault on write");
-    return sm.platform().busWrite(hw::World::Secure, t.phys, data,
-                                  len);
+    Status s = sm.platform().busWrite(hw::World::Secure, t.phys,
+                                      data, len);
+    if (s.isOk() && ((addr ^ (addr + len - 1)) >> hw::kPageShift) == 0)
+        p->stage2.cacheHostPage(
+            addr >> hw::kPageShift,
+            sm.platform().dram().borrow(
+                t.phys & ~PhysAddr(hw::kPageSize - 1), 1).data);
+    return s;
 }
 
 Status
 Spm::write(PartitionId pid, PhysAddr addr, const Bytes &data)
 {
     return write(pid, addr, data.data(), data.size());
+}
+
+Result<hw::MemSpan>
+Spm::borrow(PartitionId pid, PhysAddr addr, uint64_t len,
+            bool is_write)
+{
+    Partition *p = nullptr;
+    CRONUS_RETURN_IF_ERROR(accessCheck(pid, addr, len, is_write, p));
+    if (uint8_t *hp = fastPath(*p, addr, len, is_write))
+        return hw::MemSpan{hp, len};
+    hw::Translation t = p->stage2.translate(addr, len, is_write);
+    if (t.fault == hw::FaultKind::Invalidated)
+        return handleInvalidatedAccess(*p, t.faultVa);
+    if (!t.ok())
+        return Status(ErrorCode::AccessFault,
+                      "stage-2 fault on borrow");
+    Status fault = Status::ok();
+    hw::MemSpan span = sm.platform().busBorrow(
+        hw::World::Secure, t.phys, len, is_write, &fault);
+    if (!fault.isOk())
+        return fault;
+    if (span.ok())
+        p->stage2.cacheHostPage(
+            addr >> hw::kPageShift,
+            span.data - (addr & (hw::kPageSize - 1)));
+    /* A null span with no fault means cross-page: the caller falls
+     * back to the copying path. */
+    return span;
+}
+
+Result<uint64_t>
+Spm::readU64(PartitionId pid, PhysAddr addr)
+{
+    /* Little-endian on the wire, matching ByteWriter::putU64, so
+     * counters written either way read back identically. */
+    uint8_t buf[8];
+    const uint8_t *src = buf;
+    auto span = borrow(pid, addr, sizeof(buf), false);
+    if (!span.isOk())
+        return span.status();
+    if (span.value().ok()) {
+        src = span.value().data;
+    } else {
+        /* Cross-page run: the borrow above already fired the hook
+         * and observer for this logical access, so go straight to
+         * the bus for the copy. */
+        Partition *p = lastAccessed;
+        hw::Translation t = p->stage2.translate(addr, sizeof(buf),
+                                                false);
+        if (!t.ok())
+            return Status(ErrorCode::AccessFault,
+                          "stage-2 fault on read");
+        Status s = sm.platform().busRead(hw::World::Secure, t.phys,
+                                         buf, sizeof(buf));
+        if (!s.isOk())
+            return s;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= uint64_t(src[i]) << (8 * i);
+    return v;
+}
+
+Status
+Spm::writeU64(PartitionId pid, PhysAddr addr, uint64_t value)
+{
+    uint8_t buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = (value >> (8 * i)) & 0xff;
+    auto span = borrow(pid, addr, sizeof(buf), true);
+    if (!span.isOk())
+        return span.status();
+    if (span.value().ok()) {
+        std::memcpy(span.value().data, buf, sizeof(buf));
+        return Status::ok();
+    }
+    Partition *p = lastAccessed;
+    hw::Translation t = p->stage2.translate(addr, sizeof(buf), true);
+    if (!t.ok())
+        return Status(ErrorCode::AccessFault,
+                      "stage-2 fault on write");
+    return sm.platform().busWrite(hw::World::Secure, t.phys, buf,
+                                  sizeof(buf));
+}
+
+hw::TlbCounters
+Spm::tlbCounters() const
+{
+    hw::TlbCounters sum;
+    for (const auto &[pid, p] : partitions)
+        sum.add(p.stage2.tlbCounters());
+    return sum;
 }
 
 Result<uint64_t>
@@ -506,10 +671,16 @@ Spm::revokeGrant(uint64_t grant_id, PartitionId requester)
     if (!g.active)
         return Status(ErrorCode::InvalidState, "grant not active");
 
+    hw::Platform &plat = sm.platform();
     auto peer_p = mutablePartition(g.peer);
     if (peer_p.isOk()) {
-        for (uint64_t i = 0; i < g.pages; ++i)
+        for (uint64_t i = 0; i < g.pages; ++i) {
             peer_p.value()->stage2.unmap(g.base + i * hw::kPageSize);
+            plat.clock().advance(plat.costs().pageTableUpdateNs);
+        }
+        /* Revocation is a shootdown: the peer's cached translations
+         * for these pages die here. */
+        plat.clock().advance(plat.costs().tlbInvalidateNs);
     }
     for (uint64_t i = 0; i < g.pages; ++i)
         pageShareCount[g.base + i * hw::kPageSize] = 0;
@@ -542,6 +713,8 @@ Spm::grantsOf(PartitionId pid) const
 bool
 Spm::validateMosId(PartitionId pid) const
 {
+    if (lastAccessed != nullptr && lastAccessed->id == pid)
+        return lastAccessed->state == PartitionState::Ready;
     auto it = partitions.find(pid);
     return it != partitions.end() &&
            it->second.state == PartitionState::Ready;

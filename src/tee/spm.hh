@@ -199,6 +199,26 @@ class Spm
     Status write(PartitionId pid, PhysAddr addr, const uint8_t *data,
                  uint64_t len);
 
+    /** Non-allocating read into a caller-provided buffer. Same
+     *  checks, hooks and trap path as read(). */
+    Status readInto(PartitionId pid, PhysAddr addr, uint8_t *out,
+                    uint64_t len);
+
+    /**
+     * Borrow a zero-copy window into the partition's memory. One
+     * logical access: the access hook, stage-2 translation, TZASC
+     * check and bus observer all fire exactly as for read()/write().
+     * Only same-page runs can be borrowed; a null-span success means
+     * the caller must fall back to the copy path. The span must not
+     * be cached across accesses (translations can be revoked).
+     */
+    Result<hw::MemSpan> borrow(PartitionId pid, PhysAddr addr,
+                               uint64_t len, bool is_write);
+
+    /** 8-byte accesses on the fast path (ring counters). */
+    Result<uint64_t> readU64(PartitionId pid, PhysAddr addr);
+    Status writeU64(PartitionId pid, PhysAddr addr, uint64_t value);
+
     /* ---------------- shared memory (Fig. 6) ---------------- */
 
     /**
@@ -245,12 +265,26 @@ class Spm
     SecureMonitor &monitor() { return sm; }
     StatGroup &statistics() { return stats; }
 
+    /** Aggregated stage-2 software-TLB counters over all partitions
+     *  (SMMU stream caches are reported by Platform::smmu()). */
+    hw::TlbCounters tlbCounters() const;
+
     /** Cross-mOS message validation: the mOS part of an eid must
      *  name an existing Ready partition (§IV-A). */
     bool validateMosId(PartitionId pid) const;
 
   private:
     Result<Partition *> mutablePartition(PartitionId pid);
+    /** Hook + lookup + state check shared by every access entry
+     *  point; on success @p out names the Ready partition. */
+    Status accessCheck(PartitionId pid, PhysAddr addr, uint64_t len,
+                       bool is_write, Partition *&out);
+    /** Software-TLB zero-copy fast path: host pointer for a
+     *  single-page access whose translation and backing page are
+     *  cached (observer/byte counters fired), or nullptr meaning
+     *  "take the full translate + bus path". */
+    uint8_t *fastPath(Partition &p, PhysAddr addr, uint64_t len,
+                      bool is_write);
     Status handleInvalidatedAccess(Partition &accessor, PhysAddr addr);
     SimTime recoveryCost(const Partition &p) const;
     void scrubPartition(Partition &p, const MosImage &image);
@@ -261,6 +295,11 @@ class Spm
     std::map<PhysAddr, uint64_t> pageShareCount;
     std::map<PartitionId, uint64_t> lastHeartbeat;
     void notifyGrant(GrantEvent::Kind kind, const ShareGrant &g);
+
+    /* One-entry partition-lookup cache for the access paths. Safe to
+     * hold across calls: partitions are never erased and std::map
+     * nodes are address-stable. */
+    Partition *lastAccessed = nullptr;
 
     PartitionId nextPid = 1;
     uint64_t nextGrant = 1;

@@ -1,0 +1,212 @@
+/**
+ * Shootdown-precision tests: the software TLB must never serve a
+ * stale translation across the SPM's invalidation events. Each case
+ * first makes an entry *hot* (a prior access filled the per-partition
+ * stage-2 cache), then performs the invalidating event -- grant
+ * revoke, partition failure (r_f marking + tag invalidation), scrub
+ * and reload, hook-injected panic (proceed-trap) -- and asserts the
+ * very first subsequent access faults exactly as the uncached model
+ * would (§IV-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/gpu.hh"
+#include "tee/normal_world.hh"
+#include "tee/spm.hh"
+
+namespace cronus::tee
+{
+namespace
+{
+
+class TlbShootdownTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Logger::instance().setQuiet(true);
+        hw::TranslationCache::setGlobalEnable(true);
+        platform = std::make_unique<hw::Platform>();
+        accel::GpuConfig gc;
+        gc.name = "gpu0";
+        platform->registerDevice(
+            std::make_unique<accel::GpuDevice>(gc), 40);
+        accel::GpuConfig gc2;
+        gc2.name = "gpu1";
+        gc2.rotSeed = {'g', '1'};
+        platform->registerDevice(
+            std::make_unique<accel::GpuDevice>(gc2), 41);
+
+        monitor = std::make_unique<SecureMonitor>(*platform);
+        hw::DeviceTree dt = platform->buildDeviceTree();
+        hw::DeviceTree secure_dt;
+        for (auto node : dt.all()) {
+            node.world = hw::World::Secure;
+            secure_dt.addNode(node);
+        }
+        ASSERT_TRUE(monitor->boot(secure_dt).isOk());
+        spm = std::make_unique<Spm>(*monitor);
+    }
+
+    void
+    TearDown() override
+    {
+        hw::TranslationCache::setGlobalEnable(true);
+    }
+
+    MosImage
+    image(const std::string &name)
+    {
+        return MosImage{name, "gpu", toBytes("code-of-" + name)};
+    }
+
+    PartitionId
+    makePartition(const std::string &device,
+                  uint64_t mem = 1 << 20)
+    {
+        auto pid = spm->createPartition(image(device + ".mos"),
+                                        device, mem);
+        EXPECT_TRUE(pid.isOk()) << pid.status().toString();
+        return pid.value();
+    }
+
+    /** Read @p addr from @p pid until the stage-2 TLB reports a hit,
+     *  proving the entry is resident. */
+    void
+    heat(PartitionId pid, PhysAddr addr)
+    {
+        uint64_t hits0 = spm->tlbCounters().hits;
+        ASSERT_TRUE(spm->read(pid, addr, 8).isOk());
+        ASSERT_TRUE(spm->read(pid, addr, 8).isOk());
+        ASSERT_GT(spm->tlbCounters().hits, hits0)
+            << "entry never became hot";
+    }
+
+    std::unique_ptr<hw::Platform> platform;
+    std::unique_ptr<SecureMonitor> monitor;
+    std::unique_ptr<Spm> spm;
+};
+
+TEST_F(TlbShootdownTest, GrantRevokeFaultsFirstPeerAccess)
+{
+    PartitionId a = makePartition("gpu0");
+    PartitionId b = makePartition("gpu1");
+    PhysAddr a_base = spm->partition(a).value()->memBase;
+    auto gid = spm->sharePages(a, b, a_base, 1);
+    ASSERT_TRUE(gid.isOk());
+
+    heat(b, a_base);
+    ASSERT_TRUE(spm->revokeGrant(gid.value(), a).isOk());
+
+    /* First post-revoke access: the hot entry must not win. */
+    EXPECT_EQ(spm->read(b, a_base, 8).code(),
+              ErrorCode::AccessFault);
+    /* The owner's own mapping is unaffected. */
+    EXPECT_TRUE(spm->read(a, a_base, 8).isOk());
+}
+
+TEST_F(TlbShootdownTest, FailureInvalidationBeatsHotEntry)
+{
+    PartitionId a = makePartition("gpu0");
+    PartitionId b = makePartition("gpu1");
+    PhysAddr a_base = spm->partition(a).value()->memBase;
+    ASSERT_TRUE(spm->sharePages(a, b, a_base, 1).isOk());
+
+    heat(b, a_base);
+    /* Failure step 1: r_f set, survivor entries tag-invalidated. */
+    ASSERT_TRUE(spm->failPartition(a).isOk());
+
+    /* First access is the proceed-trap, the second finds the page
+     * unmapped -- same sequence as the uncached model. */
+    EXPECT_EQ(spm->read(b, a_base, 8).code(), ErrorCode::PeerFailed);
+    EXPECT_EQ(spm->read(b, a_base, 8).code(),
+              ErrorCode::AccessFault);
+}
+
+TEST_F(TlbShootdownTest, ScrubAndReloadServesNoStaleData)
+{
+    PartitionId a = makePartition("gpu0");
+    PhysAddr base = spm->partition(a).value()->memBase;
+    ASSERT_TRUE(spm->write(a, base, Bytes{0x55, 0x66}).isOk());
+    heat(a, base);
+
+    ASSERT_TRUE(spm->failPartition(a).isOk());
+    EXPECT_EQ(spm->read(a, base, 2).code(), ErrorCode::InvalidState);
+    ASSERT_TRUE(spm->recoverPartition(a, image("gpu0.mos")).isOk());
+
+    /* The scrub rebuilt the partition; the pre-failure entry must
+     * not leak the crashed incarnation's data (A3). */
+    EXPECT_EQ(spm->read(a, base, 2).value(), (Bytes{0, 0}));
+}
+
+TEST_F(TlbShootdownTest, HookInjectedPanicTrapsHotAccess)
+{
+    PartitionId a = makePartition("gpu0");
+    PartitionId b = makePartition("gpu1");
+    PhysAddr a_base = spm->partition(a).value()->memBase;
+    ASSERT_TRUE(spm->sharePages(a, b, a_base, 1).isOk());
+
+    heat(b, a_base);
+    /* Injector-style hook: the owner dies immediately before the
+     * survivor's second post-install access -- by then the entry is
+     * hot again, so only a shootdown makes the access trap. */
+    uint64_t kill_at = 2;
+    spm->setAccessHook([&](const SpmAccess &acc) {
+        if (acc.seq == kill_at)
+            spm->panic(a);
+        return Status::ok();
+    });
+    ASSERT_TRUE(spm->read(b, a_base, 8).isOk());
+    EXPECT_EQ(spm->read(b, a_base, 8).code(), ErrorCode::PeerFailed);
+}
+
+TEST_F(TlbShootdownTest, ZeroCopyPathsRespectShootdown)
+{
+    PartitionId a = makePartition("gpu0");
+    PartitionId b = makePartition("gpu1");
+    PhysAddr a_base = spm->partition(a).value()->memBase;
+    auto gid = spm->sharePages(a, b, a_base, 1);
+    ASSERT_TRUE(gid.isOk());
+
+    /* Heat through the zero-copy entry points themselves. */
+    ASSERT_TRUE(spm->writeU64(b, a_base, 0x1122334455667788ull)
+                    .isOk());
+    auto v = spm->readU64(b, a_base);
+    ASSERT_TRUE(v.isOk());
+    EXPECT_EQ(v.value(), 0x1122334455667788ull);
+    auto span = spm->borrow(b, a_base, 8, false);
+    ASSERT_TRUE(span.isOk());
+    ASSERT_TRUE(span.value().ok());
+
+    ASSERT_TRUE(spm->revokeGrant(gid.value(), a).isOk());
+
+    /* Every non-allocating entry point faults on first re-access. */
+    EXPECT_EQ(spm->readU64(b, a_base).code(),
+              ErrorCode::AccessFault);
+    EXPECT_EQ(spm->writeU64(b, a_base, 1).code(),
+              ErrorCode::AccessFault);
+    EXPECT_EQ(spm->borrow(b, a_base, 8, false).code(),
+              ErrorCode::AccessFault);
+    uint8_t buf[8];
+    EXPECT_EQ(spm->readInto(b, a_base, buf, 8).code(),
+              ErrorCode::AccessFault);
+}
+
+TEST_F(TlbShootdownTest, DisabledTlbTakesIdenticalFaultSequence)
+{
+    hw::TranslationCache::setGlobalEnable(false);
+    PartitionId a = makePartition("gpu0");
+    PartitionId b = makePartition("gpu1");
+    PhysAddr a_base = spm->partition(a).value()->memBase;
+    ASSERT_TRUE(spm->sharePages(a, b, a_base, 1).isOk());
+    ASSERT_TRUE(spm->read(b, a_base, 8).isOk());
+    ASSERT_TRUE(spm->failPartition(a).isOk());
+    EXPECT_EQ(spm->read(b, a_base, 8).code(), ErrorCode::PeerFailed);
+    EXPECT_EQ(spm->read(b, a_base, 8).code(),
+              ErrorCode::AccessFault);
+}
+
+} // namespace
+} // namespace cronus::tee
