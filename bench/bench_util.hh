@@ -4,6 +4,7 @@
 #define CRONUS_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "baseline/hix_tz.hh"
 #include "baseline/monolithic_tz.hh"
 #include "baseline/native.hh"
+#include "obs/trace.hh"
 
 namespace cronus::bench
 {
@@ -49,6 +51,33 @@ makeBackend(const std::string &which,
     baseline::CronusBackendConfig c;
     c.gpuKernels = kernels;
     return std::make_unique<baseline::CronusBackend>(c);
+}
+
+/**
+ * Write the accumulated Perfetto trace at bench exit when tracing is
+ * on (CRONUS_TRACE=1). The destination is CRONUS_TRACE_FILE if set,
+ * else @p default_path. The note goes to stderr: the figure output
+ * on stdout must stay byte-identical with tracing on or off.
+ */
+inline void
+exportTraceIfEnabled(const std::string &default_path)
+{
+    auto &tracer = obs::Tracer::instance();
+    if (!tracer.exporting())
+        return;
+    const char *env = std::getenv("CRONUS_TRACE_FILE");
+    const std::string path =
+        (env != nullptr && env[0] != '\0') ? env : default_path;
+    Status s = tracer.writeTraceFile(path);
+    if (s.isOk())
+        std::fprintf(stderr,
+                     "trace: %llu events written to %s\n",
+                     static_cast<unsigned long long>(
+                         tracer.eventCount()),
+                     path.c_str());
+    else
+        std::fprintf(stderr, "trace: cannot write %s: %s\n",
+                     path.c_str(), s.toString().c_str());
 }
 
 inline const std::vector<std::string> &

@@ -11,8 +11,17 @@ its family. The SPM copy benches are translation-bound and must show
 a real multiple; the sRPC per-call benches are dominated by fixed
 executor cost (see DESIGN.md section 8), so their floor only asserts
 the fast path never regresses below the uncached walk.
+
+With --baseline BASELINE.json (normally the committed snapshot under
+bench/baselines/), each family's measured off/on ratio is also
+compared against the baseline's ratio. Ratios are machine-relative
+-- both sides of the division come from the same run -- so they
+transfer across hosts far better than absolute nanoseconds, but CI
+runners still jitter; the gate therefore only fires when a family
+keeps less than BASELINE_KEEP (half) of its baseline speedup.
 """
 
+import argparse
 import json
 import sys
 
@@ -24,30 +33,69 @@ FLOORS = {
     "BM_SrpcCallAsync": 1.0,
 }
 
+# Fraction of the baseline off/on ratio that must survive.
+BASELINE_KEEP = 0.5
 
-def main(path):
+
+def load_times(path):
     with open(path) as f:
         doc = json.load(f)
     times = {}
     for b in doc.get("benchmarks", []):
-        name = b.get("name", "")
         if b.get("run_type") == "aggregate":
             continue
-        times[name] = float(b["real_time"])
+        times[b.get("name", "")] = float(b["real_time"])
+    return times
+
+
+def ratio_of(times, family):
+    off = times.get(f"{family}/0")
+    on = times.get(f"{family}/1")
+    if off is None or on is None:
+        return None
+    return off / on if on > 0 else float("inf")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("result", nargs="?",
+                    default="BENCH_substrate.json")
+    ap.add_argument("--baseline", metavar="JSON",
+                    help="committed snapshot to compare ratios "
+                         "against (bench/baselines/)")
+    args = ap.parse_args()
+
+    times = load_times(args.result)
+    base = load_times(args.baseline) if args.baseline else None
     failures = []
     for family, floor in FLOORS.items():
-        off = times.get(f"{family}/0")
-        on = times.get(f"{family}/1")
-        if off is None or on is None:
+        ratio = ratio_of(times, family)
+        if ratio is None:
             failures.append(f"{family}: missing /0 or /1 result")
             continue
-        ratio = off / on if on > 0 else float("inf")
+        off = times[f"{family}/0"]
+        on = times[f"{family}/1"]
         status = "ok" if ratio >= floor else "FAIL"
         print(f"{family}: off={off:.1f}ns on={on:.1f}ns "
               f"ratio={ratio:.2f}x (floor {floor:.1f}x) {status}")
         if ratio < floor:
             failures.append(
                 f"{family}: {ratio:.2f}x < required {floor:.1f}x")
+        if base is None:
+            continue
+        base_ratio = ratio_of(base, family)
+        if base_ratio is None:
+            failures.append(
+                f"{family}: missing from baseline {args.baseline}")
+            continue
+        need = base_ratio * BASELINE_KEEP
+        kept = "ok" if ratio >= need else "FAIL"
+        print(f"  baseline ratio {base_ratio:.2f}x, must keep "
+              f">= {need:.2f}x {kept}")
+        if ratio < need:
+            failures.append(
+                f"{family}: {ratio:.2f}x lost more than half of "
+                f"baseline {base_ratio:.2f}x")
     if failures:
         print("perf-smoke FAILED:", file=sys.stderr)
         for f in failures:
@@ -58,5 +106,4 @@ def main(path):
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1] if len(sys.argv) > 1
-                  else "BENCH_substrate.json"))
+    sys.exit(main())

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace emitted by a CRONUS bench.
+
+Usage:
+    check_trace.py TRACE.json [--require NAME[@TRACK_PREFIX]] ...
+
+Checks that the JSON parses as a trace-event document, that every
+event is well-formed (named, timestamped, attributed to a track that
+has thread_name metadata), and that each --require'd event name
+appears at least once -- optionally on a track whose thread_name
+starts with TRACK_PREFIX ("p" = partition tracks "p<pid> <device>",
+"e" = enclave tracks "e<eid> <device>", or a literal named track
+like "dispatcher").
+
+With no --require, applies the fig09_failover default set: sRPC call
+spans on enclave tracks, execute spans and TLB shootdowns on
+partition tracks, the Supervisor recovery stages, and the channel
+replay span. Exits 1 with a per-requirement report on any miss.
+"""
+
+import argparse
+import json
+import sys
+
+# Default requirement set: the fig09 failover story end to end.
+FIG09_REQUIRED = [
+    "srpc.call@e",        # caller-side sync call, enclave track
+    "srpc.execute@p",     # callee-side execution, partition track
+    "tlb.shootdown@p",    # survivor shootdown on partition failure
+    "recover.backoff@p",  # Supervisor stages on the failed partition
+    "recover.scrub@p",
+    "recover.recovered@p",
+    "channel.replay@channel",  # in-flight replay after reconnect
+]
+
+
+def load_events(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("no traceEvents array")
+    return doc, events
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument(
+        "--require", action="append", default=[], metavar="NAME[@PFX]",
+        help="event name that must appear (optionally @track-prefix)")
+    args = ap.parse_args()
+
+    try:
+        doc, events = load_events(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"{args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    # Track registry from metadata events, then index real events by
+    # name -> set of track names they appeared on.
+    threads = {}   # (pid, tid) -> thread_name
+    processes = {}  # pid -> process_name
+    spans = 0
+    instants = 0
+    by_name = {}   # event name -> set of track names
+    errors = []
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                processes[ev["pid"]] = ev["args"]["name"]
+            elif ev.get("name") == "thread_name":
+                threads[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+            continue
+        name = ev.get("name", "")
+        if not name:
+            errors.append(f"event {i}: unnamed")
+            continue
+        if "ts" not in ev:
+            errors.append(f"event {i} ({name}): no timestamp")
+            continue
+        key = (ev.get("pid"), ev.get("tid"))
+        track = threads.get(key)
+        if track is None:
+            errors.append(
+                f"event {i} ({name}): track {key} has no "
+                f"thread_name metadata")
+            continue
+        if ph == "X":
+            spans += 1
+            if ev.get("dur", -1) < 0:
+                errors.append(f"event {i} ({name}): bad dur")
+        elif ph == "i":
+            instants += 1
+        else:
+            errors.append(f"event {i} ({name}): unknown ph {ph!r}")
+        by_name.setdefault(name, set()).add(track)
+
+    required = args.require or FIG09_REQUIRED
+    for req in required:
+        name, _, prefix = req.partition("@")
+        tracks = by_name.get(name, set())
+        if not tracks:
+            errors.append(f"required event missing: {name}")
+            continue
+        if prefix and not any(t.startswith(prefix) for t in tracks):
+            errors.append(
+                f"required event {name} never on a track "
+                f"'{prefix}*' (saw: {sorted(tracks)})")
+
+    dropped = doc.get("droppedEvents", 0)
+    print(f"{args.trace}: {spans} spans + {instants} instants on "
+          f"{len(threads)} tracks across {len(processes)} "
+          f"platform(s), {len(by_name)} distinct names"
+          + (f", {dropped} DROPPED" if dropped else ""))
+    for name in sorted(by_name):
+        print(f"  {name}: {len(by_name[name])} track(s)")
+    if errors:
+        print("trace-smoke FAILED:", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print("trace-smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,5 +72,6 @@ main(int argc, char **argv)
     std::printf("\nCRONUS worst-case overhead: %.1f%% "
                 "(paper: < 7.1%%)\n",
                 100.0 * (worst_cronus - 1.0));
+    exportTraceIfEnabled("fig07_rodinia.trace.json");
     return 0;
 }

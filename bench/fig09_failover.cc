@@ -149,5 +149,6 @@ main(int argc, char **argv)
                     "+ GaveUp\n");
         failed = true;
     }
+    exportTraceIfEnabled("fig09_failover.trace.json");
     return failed ? 1 : 0;
 }

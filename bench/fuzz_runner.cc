@@ -13,6 +13,11 @@
  * full decision trace and (unless --no-shrink) the greedily
  * minimized repro scenario, then exits 1. The printed trace/minimal
  * JSON can be fed straight back to --replay.
+ *
+ * A failing --replay additionally runs with full tracing enabled and
+ * writes FILE.trace.json (Perfetto trace of every replay run) and
+ * FILE.flight.json (the flight-recorder tail of the faulted run)
+ * next to the input, so a shrunken repro comes with its timeline.
  */
 
 #include <cstdio>
@@ -22,6 +27,7 @@
 #include <string>
 
 #include "fuzz/fuzz.hh"
+#include "obs/trace.hh"
 
 using namespace cronus;
 using namespace cronus::fuzz;
@@ -62,9 +68,31 @@ replayFile(const std::string &path, const FuzzOptions &opts)
                      sc.status().toString().c_str());
         return 2;
     }
+    /* A replay is a debugging session: trace it fully so a failure
+     * leaves a Perfetto timeline behind. */
+    auto &tracer = obs::Tracer::instance();
+    tracer.ensureMode(obs::TraceMode::Full);
+    tracer.clear();
     FuzzReport rep = fuzzScenario(sc.value(), opts);
     if (!rep.ok) {
         printFailure(rep);
+        const std::string tracePath = path + ".trace.json";
+        Status ws = tracer.writeTraceFile(tracePath);
+        if (ws.isOk())
+            std::printf("trace written to %s\n", tracePath.c_str());
+        else
+            std::fprintf(stderr, "cannot write %s: %s\n",
+                         tracePath.c_str(), ws.toString().c_str());
+        const std::string flightPath = path + ".flight.json";
+        std::ofstream fout(flightPath);
+        if (fout) {
+            fout << rep.flight.dump() << "\n";
+            std::printf("flight recorder written to %s\n",
+                        flightPath.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write %s\n",
+                         flightPath.c_str());
+        }
         return 1;
     }
     std::printf("PASS replay of %s (seed=%llu, %zu ops)\n",

@@ -40,8 +40,11 @@ Distribution::percentile(double p) const
 {
     CRONUS_ASSERT(!values.empty(), "Distribution::percentile on empty");
     CRONUS_ASSERT(p >= 0.0 && p <= 1.0, "percentile out of range");
-    std::vector<double> sorted(values);
-    std::sort(sorted.begin(), sorted.end());
+    if (!sortedValid) {
+        sorted = values;
+        std::sort(sorted.begin(), sorted.end());
+        sortedValid = true;
+    }
     double idx = p * (sorted.size() - 1);
     size_t lo = static_cast<size_t>(std::floor(idx));
     size_t hi = static_cast<size_t>(std::ceil(idx));

@@ -39,19 +39,36 @@ class Counter
 class Distribution
 {
   public:
-    void sample(double v) { values.push_back(v); }
+    void
+    sample(double v)
+    {
+        values.push_back(v);
+        sortedValid = false;
+    }
 
     size_t count() const { return values.size(); }
     double min() const;
     double max() const;
     double mean() const;
     double sum() const;
-    /** @p p in [0,1]. */
+    /** @p p in [0,1]. Sorts lazily and caches the order, so bursts
+     *  of queries (p50/p99/p999 from a metrics snapshot) sort once
+     *  instead of O(n log n) each. */
     double percentile(double p) const;
-    void reset() { values.clear(); }
+    void
+    reset()
+    {
+        values.clear();
+        sorted.clear();
+        sortedValid = false;
+    }
 
   private:
     std::vector<double> values;
+    /** Percentile cache: values sorted, valid while no new sample
+     *  has arrived since the last percentile() call. */
+    mutable std::vector<double> sorted;
+    mutable bool sortedValid = false;
 };
 
 /**
@@ -70,6 +87,12 @@ class ThroughputSeries
     std::vector<double> ratesPerSecond(SimTime end) const;
 
     SimTime bucketSize() const { return bucketNs; }
+
+    /** Raw per-bucket event counts (metrics snapshots). */
+    const std::map<uint64_t, uint64_t> &bucketCounts() const
+    {
+        return buckets;
+    }
 
   private:
     SimTime bucketNs;

@@ -1,5 +1,7 @@
 #include "dispatcher.hh"
 
+#include "obs/trace.hh"
+
 namespace cronus::core
 {
 
@@ -61,6 +63,16 @@ EnclaveDispatcher::partitionFor(const std::string &device_type,
         }
     }
     if (best != nullptr) {
+        if (auto &trc = obs::Tracer::instance(); trc.active()) {
+            JsonObject targs;
+            targs["deviceType"] = device_type;
+            targs["device"] = best->deviceName();
+            targs["partition"] =
+                static_cast<int64_t>(best->partitionId());
+            targs["load"] = static_cast<int64_t>(best_load);
+            trc.instant(trc.track("dispatcher"), "dispatch.place",
+                        "dispatch", std::move(targs));
+        }
         if (placementObserver)
             placementObserver(device_type, device_name, best);
         return best;

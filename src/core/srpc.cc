@@ -1,6 +1,7 @@
 #include "srpc.hh"
 
 #include "base/logging.hh"
+#include "obs/trace.hh"
 
 namespace cronus::core
 {
@@ -227,6 +228,13 @@ SrpcChannel::markFailed()
      * destructor, whichever runs first. */
     peerFailed = true;
     open = false;
+    if (auto &trc = obs::Tracer::instance(); trc.active()) {
+        JsonObject targs;
+        targs["callee"] = static_cast<int64_t>(calleeEid);
+        trc.instant(trc.enclaveTrack(callerEid,
+                                     callerOs.deviceName()),
+                    "srpc.failed", "srpc", std::move(targs));
+    }
     if (observer)
         observer->onFailed(*this);
 }
@@ -283,6 +291,17 @@ SrpcChannel::setupInner()
     tee::Spm &spm = callerOs.spm();
     tee::SecureMonitor &monitor = spm.monitor();
     hw::Platform &plat = monitor.platform();
+
+    auto &trc = obs::Tracer::instance();
+    obs::Span setup_span;
+    if (trc.active()) {
+        setup_span = obs::Span(
+            trc.partitionTrack(callerOs.partitionId(),
+                               callerOs.deviceName()),
+            "srpc.setup", "srpc");
+        setup_span.arg("caller", static_cast<int64_t>(callerEid));
+        setup_span.arg("callee", static_cast<int64_t>(calleeEid));
+    }
 
     /* 1. Local attestation of the callee, over untrusted memory.
      * The request/response are MACed with secret_dhke because the
@@ -380,6 +399,7 @@ SrpcChannel::setupInner()
     });
 
     open = true;
+    setup_span.arg("grant", static_cast<int64_t>(grant));
     if (observer)
         observer->onSetup(*this, grant);
     return Status::ok();
@@ -436,6 +456,14 @@ SrpcChannel::callAsync(const std::string &fn, const Bytes &args)
     CRONUS_RETURN_IF_ERROR(writeCounter(kRidOff, rid, false));
     ++channelStats.asyncCalls;
     channelStats.bytesTransferred += request_size;
+    if (auto &trc = obs::Tracer::instance(); trc.active()) {
+        JsonObject targs;
+        targs["fn"] = fn;
+        targs["rid"] = static_cast<int64_t>(this_rid);
+        trc.instant(trc.enclaveTrack(callerEid,
+                                     callerOs.deviceName()),
+                    "srpc.enqueue", "srpc", std::move(targs));
+    }
     if (observer)
         observer->onEnqueue(*this, rid, sid);
     return this_rid;
@@ -498,6 +526,19 @@ SrpcChannel::pump(uint64_t max)
                                    execArgs.data(),
                                    args_len).isOk())
                     return executed;
+                obs::Span exec_span;
+                if (auto &trc = obs::Tracer::instance();
+                    trc.active()) {
+                    exec_span = obs::Span(
+                        trc.partitionTrack(calleeOs.partitionId(),
+                                           calleeOs.deviceName()),
+                        "srpc.execute", "srpc");
+                    exec_span.arg("fn", execFn);
+                    exec_span.arg("sid",
+                                  static_cast<int64_t>(sid));
+                    exec_span.arg("callee",
+                                  static_cast<int64_t>(calleeEid));
+                }
                 auto result = calleeOs.enclaveManager().invokeLocal(
                     calleeEid, execFn, execArgs);
                 if (result.isOk())
@@ -577,6 +618,14 @@ SrpcChannel::resultOf(uint64_t request_id)
 Result<Bytes>
 SrpcChannel::callSync(const std::string &fn, const Bytes &args)
 {
+    obs::Span call_span;
+    if (auto &trc = obs::Tracer::instance(); trc.active()) {
+        call_span = obs::Span(
+            trc.enclaveTrack(callerEid, callerOs.deviceName()),
+            "srpc.call", "srpc");
+        call_span.arg("fn", fn);
+        call_span.arg("callee", static_cast<int64_t>(calleeEid));
+    }
     auto request_id = callAsync(fn, args);
     if (!request_id.isOk())
         return request_id.status();
@@ -611,6 +660,14 @@ SrpcChannel::call(const std::string &fn, const Bytes &args)
 Status
 SrpcChannel::drain()
 {
+    obs::Span drain_span;
+    if (auto &trc = obs::Tracer::instance(); trc.active()) {
+        drain_span = obs::Span(
+            trc.enclaveTrack(callerEid, callerOs.deviceName()),
+            "srpc.drain", "srpc");
+        drain_span.arg("pending",
+                       static_cast<int64_t>(rid - sid));
+    }
     while (sid < rid) {
         uint64_t done = pump(1);
         if (peerFailed)
@@ -636,6 +693,14 @@ SrpcChannel::close()
     if (closed || (!open && !peerFailed))
         return Status(ErrorCode::InvalidState, "channel not open");
 
+    obs::Span close_span;
+    if (auto &trc = obs::Tracer::instance(); trc.active()) {
+        close_span = obs::Span(
+            trc.partitionTrack(callerOs.partitionId(),
+                               callerOs.deviceName()),
+            "srpc.close", "srpc");
+        close_span.arg("grant", static_cast<int64_t>(grant));
+    }
     Status drained = Status::ok();
     if (!peerFailed) {
         drained = drain();

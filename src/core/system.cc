@@ -97,6 +97,46 @@ CronusSystem::CronusSystem(const CronusConfig &config) : cfg(config)
         enclaveDispatcher.registerPartition(record->os.get());
         records.push_back(std::move(record));
     }
+
+    /* Unified metrics: the scattered component counters become
+     * pull-sources of one registry, snapshotted in one call. The
+     * closures capture `this`; members outlive the registry uses
+     * because the registry is destroyed with the system. */
+    metricsRegistry.addSource("platform", [this] {
+        JsonObject o = plat->stats().toJson().asObject();
+        o["virtual_time_ns"] =
+            static_cast<int64_t>(plat->clock().now());
+        return JsonValue(std::move(o));
+    });
+    metricsRegistry.addSource("monitor", [this] {
+        JsonObject o;
+        o["world_switches"] =
+            static_cast<int64_t>(sm->worldSwitchCount());
+        o["sel2_rpc_switches"] =
+            static_cast<int64_t>(sm->sel2SwitchCount());
+        return JsonValue(std::move(o));
+    });
+    metricsRegistry.addSource("spm", [this] {
+        return partitionManager->statistics().toJson();
+    });
+    metricsRegistry.addSource("tlb", [this] {
+        hw::TlbCounters c = partitionManager->tlbCounters();
+        JsonObject o;
+        o["hits"] = static_cast<int64_t>(c.hits);
+        o["misses"] = static_cast<int64_t>(c.misses);
+        o["fills"] = static_cast<int64_t>(c.fills);
+        o["shootdowns"] = static_cast<int64_t>(c.shootdowns);
+        return JsonValue(std::move(o));
+    });
+    metricsRegistry.addSource("smmu", [this] {
+        hw::TlbCounters c = plat->smmu().tlbCounters();
+        JsonObject o;
+        o["hits"] = static_cast<int64_t>(c.hits);
+        o["misses"] = static_cast<int64_t>(c.misses);
+        o["fills"] = static_cast<int64_t>(c.fills);
+        o["shootdowns"] = static_cast<int64_t>(c.shootdowns);
+        return JsonValue(std::move(o));
+    });
 }
 
 Result<CronusSystem::PartitionRecord *>

@@ -16,6 +16,7 @@
 #include "accel/npu.hh"
 #include "attestation.hh"
 #include "dispatcher.hh"
+#include "obs/metrics.hh"
 #include "srpc.hh"
 
 namespace cronus::core
@@ -56,6 +57,15 @@ class CronusSystem
     tee::Spm &spm() { return *partitionManager; }
     tee::NormalWorld &normalWorld() { return *nw; }
     EnclaveDispatcher &dispatcher() { return enclaveDispatcher; }
+
+    /**
+     * The system's metrics registry. Construction wires platform,
+     * SPM, TLB/SMMU and monitor counters in as pull-sources, so
+     * metrics().snapshot() is a superset of statsReport(); app code
+     * and workloads add their own named instruments to the same
+     * registry.
+     */
+    obs::MetricsRegistry &metrics() { return metricsRegistry; }
 
     /** The MicroOS managing @p device_name ("cpu0", "gpu1", ...). */
     Result<MicroOS *> mosForDevice(const std::string &device_name);
@@ -160,6 +170,7 @@ class CronusSystem
         const std::string &device_name);
 
     CronusConfig cfg;
+    obs::MetricsRegistry metricsRegistry;
     std::unique_ptr<hw::Platform> plat;
     std::unique_ptr<tee::SecureMonitor> sm;
     std::unique_ptr<tee::Spm> partitionManager;

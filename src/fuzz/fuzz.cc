@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "shrinker.hh"
 
 namespace cronus::fuzz
@@ -123,6 +124,8 @@ FuzzReport::toJson() const
     if (shrunk)
         root["minimal"] = minimal.toJson();
     root["trace"] = trace;
+    if (!flight.isNull())
+        root["flight"] = flight;
     return root;
 }
 
@@ -140,6 +143,9 @@ fuzzScenario(const Scenario &sc, const FuzzOptions &opts)
     fopts.plantBug = opts.plantBug;
     RunReport faulted = runScenario(sc, fopts);
     rep.trace = faulted.toJson(sc, fopts);
+    /* Snapshot the flight ring now, before the baseline run (and
+     * any shrink probes) overwrite it with their own events. */
+    rep.flight = obs::Tracer::instance().flightJson();
 
     if (!faulted.setupOk) {
         addFailure(rep, "runner",
@@ -217,6 +223,12 @@ fuzzScenario(const Scenario &sc, const FuzzOptions &opts)
     }
 
     rep.ok = rep.failures.empty();
+    if (!rep.ok && opts.dumpFlightOnFailure) {
+        obs::Tracer::instance().dumpFlight(
+            "fuzz oracle failure: seed " + std::to_string(sc.seed) +
+                ", " + rep.failures.front().oracle,
+            rep.flight);
+    }
     rep.minimal = sc;
     if (!rep.ok && opts.shrink) {
         ShrinkResult s = shrinkScenario(sc, opts);

@@ -44,6 +44,10 @@ struct FuzzOptions
     /** Shrink failing scenarios to a minimal repro. */
     bool shrink = true;
     uint32_t maxShrinkAttempts = 400;
+    /** Emit a flight-recorder dump when an oracle fails. The
+     *  shrinker turns this off for its probe runs so a shrink does
+     *  not spam hundreds of dumps. */
+    bool dumpFlightOnFailure = true;
 };
 
 struct FuzzFailure
@@ -61,6 +65,9 @@ struct FuzzReport
     std::vector<FuzzFailure> failures;
     /** Trace of the faulted run (deterministic, replayable). */
     JsonValue trace;
+    /** Flight-recorder snapshot taken right after the faulted run
+     *  (last N trace events before/at the failure). */
+    JsonValue flight;
     /** Minimal failing scenario (only when !ok and shrinking ran). */
     Scenario minimal;
     bool shrunk = false;

@@ -7,6 +7,7 @@
 #include "core/auto_partition.hh"
 #include "core/pipe.hh"
 #include "core/system.hh"
+#include "obs/trace.hh"
 #include "recover/supervisor.hh"
 
 namespace cronus::fuzz
@@ -193,6 +194,15 @@ class Run
                 o["i"] = static_cast<int64_t>(i);
                 o["kind"] = opKindName(op.kind);
             });
+            if (auto &trc = obs::Tracer::instance(); trc.active()) {
+                JsonObject targs;
+                targs["i"] = static_cast<int64_t>(i);
+                targs["kind"] = opKindName(op.kind);
+                targs["enclave"] =
+                    static_cast<int64_t>(op.enclave);
+                trc.instant(trc.track("fuzz"), "fuzz.op", "fuzz",
+                            std::move(targs));
+            }
 
             maybeRecover(op);
             int stream = streamOf(op);
@@ -255,6 +265,12 @@ class Run
         Logger::instance().setQuiet(true);
         registerFuzzCpuFunctions();
         accel::registerBuiltinKernels();
+
+        /* Scope the flight ring to this run: a dump fired by the
+         * auditor or an oracle then holds only this run's tail, not
+         * a previous scenario's. (Only the ring -- a Full-mode
+         * export trace keeps accumulating.) */
+        obs::Tracer::instance().flight().clear();
 
         CronusConfig cfg;
         cfg.numGpus = sc.numGpus;

@@ -18,6 +18,7 @@ stillFails(const Scenario &sc, const FuzzOptions &opts,
     ++attempts;
     FuzzOptions probe = opts;
     probe.shrink = false;
+    probe.dumpFlightOnFailure = false;
     return !fuzzScenario(sc, probe).ok;
 }
 
@@ -76,6 +77,7 @@ shrinkScenario(const Scenario &sc, const FuzzOptions &opts)
     {
         FuzzOptions probe = opts;
         probe.shrink = false;
+        probe.dumpFlightOnFailure = false;
         res.stillFails = !fuzzScenario(cur, probe).ok;
     }
     res.minimal = std::move(cur);

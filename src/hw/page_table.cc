@@ -1,7 +1,30 @@
 #include "page_table.hh"
 
+#include "obs/trace.hh"
+
 namespace cronus::hw
 {
+
+namespace
+{
+
+/** Instant "tlb.evict" on the shared tlb track (tag-wide eviction
+ *  sweeps; the per-partition shootdown spans live in the SPM). */
+void
+noteTagEviction(const char *kind, uint64_t share_tag, size_t count)
+{
+    auto &tr = obs::Tracer::instance();
+    if (!tr.active() || count == 0)
+        return;
+    JsonObject args;
+    args["kind"] = kind;
+    args["tag"] = static_cast<int64_t>(share_tag);
+    args["entries"] = static_cast<int64_t>(count);
+    tr.instant(tr.track("tlb"), "tlb.evict", "tlb",
+               std::move(args));
+}
+
+} // namespace
 
 Status
 PageTable::map(VirtAddr va, PhysAddr pa, PagePerms perms,
@@ -121,6 +144,7 @@ PageTable::invalidateByTag(uint64_t share_tag)
             ++count;
         }
     }
+    noteTagEviction("invalidate", share_tag, count);
     return count;
 }
 
@@ -137,6 +161,7 @@ PageTable::unmapByTag(uint64_t share_tag)
             ++it;
         }
     }
+    noteTagEviction("unmap", share_tag, count);
     return count;
 }
 

@@ -1,6 +1,7 @@
 #include "platform.hh"
 
 #include "base/logging.hh"
+#include "obs/trace.hh"
 
 namespace cronus::hw
 {
@@ -21,6 +22,14 @@ Platform::Platform(const PlatformConfig &config)
         World::Secure);
     CRONUS_ASSERT(s.isOk(), "secure region setup: " + s.toString());
     bytesCopied = &statGroup.counter("bus_bytes_copied");
+    /* Register the virtual clock so the tracer can stamp events in
+     * virtual time (it only reads the clock -- zero cost charged). */
+    obs::Tracer::instance().attachClock(&simClock);
+}
+
+Platform::~Platform()
+{
+    obs::Tracer::instance().detachClock(&simClock);
 }
 
 Status

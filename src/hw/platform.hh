@@ -41,6 +41,9 @@ class Platform
 {
   public:
     explicit Platform(const PlatformConfig &config = PlatformConfig());
+    ~Platform();
+    Platform(const Platform &) = delete;
+    Platform &operator=(const Platform &) = delete;
 
     /* --- memory map --- */
     PhysAddr normalBase() const { return 0; }

@@ -1,7 +1,17 @@
 #include "invariant_auditor.hh"
 
+#include "obs/trace.hh"
+
 namespace cronus::inject
 {
+
+InvariantAuditor::InvariantAuditor()
+{
+    /* The flight recorder needs events to dump: with tracing off,
+     * raise it to Ring (bounded, no export) -- never lower a mode
+     * the user already chose. */
+    obs::Tracer::instance().ensureMode(obs::TraceMode::Ring);
+}
 
 InvariantAuditor::~InvariantAuditor()
 {
@@ -33,6 +43,15 @@ InvariantAuditor::flag(const std::string &invariant,
 {
     violationLog.push_back(Violation{invariant, detail});
     auditStats.counter("violations").inc();
+    auto &tr = obs::Tracer::instance();
+    if (tr.active()) {
+        JsonObject args;
+        args["invariant"] = invariant;
+        args["detail"] = detail;
+        tr.instant(tr.track("audit"), "audit.violation", "audit",
+                   std::move(args));
+    }
+    tr.dumpFlight("invariant violation: " + invariant);
 }
 
 void

@@ -45,7 +45,9 @@ struct Violation
 class InvariantAuditor : public core::SrpcObserver
 {
   public:
-    InvariantAuditor() = default;
+    /** Raises the tracer to at least Ring mode so a violation can
+     *  always dump the last-N-events flight timeline. */
+    InvariantAuditor();
     ~InvariantAuditor() override;
 
     InvariantAuditor(const InvariantAuditor &) = delete;

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Bounded flight recorder: a fixed-size ring of the most recent
+ * trace events. The Tracer pushes every event here in Ring and Full
+ * mode; on an InvariantAuditor violation, a fuzz-oracle failure or a
+ * Supervisor quarantine the ring is snapshotted so the repro ships
+ * with its last-N-events timeline.
+ */
+
+#ifndef CRONUS_OBS_FLIGHT_RECORDER_HH
+#define CRONUS_OBS_FLIGHT_RECORDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/json.hh"
+#include "base/sim_clock.hh"
+
+namespace cronus::obs
+{
+
+/** One trace event. @c name / @c cat must be string literals (the
+ *  tracer never copies them). */
+struct TraceEvent
+{
+    char phase = 'X';       ///< 'X' complete, 'i' instant
+    uint32_t platform = 0;  ///< platform ordinal (trace pid)
+    uint32_t track = 0;     ///< named track id (trace tid)
+    SimTime ts = 0;         ///< virtual start time (ns)
+    SimTime dur = 0;        ///< virtual duration (ns; 'X' only)
+    const char *name = "";
+    const char *cat = "";
+    JsonObject args;
+};
+
+class FlightRecorder
+{
+  public:
+    static constexpr size_t kDefaultCapacity = 256;
+
+    explicit FlightRecorder(size_t capacity = kDefaultCapacity)
+        : cap(capacity ? capacity : 1)
+    {
+    }
+
+    size_t capacity() const { return cap; }
+    /** Resize and drop current contents (total counter kept). */
+    void
+    setCapacity(size_t capacity)
+    {
+        cap = capacity ? capacity : 1;
+        slots.clear();
+        head = 0;
+    }
+
+    void
+    push(TraceEvent ev)
+    {
+        if (slots.size() < cap) {
+            slots.push_back(std::move(ev));
+        } else {
+            slots[head] = std::move(ev);
+            head = (head + 1) % cap;
+        }
+        ++total;
+    }
+
+    /** Events currently held, oldest first. */
+    std::vector<TraceEvent>
+    snapshot() const
+    {
+        std::vector<TraceEvent> out;
+        out.reserve(slots.size());
+        for (size_t i = 0; i < slots.size(); ++i)
+            out.push_back(slots[(head + i) % slots.size()]);
+        return out;
+    }
+
+    size_t size() const { return slots.size(); }
+    /** Events ever pushed (so a dump can say how many were lost). */
+    uint64_t totalRecorded() const { return total; }
+
+    void
+    clear()
+    {
+        slots.clear();
+        head = 0;
+        total = 0;
+    }
+
+  private:
+    size_t cap;
+    size_t head = 0;  ///< oldest slot once the ring is full
+    uint64_t total = 0;
+    std::vector<TraceEvent> slots;
+};
+
+} // namespace cronus::obs
+
+#endif // CRONUS_OBS_FLIGHT_RECORDER_HH

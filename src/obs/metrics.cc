@@ -1,0 +1,152 @@
+#include "metrics.hh"
+
+#include <algorithm>
+
+namespace cronus::obs
+{
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+std::string
+MetricsRegistry::key(const std::string &name,
+                     const MetricLabels &labels)
+{
+    if (labels.empty())
+        return name;
+    MetricLabels sorted(labels);
+    std::sort(sorted.begin(), sorted.end());
+    std::string out = name + "{";
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        if (i)
+            out += ",";
+        out += sorted[i].first + "=" + sorted[i].second;
+    }
+    out += "}";
+    return out;
+}
+
+MetricsRegistry::Instrument &
+MetricsRegistry::resolve(const std::string &name,
+                         const MetricLabels &labels, Kind kind,
+                         SimTime bucket_ns)
+{
+    std::string k = key(name, labels);
+    auto it = instruments.find(k);
+    if (it == instruments.end()) {
+        it = instruments
+                 .emplace(std::piecewise_construct,
+                          std::forward_as_tuple(k),
+                          std::forward_as_tuple(kind, bucket_ns))
+                 .first;
+        return it->second;
+    }
+    if (it->second.kind != kind) {
+        /* Kind collision: hand back a private instrument so the
+         * caller neither aliases nor corrupts the registered one. */
+        ++kindCollisions;
+        orphans.emplace_back(kind, bucket_ns);
+        return orphans.back();
+    }
+    return it->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const MetricLabels &labels)
+{
+    return resolve(name, labels, Kind::Counter, 0).counter;
+}
+
+Distribution &
+MetricsRegistry::distribution(const std::string &name,
+                              const MetricLabels &labels)
+{
+    return resolve(name, labels, Kind::Distribution, 0).distribution;
+}
+
+ThroughputSeries &
+MetricsRegistry::series(const std::string &name,
+                        const MetricLabels &labels, SimTime bucket_ns)
+{
+    return resolve(name, labels, Kind::Series, bucket_ns).series;
+}
+
+void
+MetricsRegistry::addSource(const std::string &name, Source source)
+{
+    sources[name] = std::move(source);
+}
+
+void
+MetricsRegistry::removeSource(const std::string &name)
+{
+    sources.erase(name);
+}
+
+JsonValue
+MetricsRegistry::snapshot() const
+{
+    JsonObject counters, distributions, seriesOut;
+    for (const auto &[k, inst] : instruments) {
+        switch (inst.kind) {
+          case Kind::Counter:
+            counters[k] =
+                static_cast<int64_t>(inst.counter.value());
+            break;
+          case Kind::Distribution: {
+            JsonObject d;
+            d["count"] =
+                static_cast<int64_t>(inst.distribution.count());
+            if (inst.distribution.count() > 0) {
+                d["min"] = inst.distribution.min();
+                d["max"] = inst.distribution.max();
+                d["mean"] = inst.distribution.mean();
+                d["p50"] = inst.distribution.percentile(0.50);
+                d["p99"] = inst.distribution.percentile(0.99);
+                d["p999"] = inst.distribution.percentile(0.999);
+            }
+            distributions[k] = JsonValue(std::move(d));
+            break;
+          }
+          case Kind::Series: {
+            JsonObject s;
+            s["bucketNs"] =
+                static_cast<int64_t>(inst.series.bucketSize());
+            JsonObject buckets;
+            for (const auto &[bucket, count] :
+                 inst.series.bucketCounts())
+                buckets[std::to_string(bucket)] =
+                    static_cast<int64_t>(count);
+            s["buckets"] = JsonValue(std::move(buckets));
+            seriesOut[k] = JsonValue(std::move(s));
+            break;
+          }
+        }
+    }
+    JsonObject sourceOut;
+    for (const auto &[name, fn] : sources)
+        sourceOut[name] = fn();
+    JsonObject doc;
+    doc["counters"] = JsonValue(std::move(counters));
+    doc["distributions"] = JsonValue(std::move(distributions));
+    doc["series"] = JsonValue(std::move(seriesOut));
+    doc["sources"] = JsonValue(std::move(sourceOut));
+    doc["collisions"] = static_cast<int64_t>(kindCollisions);
+    return JsonValue(std::move(doc));
+}
+
+void
+MetricsRegistry::clear()
+{
+    instruments.clear();
+    orphans.clear();
+    sources.clear();
+    kindCollisions = 0;
+}
+
+} // namespace cronus::obs

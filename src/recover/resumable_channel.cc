@@ -1,5 +1,7 @@
 #include "resumable_channel.hh"
 
+#include "obs/trace.hh"
+
 namespace cronus::recover
 {
 
@@ -54,6 +56,12 @@ ResumableChannel::open()
 void
 ResumableChannel::park()
 {
+    if (auto &trc = obs::Tracer::instance(); trc.active()) {
+        JsonObject targs;
+        targs["device"] = currentDevice;
+        trc.instant(trc.track("channel " + currentDevice),
+                    "channel.park", "recover", std::move(targs));
+    }
     st = ChannelState::Parked;
     if (chan) {
         /* The ring lived in the *caller's* partition; close()
@@ -145,6 +153,17 @@ ResumableChannel::checkpoint()
 Status
 ResumableChannel::reconnect()
 {
+    auto &trc = obs::Tracer::instance();
+    obs::Span reconnect_span;
+    if (trc.active()) {
+        reconnect_span =
+            obs::Span(trc.track("channel " + currentDevice),
+                      "channel.reconnect", "recover");
+        reconnect_span.arg("device", currentDevice);
+        reconnect_span.arg(
+            "haveCheckpoint",
+            static_cast<int64_t>(haveCheckpoint ? 1 : 0));
+    }
     auto fresh = sys.createEnclave(spec.manifestJson, spec.imageName,
                                    spec.image, spec.deviceName);
     if (!fresh.isOk())
@@ -178,6 +197,14 @@ ResumableChannel::reconnect()
     /* Replay the journaled calls past the checkpoint watermark, in
      * order, straight into the raw channel (no re-journaling: they
      * are already journaled). */
+    obs::Span replay_span;
+    if (trc.active() && !journal.empty()) {
+        replay_span =
+            obs::Span(trc.track("channel " + currentDevice),
+                      "channel.replay", "recover");
+        replay_span.arg("calls",
+                        static_cast<int64_t>(journal.size()));
+    }
     for (const JournalEntry &e : journal) {
         auto r = chan->call(e.fn, e.args);
         if (!r.isOk()) {

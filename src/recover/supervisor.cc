@@ -1,7 +1,47 @@
 #include "supervisor.hh"
 
+#include "obs/trace.hh"
+
 namespace cronus::recover
 {
+
+namespace
+{
+
+/** Recovery-stage instant on the watched partition's track. */
+void
+noteRecovery(const char *name, tee::PartitionId pid,
+             const std::string &device, uint32_t restarts)
+{
+    auto &tr = obs::Tracer::instance();
+    if (!tr.active())
+        return;
+    JsonObject args;
+    args["device"] = device;
+    args["restarts"] = static_cast<int64_t>(restarts);
+    tr.instant(tr.partitionTrack(pid, device), name, "recover",
+               std::move(args));
+}
+
+/** Retroactive recovery-stage span [start, now] (the stage ran
+ *  concurrently with foreground work; its end is only observed at
+ *  the deadline inside pump()). */
+void
+noteRecoveryStage(const char *name, tee::PartitionId pid,
+                  const std::string &device, SimTime start,
+                  uint32_t restarts)
+{
+    auto &tr = obs::Tracer::instance();
+    if (!tr.active())
+        return;
+    JsonObject args;
+    args["device"] = device;
+    args["restarts"] = static_cast<int64_t>(restarts);
+    tr.complete(tr.partitionTrack(pid, device), name, "recover",
+                start, std::move(args));
+}
+
+} // namespace
 
 const char *
 deviceHealthName(DeviceHealth health)
@@ -66,16 +106,23 @@ Supervisor::onFailure(const std::string &device, DeviceWatch &w,
                       const char *what)
 {
     logEvent(device, what, w.restarts);
+    noteRecovery(what[0] == 'h' ? "recover.hang"
+                                : "recover.failure",
+                 w.pid, device, w.restarts);
     if (w.restarts >= cfg.restartBudget) {
         w.health = DeviceHealth::Quarantined;
         sys.dispatcher().setDegraded(device, true);
         logEvent(device, "quarantined", w.restarts);
+        noteRecovery("recover.quarantine", w.pid, device,
+                     w.restarts);
+        obs::Tracer::instance().dumpFlight(
+            "supervisor quarantine: " + device);
         return;
     }
     ++w.restarts;
     w.health = DeviceHealth::BackingOff;
-    w.deadline = sys.platform().clock().now() +
-                 backoffDelay(w.restarts);
+    w.stageStart = sys.platform().clock().now();
+    w.deadline = w.stageStart + backoffDelay(w.restarts);
     logEvent(device, "backoff", w.restarts);
 }
 
@@ -112,8 +159,11 @@ Supervisor::pump()
           case DeviceHealth::BackingOff: {
             if (clock.now() < w.deadline)
                 break;
+            noteRecoveryStage("recover.backoff", w.pid, device,
+                              w.stageStart, w.restarts);
             w.health = DeviceHealth::Scrubbing;
             auto est = sys.recoveryEstimate(device);
+            w.stageStart = clock.now();
             w.deadline = clock.now() + est.valueOr(0);
             logEvent(device, "scrub", w.restarts);
             break;
@@ -125,16 +175,24 @@ Supervisor::pump()
              * the rest of the machine was doing; the reboot itself
              * charges nothing extra. */
             Status s = sys.recover(device, /*charge_clock=*/false);
+            noteRecoveryStage("recover.scrub", w.pid, device,
+                              w.stageStart, w.restarts);
             if (!s.isOk()) {
                 w.health = DeviceHealth::Quarantined;
                 sys.dispatcher().setDegraded(device, true);
                 logEvent(device, "reboot-failed", w.restarts);
+                noteRecovery("recover.quarantine", w.pid, device,
+                             w.restarts);
+                obs::Tracer::instance().dumpFlight(
+                    "supervisor reboot failed: " + device);
                 break;
             }
             w.health = DeviceHealth::Healthy;
             w.lastSeenHeartbeat = 0;
             w.nextHangPoll = clock.now() + cfg.pollPeriodNs;
             logEvent(device, "recovered", w.restarts);
+            noteRecovery("recover.recovered", w.pid, device,
+                         w.restarts);
             break;
           }
           case DeviceHealth::Quarantined:

@@ -123,6 +123,7 @@ class Supervisor
         tee::PartitionId pid = 0;
         DeviceHealth health = DeviceHealth::Healthy;
         SimTime deadline = 0;        ///< backoff/scrub end time
+        SimTime stageStart = 0;      ///< current stage start (trace)
         uint32_t restarts = 0;
         bool hangDetect = false;
         uint64_t lastSeenHeartbeat = 0;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "obs/trace.hh"
 
 namespace cronus::tee
 {
@@ -167,6 +168,16 @@ Spm::failPartition(PartitionId pid)
     hw::Platform &plat = sm.platform();
     const CostModel &costs = plat.costs();
 
+    auto &tr = obs::Tracer::instance();
+    obs::Span fail_span;
+    if (tr.active()) {
+        fail_span = obs::Span(tr.partitionTrack(p.id, p.deviceName),
+                              "spm.fail", "spm");
+        fail_span.arg("partition", static_cast<int64_t>(p.id));
+        fail_span.arg("incarnation",
+                      static_cast<int64_t>(p.incarnation));
+    }
+
     /* Step 1: invalidate surviving partitions' stage-2 and SMMU
      * entries for every page shared with pid. */
     for (auto &[gid, g] : grants) {
@@ -176,6 +187,18 @@ Spm::failPartition(PartitionId pid)
         auto survivor = mutablePartition(survivor_id);
         if (survivor.isOk() &&
             survivor.value()->state == PartitionState::Ready) {
+            obs::Span shootdown;
+            if (tr.active()) {
+                shootdown = obs::Span(
+                    tr.partitionTrack(survivor_id,
+                                      survivor.value()->deviceName),
+                    "tlb.shootdown", "tlb");
+                shootdown.arg("grant", static_cast<int64_t>(gid));
+                shootdown.arg("pages",
+                              static_cast<int64_t>(g.pages));
+                shootdown.arg("failedPeer",
+                              static_cast<int64_t>(pid));
+            }
             for (uint64_t i = 0; i < g.pages; ++i) {
                 survivor.value()->stage2.invalidate(
                     g.base + i * hw::kPageSize);
@@ -282,9 +305,20 @@ Spm::recoverPartition(PartitionId pid, const MosImage &image,
         return Status(ErrorCode::InvalidState,
                       "recover requires a failed partition");
 
+    auto &tr = obs::Tracer::instance();
+    obs::Span recover_span;
+    if (tr.active()) {
+        recover_span = obs::Span(
+            tr.partitionTrack(p.id, p.deviceName), "spm.recover",
+            "spm");
+        recover_span.arg("chargeClock",
+                         static_cast<int64_t>(charge_clock ? 1 : 0));
+    }
     if (charge_clock)
         sm.platform().clock().advance(recoveryCost(p));
     scrubPartition(p, image);
+    recover_span.arg("incarnation",
+                     static_cast<int64_t>(p.incarnation));
 
     /* Release this partition's share of the share-once budget for
      * grants it owned; surviving peers' traps remain pending. */
@@ -322,6 +356,14 @@ Status
 Spm::handleInvalidatedAccess(Partition &accessor, PhysAddr addr)
 {
     hw::Platform &plat = sm.platform();
+    auto &tr = obs::Tracer::instance();
+    obs::Span trap_span;
+    if (tr.active()) {
+        trap_span = obs::Span(
+            tr.partitionTrack(accessor.id, accessor.deviceName),
+            "spm.trap", "spm");
+        trap_span.arg("addr", static_cast<int64_t>(addr));
+    }
     plat.clock().advance(plat.costs().trapHandleNs);
     stats.counter("share_traps").inc();
 
@@ -361,6 +403,9 @@ Spm::handleInvalidatedAccess(Partition &accessor, PhysAddr addr)
             notifyGrant(GrantEvent::Kind::Retired, g);
         }
 
+        trap_span.arg("grant", static_cast<int64_t>(gid));
+        trap_span.arg("failedPeer",
+                      static_cast<int64_t>(g.failedSide));
         if (trapHandler)
             trapHandler(TrapSignal{accessor.id, g.failedSide, gid,
                                    addr});
@@ -374,6 +419,25 @@ Spm::handleInvalidatedAccess(Partition &accessor, PhysAddr addr)
 void
 Spm::notifyGrant(GrantEvent::Kind kind, const ShareGrant &g)
 {
+    auto &tr = obs::Tracer::instance();
+    if (tr.active()) {
+        const char *name = kind == GrantEvent::Kind::Created
+                               ? "spm.grant"
+                               : kind == GrantEvent::Kind::Revoked
+                                     ? "spm.revoke"
+                                     : "spm.retire";
+        auto it = partitions.find(g.owner);
+        std::string dev = it != partitions.end()
+                              ? it->second.deviceName
+                              : std::string("?");
+        JsonObject args;
+        args["grant"] = static_cast<int64_t>(g.id);
+        args["owner"] = static_cast<int64_t>(g.owner);
+        args["peer"] = static_cast<int64_t>(g.peer);
+        args["pages"] = static_cast<int64_t>(g.pages);
+        tr.instant(tr.partitionTrack(g.owner, dev), name, "spm",
+                   std::move(args));
+    }
     if (grantHook)
         grantHook(GrantEvent{kind, g.id, g.owner, g.peer});
 }

@@ -37,6 +37,23 @@ TEST(StatsTest, DistributionStatistics)
     EXPECT_DOUBLE_EQ(d.percentile(0.5), 2.5);
 }
 
+TEST(StatsTest, DistributionPercentileCacheInvalidation)
+{
+    /* percentile() sorts lazily and caches; a new sample must
+     * invalidate the cached order. */
+    Distribution d;
+    d.sample(10.0);
+    d.sample(20.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 20.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 10.0);  /* cached query */
+    d.sample(5.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 20.0);
+    d.reset();
+    d.sample(42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 42.0);
+}
+
 TEST(StatsTest, DistributionEmptyPanics)
 {
     Distribution d;

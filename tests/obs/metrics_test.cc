@@ -1,0 +1,114 @@
+/** MetricsRegistry: stable handles, kind collisions, snapshot. */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+
+namespace cronus::obs
+{
+namespace
+{
+
+TEST(MetricsTest, HandlesAreStableAndLabelOrderInsensitive)
+{
+    MetricsRegistry reg;
+    Counter &a = reg.counter(
+        "srpc.bytes", {{"device", "gpu0"}, {"dir", "tx"}});
+    Counter &b = reg.counter(
+        "srpc.bytes", {{"dir", "tx"}, {"device", "gpu0"}});
+    EXPECT_EQ(&a, &b);
+    a.inc(5);
+    EXPECT_EQ(b.value(), 5u);
+    EXPECT_EQ(reg.instrumentCount(), 1u);
+
+    Counter &c = reg.counter(
+        "srpc.bytes", {{"device", "gpu1"}, {"dir", "tx"}});
+    EXPECT_NE(&a, &c);
+    EXPECT_EQ(reg.instrumentCount(), 2u);
+}
+
+TEST(MetricsTest, KindCollisionYieldsPrivateInstrument)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("x");
+    c.inc(3);
+
+    /* Same key, different kind: the caller gets a private orphan so
+     * it never aliases the registered counter's storage. */
+    Distribution &d = reg.distribution("x");
+    d.sample(1.0);
+    EXPECT_EQ(reg.collisions(), 1u);
+    EXPECT_EQ(c.value(), 3u);
+
+    JsonValue snap = reg.snapshot();
+    EXPECT_EQ(snap["counters"]["x"].asInt(), 3);
+    EXPECT_FALSE(snap["distributions"].has("x"));
+    EXPECT_EQ(snap["collisions"].asInt(), 1);
+
+    /* Orphans are address-stable: earlier escapes stay writable
+     * after later collisions. */
+    Distribution &d2 = reg.distribution("x");
+    EXPECT_EQ(reg.collisions(), 2u);
+    EXPECT_NE(&d, &d2);
+    d.sample(2.0);
+    EXPECT_EQ(d.count(), 2u);
+}
+
+TEST(MetricsTest, SnapshotRendersAllKindsAndSources)
+{
+    MetricsRegistry reg;
+    reg.counter("ops").inc(2);
+
+    Distribution &d = reg.distribution("lat");
+    for (int i = 1; i <= 100; ++i)
+        d.sample(i);
+
+    ThroughputSeries &s = reg.series("rate", {}, 1000);
+    s.record(500);
+    s.record(1500);
+    s.record(1600);
+
+    reg.addSource("spm", []() {
+        JsonObject o;
+        o["grants"] = int64_t{4};
+        return JsonValue(std::move(o));
+    });
+
+    JsonValue snap = reg.snapshot();
+    EXPECT_EQ(snap["counters"]["ops"].asInt(), 2);
+    EXPECT_EQ(snap["distributions"]["lat"]["count"].asInt(), 100);
+    EXPECT_DOUBLE_EQ(snap["distributions"]["lat"]["min"].asDouble(),
+                     1.0);
+    EXPECT_DOUBLE_EQ(snap["distributions"]["lat"]["max"].asDouble(),
+                     100.0);
+    EXPECT_GT(snap["distributions"]["lat"]["p99"].asDouble(),
+              snap["distributions"]["lat"]["p50"].asDouble());
+    EXPECT_EQ(snap["series"]["rate"]["bucketNs"].asInt(), 1000);
+    EXPECT_EQ(snap["series"]["rate"]["buckets"]["0"].asInt(), 1);
+    EXPECT_EQ(snap["series"]["rate"]["buckets"]["1"].asInt(), 2);
+    EXPECT_EQ(snap["sources"]["spm"]["grants"].asInt(), 4);
+
+    reg.removeSource("spm");
+    EXPECT_FALSE(reg.snapshot()["sources"].has("spm"));
+
+    reg.clear();
+    EXPECT_EQ(reg.instrumentCount(), 0u);
+    EXPECT_EQ(reg.collisions(), 0u);
+}
+
+TEST(MetricsTest, EmptyDistributionSnapshotsWithoutPercentiles)
+{
+    MetricsRegistry reg;
+    reg.distribution("empty");
+    JsonValue snap = reg.snapshot();
+    EXPECT_EQ(snap["distributions"]["empty"]["count"].asInt(), 0);
+    EXPECT_FALSE(snap["distributions"]["empty"].has("p50"));
+}
+
+TEST(MetricsTest, GlobalRegistryIsOneInstance)
+{
+    EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+} // namespace
+} // namespace cronus::obs

@@ -1,0 +1,208 @@
+/** Tracer + Span + FlightRecorder: nesting, modes, wraparound,
+ *  dump retention and byte-identical determinism. */
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hh"
+
+namespace cronus::obs
+{
+namespace
+{
+
+/** Each test drives the process-wide tracer with its own clock and
+ *  restores Off/default state afterwards so suites stay isolated. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Tracer &t = Tracer::instance();
+        t.setMode(TraceMode::Full);
+        t.clear();
+        t.flight().setCapacity(FlightRecorder::kDefaultCapacity);
+        t.flight().clear();
+        t.attachClock(&clock);
+    }
+
+    void
+    TearDown() override
+    {
+        Tracer &t = Tracer::instance();
+        t.detachClock(&clock);
+        t.setDumpSink({});
+        t.clear();
+        t.flight().setCapacity(FlightRecorder::kDefaultCapacity);
+        t.setMode(TraceMode::Off);
+    }
+
+    SimClock clock;
+};
+
+TEST_F(TraceTest, SpanNestingAndOrdering)
+{
+    Tracer &t = Tracer::instance();
+    uint32_t tr = t.track("work");
+    {
+        Span outer(tr, "outer", "test");
+        clock.advance(100);
+        {
+            Span inner(tr, "inner", "test");
+            inner.arg("k", int64_t{7});
+            clock.advance(50);
+        }
+        clock.advance(25);
+    }
+    ASSERT_EQ(t.eventCount(), 2u);
+
+    JsonValue doc = t.traceJson();
+    const JsonArray &evs = doc["traceEvents"].asArray();
+    /* process_name + thread_name metadata, then inner (closed
+     * first), then outer. */
+    ASSERT_EQ(evs.size(), 4u);
+    EXPECT_EQ(evs[0]["name"].asString(), "process_name");
+    EXPECT_EQ(evs[1]["name"].asString(), "thread_name");
+    EXPECT_EQ(evs[1]["args"]["name"].asString(), "work");
+
+    const JsonValue &inner = evs[2];
+    const JsonValue &outer = evs[3];
+    EXPECT_EQ(inner["name"].asString(), "inner");
+    EXPECT_EQ(outer["name"].asString(), "outer");
+    EXPECT_EQ(inner["args"]["k"].asInt(), 7);
+
+    /* ts/dur containment is what Perfetto nests by: inner must sit
+     * strictly inside outer (trace units: microseconds). */
+    EXPECT_DOUBLE_EQ(outer["ts"].asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(outer["dur"].asDouble(), 0.175);
+    EXPECT_DOUBLE_EQ(inner["ts"].asDouble(), 0.1);
+    EXPECT_DOUBLE_EQ(inner["dur"].asDouble(), 0.05);
+    EXPECT_GE(inner["ts"].asDouble(), outer["ts"].asDouble());
+    EXPECT_LE(inner["ts"].asDouble() + inner["dur"].asDouble(),
+              outer["ts"].asDouble() + outer["dur"].asDouble());
+}
+
+TEST_F(TraceTest, OffModeSpansAreInert)
+{
+    Tracer &t = Tracer::instance();
+    t.setMode(TraceMode::Off);
+    uint32_t tr = t.track("work");
+    {
+        Span s(tr, "dead", "test");
+        EXPECT_FALSE(s.live());
+        s.arg("k", int64_t{1});
+    }
+    t.instant(tr, "gone", "test");
+    EXPECT_EQ(t.eventCount(), 0u);
+    EXPECT_EQ(t.flight().size(), 0u);
+}
+
+TEST_F(TraceTest, RingModeFeedsOnlyTheFlightRecorder)
+{
+    Tracer &t = Tracer::instance();
+    t.setMode(TraceMode::Ring);
+    EXPECT_TRUE(t.active());
+    EXPECT_FALSE(t.exporting());
+    t.instant(t.track("work"), "i0", "test");
+    EXPECT_EQ(t.eventCount(), 0u);
+    EXPECT_EQ(t.flight().size(), 1u);
+}
+
+TEST_F(TraceTest, EnsureModeNeverLowers)
+{
+    Tracer &t = Tracer::instance();
+    t.ensureMode(TraceMode::Ring);
+    EXPECT_EQ(t.mode(), TraceMode::Full);
+    t.setMode(TraceMode::Off);
+    t.ensureMode(TraceMode::Ring);
+    EXPECT_EQ(t.mode(), TraceMode::Ring);
+}
+
+TEST_F(TraceTest, TrackIdsAreMemoizedAndNamed)
+{
+    Tracer &t = Tracer::instance();
+    EXPECT_EQ(t.track("a"), t.track("a"));
+    EXPECT_NE(t.track("a"), t.track("b"));
+    EXPECT_EQ(t.partitionTrack(2, "gpu0"), t.track("p2 gpu0"));
+    EXPECT_EQ(t.enclaveTrack(65537, "cpu0"), t.track("e65537 cpu0"));
+}
+
+TEST_F(TraceTest, IdenticalRunsProduceByteIdenticalTraceJson)
+{
+    auto run = [&]() {
+        Tracer &t = Tracer::instance();
+        t.clear();
+        clock.reset();
+        uint32_t tr = t.track("det");
+        for (int i = 0; i < 5; ++i) {
+            Span s(tr, "step", "test");
+            s.arg("i", int64_t{i});
+            clock.advance(static_cast<SimTime>(10 + i));
+        }
+        t.instant(tr, "done", "test");
+        return t.traceJson().dump();
+    };
+    std::string first = run();
+    std::string second = run();
+    EXPECT_EQ(first, second);
+    EXPECT_NE(first.find("\"step\""), std::string::npos);
+}
+
+TEST_F(TraceTest, DumpFlightRetainsAndCallsSink)
+{
+    Tracer &t = Tracer::instance();
+    t.instant(t.track("work"), "ev", "test");
+    std::vector<std::string> reasons;
+    size_t held = 0;
+    t.setDumpSink([&](const std::string &r, const JsonValue &doc) {
+        reasons.push_back(r);
+        held = doc["events"].asArray().size();
+    });
+    t.dumpFlight("test dump");
+    ASSERT_EQ(reasons.size(), 1u);
+    EXPECT_EQ(reasons[0], "test dump");
+    EXPECT_EQ(held, 1u);
+    ASSERT_EQ(t.recentDumps().size(), 1u);
+    EXPECT_EQ(t.recentDumps()[0].reason, "test dump");
+    EXPECT_EQ(t.recentDumps()[0].doc["totalRecorded"].asInt(), 1);
+
+    /* Retention is bounded: old dumps age out, newest survives. */
+    for (int i = 0; i < 20; ++i)
+        t.dumpFlight("dump " + std::to_string(i));
+    EXPECT_LE(t.recentDumps().size(), 8u);
+    EXPECT_EQ(t.recentDumps().back().reason, "dump 19");
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsNewestOldestFirst)
+{
+    FlightRecorder ring(4);
+    for (uint64_t i = 0; i < 10; ++i) {
+        TraceEvent ev;
+        ev.ts = i;
+        ring.push(std::move(ev));
+    }
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.totalRecorded(), 10u);
+    auto snap = ring.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    for (size_t i = 0; i < snap.size(); ++i)
+        EXPECT_EQ(snap[i].ts, 6 + i);
+}
+
+TEST(FlightRecorderTest, SetCapacityDropsContentsKeepsTotal)
+{
+    FlightRecorder ring(4);
+    for (uint64_t i = 0; i < 6; ++i)
+        ring.push(TraceEvent{});
+    ring.setCapacity(2);
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.totalRecorded(), 6u);
+    ring.push(TraceEvent{});
+    ring.push(TraceEvent{});
+    ring.push(TraceEvent{});
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring.totalRecorded(), 9u);
+}
+
+} // namespace
+} // namespace cronus::obs
