@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Perf gate for the cold-start amortization paths.
+
+Reads the google-benchmark-shaped JSON written by `fig13_coldstart`
+(BENCH_modstore.json) and compares the per-request startup time of
+the amortized strategies against the legacy cold pipeline from the
+same run:
+
+  fig13/warm    createEnclaveCached() with the module resident in
+                the SPM module store (skips parse + hash +
+                measurement SHA)
+  fig13/pooled  WarmPool bind onto a pre-attested, pre-connected
+                shell
+
+Fails (exit 1) if a strategy's cold/strategy speedup drops below its
+floor. The numbers are *virtual* time, so unlike the wall-clock
+substrate gate they are exactly reproducible: a floor violation is a
+real costing regression (e.g. a cache hit started re-charging the
+measurement SHA, or acquire() stopped reusing the prefill
+attestation), never host jitter.
+
+With --baseline BASELINE.json (the committed snapshot under
+bench/baselines/), each measured speedup must also keep at least
+BASELINE_KEEP of the baseline's speedup. Determinism would allow an
+exact comparison, but the request mix is allowed to evolve (e.g.
+`--smoke` runs fewer requests, which shifts the pooled bind
+amortization), so the gate keeps a margin instead.
+"""
+
+import argparse
+import json
+import sys
+
+# strategy -> minimum required cold/strategy real_time speedup
+FLOORS = {
+    "fig13/warm": 1.01,
+    "fig13/pooled": 50.0,
+}
+
+COLD = "fig13/cold"
+
+# Fraction of the baseline speedup that must survive.
+BASELINE_KEEP = 0.5
+
+
+def load_times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        times[b.get("name", "")] = float(b["real_time"])
+    return times
+
+
+def speedup_of(times, strategy):
+    cold = times.get(COLD)
+    t = times.get(strategy)
+    if cold is None or t is None:
+        return None
+    return cold / t if t > 0 else float("inf")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("result", nargs="?",
+                    default="BENCH_modstore.json")
+    ap.add_argument("--baseline", metavar="JSON",
+                    help="committed snapshot to compare speedups "
+                         "against (bench/baselines/)")
+    args = ap.parse_args()
+
+    times = load_times(args.result)
+    base = load_times(args.baseline) if args.baseline else None
+    failures = []
+    for strategy, floor in FLOORS.items():
+        speedup = speedup_of(times, strategy)
+        if speedup is None:
+            failures.append(f"{strategy}: missing result")
+            continue
+        cold = times[COLD]
+        t = times[strategy]
+        status = "ok" if speedup >= floor else "FAIL"
+        print(f"{strategy}: cold={cold:.0f}ns this={t:.0f}ns "
+              f"speedup={speedup:.2f}x (floor {floor:.2f}x) "
+              f"{status}")
+        if speedup < floor:
+            failures.append(
+                f"{strategy}: {speedup:.2f}x < required "
+                f"{floor:.2f}x")
+        if base is None:
+            continue
+        base_speedup = speedup_of(base, strategy)
+        if base_speedup is None:
+            failures.append(
+                f"{strategy}: missing from baseline "
+                f"{args.baseline}")
+            continue
+        need = base_speedup * BASELINE_KEEP
+        kept = "ok" if speedup >= need else "FAIL"
+        print(f"  baseline speedup {base_speedup:.2f}x, must keep "
+              f">= {need:.2f}x {kept}")
+        if speedup < need:
+            failures.append(
+                f"{strategy}: {speedup:.2f}x lost more than half "
+                f"of baseline {base_speedup:.2f}x")
+    if failures:
+        print("modstore gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("modstore gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,8 +38,12 @@ Distribution::mean() const
 double
 Distribution::percentile(double p) const
 {
-    CRONUS_ASSERT(!values.empty(), "Distribution::percentile on empty");
     CRONUS_ASSERT(p >= 0.0 && p <= 1.0, "percentile out of range");
+    /* An empty distribution has no order statistics; define every
+     * percentile as 0 so snapshot paths (p50/p99/p999 on instruments
+     * that never sampled) need no caller-side guard. */
+    if (values.empty())
+        return 0.0;
     if (!sortedValid) {
         sorted = values;
         std::sort(sorted.begin(), sorted.end());

@@ -51,9 +51,9 @@ class Distribution
     double max() const;
     double mean() const;
     double sum() const;
-    /** @p p in [0,1]. Sorts lazily and caches the order, so bursts
-     *  of queries (p50/p99/p999 from a metrics snapshot) sort once
-     *  instead of O(n log n) each. */
+    /** @p p in [0,1]; 0 when no sample was recorded. Sorts lazily
+     *  and caches the order, so bursts of queries (p50/p99/p999 from
+     *  a metrics snapshot) sort once instead of O(n log n) each. */
     double percentile(double p) const;
     void
     reset()

@@ -86,6 +86,46 @@ CpuRuntime::meCreate(const Bytes &image)
         return ctx.status();
     deviceCtx = ctx.value();
     created = true;
+    moduleBound = true;
+    return Status::ok();
+}
+
+Status
+CpuRuntime::meCreateShell()
+{
+    if (created)
+        return Status(ErrorCode::InvalidState, "already created");
+    auto ctx = cpuHal.createDeviceContext();
+    if (!ctx.isOk())
+        return ctx.status();
+    deviceCtx = ctx.value();
+    created = true;
+    moduleBound = false;
+    return Status::ok();
+}
+
+Status
+CpuRuntime::meBind(const Bytes &image)
+{
+    if (!created)
+        return Status(ErrorCode::InvalidState, "shell not created");
+    auto parsed = CpuImage::deserialize(image);
+    if (!parsed.isOk())
+        return parsed.status();
+    std::set<std::string> incoming;
+    for (const auto &name : parsed.value().exports) {
+        if (!CpuFunctionRegistry::instance().has(name))
+            return Status(ErrorCode::NotFound,
+                          "image exports unknown function '" + name +
+                          "'");
+        incoming.insert(name);
+    }
+    /* A (re)bound module starts from fresh state: enclave-per-
+     * request semantics must not observe a previous binding's
+     * key/value store. */
+    exports = std::move(incoming);
+    store.clear();
+    moduleBound = true;
     return Status::ok();
 }
 
@@ -94,6 +134,8 @@ CpuRuntime::meCall(const std::string &fn, const Bytes &args)
 {
     if (!created)
         return Status(ErrorCode::InvalidState, "enclave not created");
+    if (!moduleBound)
+        return Status(ErrorCode::InvalidState, "no module bound");
     if (!exports.count(fn))
         return Status(ErrorCode::NotFound,
                       "function '" + fn + "' not exported");
@@ -189,6 +231,41 @@ CudaRuntime::meCreate(const Bytes &image)
         return s;
     }
     created = true;
+    moduleBound = true;
+    return Status::ok();
+}
+
+Status
+CudaRuntime::meCreateShell()
+{
+    if (created)
+        return Status(ErrorCode::InvalidState, "already created");
+    auto ctx = gpuHal.createDeviceContext();
+    if (!ctx.isOk())
+        return ctx.status();
+    deviceCtx = ctx.value();
+    created = true;
+    moduleBound = false;
+    return Status::ok();
+}
+
+Status
+CudaRuntime::meBind(const Bytes &image)
+{
+    if (!created)
+        return Status(ErrorCode::InvalidState, "shell not created");
+    auto module = accel::GpuModuleImage::deserialize(image);
+    if (!module.isOk())
+        return module.status();
+    /* The context (bounce buffers, DMA mappings) survives the bind;
+     * only the module's kernels are attached. The manager swaps the
+     * manifest with the bind, so a previous binding's kernels fall
+     * out of the callable surface even though the simulated context
+     * keeps them loaded. */
+    Status s = gpuHal.loadModule(deviceCtx, module.value());
+    if (!s.isOk())
+        return s;
+    moduleBound = true;
     return Status::ok();
 }
 
@@ -252,6 +329,8 @@ CudaRuntime::meCall(const std::string &fn, const Bytes &args)
 {
     if (!created)
         return Status(ErrorCode::InvalidState, "enclave not created");
+    if (!moduleBound)
+        return Status(ErrorCode::InvalidState, "no module bound");
     ByteReader r(args);
 
     if (fn == "cuMemAlloc") {
@@ -452,6 +531,22 @@ NpuRuntime::meCreate(const Bytes &image)
         return ctx.status();
     deviceCtx = ctx.value();
     created = true;
+    return Status::ok();
+}
+
+Status
+NpuRuntime::meCreateShell()
+{
+    /* NPU programs arrive per call; a shell is a full create. */
+    return meCreate(Bytes{});
+}
+
+Status
+NpuRuntime::meBind(const Bytes &image)
+{
+    (void)image;  /* nothing to attach; programs arrive per call */
+    if (!created)
+        return Status(ErrorCode::InvalidState, "shell not created");
     return Status::ok();
 }
 

@@ -39,6 +39,37 @@ class EnclaveRuntime
     /** Parse and load the mEnclave image (me_create). */
     virtual Status meCreate(const Bytes &image) = 0;
 
+    /**
+     * Create an *unbound shell*: allocate the device context (the
+     * expensive part of me_create) without loading a module. mECalls
+     * fail with InvalidState until meBind() attaches an image. Warm
+     * pools pre-create shells so instantiation is a bind, not a
+     * full create (§IV-A cold-start amortization).
+     */
+    virtual Status
+    meCreateShell()
+    {
+        return Status(ErrorCode::Unsupported,
+                      "execution model has no shell support");
+    }
+
+    /**
+     * Bind (or rebind) a module image onto a created shell. Rebind
+     * is allowed within one owner's trust domain: the manager swaps
+     * the manifest at the same time, so only the newly bound
+     * module's mECalls remain callable.
+     */
+    virtual Status
+    meBind(const Bytes &image)
+    {
+        (void)image;
+        return Status(ErrorCode::Unsupported,
+                      "execution model has no bind support");
+    }
+
+    /** Whether a module is currently bound (shells start unbound). */
+    virtual bool bound() const { return true; }
+
     /** Execute one mECall against internal state. */
     virtual Result<Bytes> meCall(const std::string &fn,
                                  const Bytes &args) = 0;
@@ -119,6 +150,9 @@ class CpuRuntime : public EnclaveRuntime
 
     std::string executionModel() const override { return "cpu-libos"; }
     Status meCreate(const Bytes &image) override;
+    Status meCreateShell() override;
+    Status meBind(const Bytes &image) override;
+    bool bound() const override { return moduleBound; }
     Result<Bytes> meCall(const std::string &fn,
                          const Bytes &args) override;
     Status meDestroy(bool scrub) override;
@@ -129,6 +163,7 @@ class CpuRuntime : public EnclaveRuntime
     mos::CpuHal &cpuHal;
     uint64_t deviceCtx = 0;
     bool created = false;
+    bool moduleBound = false;
     std::set<std::string> exports;
     std::map<std::string, Bytes> store;
 };
@@ -150,6 +185,9 @@ class CudaRuntime : public EnclaveRuntime
 
     std::string executionModel() const override { return "cuda"; }
     Status meCreate(const Bytes &image) override;
+    Status meCreateShell() override;
+    Status meBind(const Bytes &image) override;
+    bool bound() const override { return moduleBound; }
     Result<Bytes> meCall(const std::string &fn,
                          const Bytes &args) override;
     Status meDestroy(bool scrub) override;
@@ -173,6 +211,7 @@ class CudaRuntime : public EnclaveRuntime
     mos::GpuHal &gpuHal;
     uint64_t deviceCtx = 0;
     bool created = false;
+    bool moduleBound = false;
 };
 
 /* ------------------------------------------------------------------ */
@@ -190,6 +229,8 @@ class NpuRuntime : public EnclaveRuntime
 
     std::string executionModel() const override { return "vta"; }
     Status meCreate(const Bytes &image) override;
+    Status meCreateShell() override;
+    Status meBind(const Bytes &image) override;
     Result<Bytes> meCall(const std::string &fn,
                          const Bytes &args) override;
     Status meDestroy(bool scrub) override;

@@ -23,6 +23,20 @@ MicroEnclave::invoke(const std::string &fn, const Bytes &args)
     return runtime->meCall(fn, args);
 }
 
+Status
+MicroEnclave::bind(const Manifest &mf, const crypto::Digest &meas,
+                   const Bytes &image)
+{
+    Status bound = runtime->meBind(image);
+    if (!bound.isOk())
+        return bound;
+    manifest = mf;
+    measurement = meas;
+    /* The declaresCall memo belongs to the previous manifest. */
+    lastDeclaredFn.clear();
+    return Status::ok();
+}
+
 /* ------------------------------------------------------------------ */
 /* Local attestation report                                            */
 /* ------------------------------------------------------------------ */
@@ -79,6 +93,13 @@ EnclaveManager::create(const std::string &manifest_json,
         return Status(ErrorCode::InvalidState,
                       "partition not ready (failed or rebooting)");
     mos.tick();
+    /* Guard the 24-bit enclave-id space before any side effect:
+     * create/destroy churn must hit ResourceExhausted, not wrap ids
+     * into a colliding (or truncated) eid. */
+    if (nextEnclaveId > kEnclaveIdMask)
+        return Status(ErrorCode::ResourceExhausted,
+                      "enclave id space exhausted on partition " +
+                      std::to_string(mos.partitionId()));
     auto manifest = Manifest::fromJson(manifest_json);
     if (!manifest.isOk())
         return manifest.status();
@@ -145,6 +166,174 @@ EnclaveManager::create(const std::string &manifest_json,
     memUsed += mf.memoryBytes;
     lastNonce[eid] = 0;
     return EnclaveCreated{eid, enclave_keys.pub};
+}
+
+Result<EnclaveCreated>
+EnclaveManager::createFromRecord(const ModuleRecord &record,
+                                 const crypto::PublicKey &owner_pub)
+{
+    if (!mos.spm().validateMosId(mos.partitionId()))
+        return Status(ErrorCode::InvalidState,
+                      "partition not ready (failed or rebooting)");
+    mos.tick();
+    if (nextEnclaveId > kEnclaveIdMask)
+        return Status(ErrorCode::ResourceExhausted,
+                      "enclave id space exhausted on partition " +
+                      std::to_string(mos.partitionId()));
+
+    const Manifest &mf = record.manifest;
+    auto partition = mos.spm().partition(mos.partitionId());
+    if (!partition.isOk())
+        return partition.status();
+    if (memUsed + mf.memoryBytes > partition.value()->memBytes)
+        return Status(ErrorCode::ResourceExhausted,
+                      "manifest memory quota exceeds partition "
+                      "budget");
+
+    auto runtime = makeRuntime(mf.deviceType);
+    if (!runtime.isOk())
+        return runtime.status();
+
+    hw::Platform &plat = mos.spm().monitor().platform();
+    Bytes seed = toBytes("enclave-dh:");
+    Bytes owner_bytes = owner_pub.toBytes();
+    seed.insert(seed.end(), owner_bytes.begin(), owner_bytes.end());
+    seed.push_back(static_cast<uint8_t>(nextEnclaveId));
+    seed.push_back(static_cast<uint8_t>(mos.partitionId()));
+    crypto::KeyPair enclave_keys = crypto::deriveKeyPair(seed);
+    Bytes secret = crypto::dhSharedSecret(enclave_keys.priv,
+                                          owner_pub);
+    plat.clock().advance(plat.costs().dhNs);
+
+    Status created = runtime.value()->meCreate(record.image);
+    if (!created.isOk())
+        return created;
+
+    /* The record's measurement was derived at store admission over
+     * the same bytes; reusing it skips the per-create SHA. */
+    Eid eid = makeEid(mos.partitionId(), nextEnclaveId++);
+    enclaves[eid] = std::make_unique<MicroEnclave>(
+        eid, mf, record.measurement, std::move(runtime.value()),
+        secret, owner_pub);
+    memQuota[eid] = mf.memoryBytes;
+    memUsed += mf.memoryBytes;
+    lastNonce[eid] = 0;
+    return EnclaveCreated{eid, enclave_keys.pub};
+}
+
+Result<EnclaveCreated>
+EnclaveManager::createShell(const crypto::PublicKey &owner_pub,
+                            uint64_t mem_bytes)
+{
+    if (!mos.spm().validateMosId(mos.partitionId()))
+        return Status(ErrorCode::InvalidState,
+                      "partition not ready (failed or rebooting)");
+    mos.tick();
+    if (nextEnclaveId > kEnclaveIdMask)
+        return Status(ErrorCode::ResourceExhausted,
+                      "enclave id space exhausted on partition " +
+                      std::to_string(mos.partitionId()));
+
+    /* A shell's manifest declares nothing: no mECall is callable
+     * until a module is bound and the manifest swapped. */
+    Manifest mf;
+    mf.deviceType = mos.deviceType();
+    mf.memoryBytes = mem_bytes;
+
+    auto partition = mos.spm().partition(mos.partitionId());
+    if (!partition.isOk())
+        return partition.status();
+    if (memUsed + mf.memoryBytes > partition.value()->memBytes)
+        return Status(ErrorCode::ResourceExhausted,
+                      "shell memory quota exceeds partition budget");
+
+    auto runtime = makeRuntime(mf.deviceType);
+    if (!runtime.isOk())
+        return runtime.status();
+
+    hw::Platform &plat = mos.spm().monitor().platform();
+    Bytes seed = toBytes("enclave-dh:");
+    Bytes owner_bytes = owner_pub.toBytes();
+    seed.insert(seed.end(), owner_bytes.begin(), owner_bytes.end());
+    seed.push_back(static_cast<uint8_t>(nextEnclaveId));
+    seed.push_back(static_cast<uint8_t>(mos.partitionId()));
+    crypto::KeyPair enclave_keys = crypto::deriveKeyPair(seed);
+    Bytes secret = crypto::dhSharedSecret(enclave_keys.priv,
+                                          owner_pub);
+    plat.clock().advance(plat.costs().dhNs);
+
+    Status created = runtime.value()->meCreateShell();
+    if (!created.isOk())
+        return created;
+
+    /* Shell measurement: the empty manifest plus a zero image hash.
+     * Attesting a shell proves "pre-attested empty executor on this
+     * mOS"; the module's identity is pinned later by bindModule. */
+    std::string shell_json = mf.toJson();
+    crypto::Sha256 measurement;
+    measurement.update(crypto::digestToBytes(mf.measure()));
+    measurement.update(crypto::digestToBytes(crypto::Digest{}));
+    plat.clock().advance(static_cast<SimTime>(
+        shell_json.size() * plat.costs().shaNsPerByte));
+
+    Eid eid = makeEid(mos.partitionId(), nextEnclaveId++);
+    enclaves[eid] = std::make_unique<MicroEnclave>(
+        eid, mf, measurement.finalize(), std::move(runtime.value()),
+        secret, owner_pub);
+    memQuota[eid] = mf.memoryBytes;
+    memUsed += mf.memoryBytes;
+    lastNonce[eid] = 0;
+    return EnclaveCreated{eid, enclave_keys.pub};
+}
+
+Status
+EnclaveManager::bindModule(Eid eid, const ModuleRecord &record,
+                           uint64_t nonce, const Bytes &tag)
+{
+    if (!mos.spm().validateMosId(mos.partitionId()))
+        return Status(ErrorCode::InvalidState,
+                      "partition not ready (failed or rebooting)");
+    mos.tick();
+    auto it = enclaves.find(eid);
+    if (it == enclaves.end())
+        return Status(ErrorCode::NotFound, "no such mEnclave");
+
+    /* Only the owner may change what this enclave runs. */
+    Bytes expected = authTag(it->second->secret(), eid, nonce,
+                             "bind",
+                             crypto::digestToBytes(record.digest));
+    if (!constantTimeEqual(expected, tag))
+        return Status(ErrorCode::AuthFailed,
+                      "bind authentication failed");
+    if (nonce <= lastNonce[eid])
+        return Status(ErrorCode::IntegrityViolation,
+                      "bind replay detected");
+    lastNonce[eid] = nonce;
+
+    if (record.manifest.deviceType != mos.deviceType())
+        return Status(ErrorCode::InvalidArgument,
+                      "module device_type '" +
+                      record.manifest.deviceType +
+                      "' does not match this mOS ('" +
+                      mos.deviceType() + "')");
+
+    /* Re-admission: the module's quota replaces the shell's. */
+    auto partition = mos.spm().partition(mos.partitionId());
+    if (!partition.isOk())
+        return partition.status();
+    uint64_t old_quota = memQuota[eid];
+    if (memUsed - old_quota + record.manifest.memoryBytes >
+        partition.value()->memBytes)
+        return Status(ErrorCode::ResourceExhausted,
+                      "module memory quota exceeds partition budget");
+
+    Status bound = it->second->bind(record.manifest,
+                                    record.measurement, record.image);
+    if (!bound.isOk())
+        return bound;
+    memUsed = memUsed - old_quota + record.manifest.memoryBytes;
+    memQuota[eid] = record.manifest.memoryBytes;
+    return Status::ok();
 }
 
 Bytes
@@ -263,12 +452,16 @@ EnclaveManager::destroy(Eid eid, uint64_t nonce, const Bytes &tag)
     if (nonce <= lastNonce[eid])
         return Status(ErrorCode::IntegrityViolation,
                       "destroy replay detected");
-    it->second->destroy(true);
+    /* The books are cleaned regardless -- a runtime that failed to
+     * scrub must not leak quota -- but the caller learns about it:
+     * swallowing the status here hid device-context teardown
+     * failures from create/destroy churn. */
+    Status destroyed = it->second->destroy(true);
     memUsed -= memQuota[eid];
     memQuota.erase(eid);
     lastNonce.erase(eid);
     enclaves.erase(it);
-    return Status::ok();
+    return destroyed;
 }
 
 Result<Bytes>

@@ -21,6 +21,7 @@
 #include "eid.hh"
 #include "enclave_runtime.hh"
 #include "manifest.hh"
+#include "module_store.hh"
 #include "tee/normal_world.hh"
 
 namespace cronus::core
@@ -53,6 +54,18 @@ class MicroEnclave
     }
 
     Status destroy(bool scrub) { return runtime->meDestroy(scrub); }
+
+    /**
+     * Bind a module onto this enclave (manager-mediated): attach the
+     * image to the runtime, then swap manifest + measurement so the
+     * attested identity and the callable mECall surface change
+     * together. Used for shells and for rebinding pooled enclaves.
+     */
+    Status bind(const Manifest &mf, const crypto::Digest &meas,
+                const Bytes &image);
+
+    /** Whether a module is bound (shells start unbound). */
+    bool isBound() const { return runtime->bound(); }
 
     /** Raw state snapshot/restore (sealed by the EnclaveManager). */
     Result<Bytes> snapshot() { return runtime->meSnapshot(); }
@@ -115,6 +128,38 @@ class EnclaveManager
                                   const std::string &image_name,
                                   const Bytes &image,
                                   const crypto::PublicKey &owner_pub);
+
+    /**
+     * Create an mEnclave from a module-store record. The record's
+     * manifest was parsed and its image verified and measured at
+     * admission, so this path skips the parse, the hash check and
+     * the measurement SHA -- the cache win the module store exists
+     * for. Everything else (admission, DH ownership, runtime
+     * creation, books) matches create() exactly.
+     */
+    Result<EnclaveCreated> createFromRecord(
+        const ModuleRecord &record,
+        const crypto::PublicKey &owner_pub);
+
+    /**
+     * Create an *unbound shell*: device context and DH ownership
+     * only, no module. The shell reserves @p mem_bytes against the
+     * partition budget (re-checked at bind when the module's quota
+     * differs). Warm pools pre-create and pre-attest shells so a
+     * request-time instantiation is a bind, not a create.
+     */
+    Result<EnclaveCreated> createShell(
+        const crypto::PublicKey &owner_pub, uint64_t mem_bytes);
+
+    /**
+     * Owner-authenticated bind of a cached module onto a shell (or
+     * rebind of a pooled enclave): @p tag =
+     * HMAC(secret_dhke, eid||nonce||"bind"||digest). Swaps manifest
+     * and measurement to the record's and adjusts the memory books;
+     * admission is re-checked against the record's quota.
+     */
+    Status bindModule(Eid eid, const ModuleRecord &record,
+                      uint64_t nonce, const Bytes &tag);
 
     /**
      * mECall over the untrusted path. The request must be

@@ -1,0 +1,138 @@
+#include "module_store.hh"
+
+#include "base/logging.hh"
+
+namespace cronus::core
+{
+
+ModuleStore::ModuleStore(tee::Spm &partition_manager,
+                         uint64_t capacity_bytes)
+    : spm(partition_manager), capacityBytes(capacity_bytes)
+{
+}
+
+ModuleStore::~ModuleStore()
+{
+    if (resident > 0)
+        spm.releaseStoreBytes(resident);
+}
+
+crypto::Digest
+ModuleStore::digestOf(const std::string &manifest_json,
+                      const Bytes &image)
+{
+    crypto::Sha256 ctx;
+    ctx.update(manifest_json);
+    ctx.update(image);
+    return ctx.finalize();
+}
+
+void
+ModuleStore::touch(Node &node)
+{
+    lru.erase(node.lruIt);
+    lru.push_front(node.record.digest);
+    node.lruIt = lru.begin();
+}
+
+Status
+ModuleStore::evictFor(uint64_t incoming_bytes)
+{
+    if (incoming_bytes > capacityBytes)
+        return Status(ErrorCode::ResourceExhausted,
+                      "module larger than store capacity");
+    while (resident + incoming_bytes > capacityBytes) {
+        CRONUS_ASSERT(!lru.empty(), "resident bytes without records");
+        crypto::Digest victim = lru.back();
+        auto it = records.find(victim);
+        CRONUS_ASSERT(it != records.end(), "LRU entry without record");
+        uint64_t bytes = it->second.record.residentBytes();
+        lru.pop_back();
+        records.erase(it);
+        spm.releaseStoreBytes(bytes);
+        resident -= bytes;
+        stats.counter("evictions").inc();
+    }
+    return Status::ok();
+}
+
+Result<const ModuleRecord *>
+ModuleStore::lookup(const crypto::Digest &digest)
+{
+    auto it = records.find(digest);
+    if (it == records.end()) {
+        stats.counter("misses").inc();
+        return Status(ErrorCode::NotFound, "module not resident");
+    }
+    touch(it->second);
+    ++it->second.record.hits;
+    stats.counter("hits").inc();
+    return const_cast<const ModuleRecord *>(&it->second.record);
+}
+
+Result<const ModuleRecord *>
+ModuleStore::admit(const std::string &manifest_json,
+                   const std::string &image_name, const Bytes &image)
+{
+    /* Content addressing reuses the measurement pass: one walk over
+     * the bytes yields the digest, and the virtual clock is charged
+     * once below -- exactly what a legacy create() charges. */
+    crypto::Digest digest = digestOf(manifest_json, image);
+    auto hit = records.find(digest);
+    if (hit != records.end()) {
+        touch(hit->second);
+        ++hit->second.record.hits;
+        stats.counter("hits").inc();
+        return const_cast<const ModuleRecord *>(&hit->second.record);
+    }
+
+    auto manifest = Manifest::fromJson(manifest_json);
+    if (!manifest.isOk())
+        return manifest.status();
+    Manifest &mf = manifest.value();
+
+    /* Image-hash verification mirrors EnclaveManager::create: the
+     * store only vouches for pairs it checked itself. */
+    crypto::Digest image_hash{};
+    if (!image.empty() || !image_name.empty()) {
+        auto declared = mf.images.find(image_name);
+        if (declared == mf.images.end())
+            return Status(ErrorCode::InvalidArgument,
+                          "image '" + image_name +
+                          "' not declared in manifest");
+        image_hash = crypto::sha256(image);
+        if (crypto::digestHex(image_hash) != declared->second)
+            return Status(ErrorCode::IntegrityViolation,
+                          "image hash mismatch for '" + image_name +
+                          "'");
+    }
+
+    uint64_t bytes = manifest_json.size() + image.size();
+    CRONUS_RETURN_IF_ERROR(evictFor(bytes));
+    CRONUS_RETURN_IF_ERROR(spm.reserveStoreBytes(bytes));
+
+    crypto::Sha256 measurement;
+    measurement.update(crypto::digestToBytes(mf.measure()));
+    measurement.update(crypto::digestToBytes(image_hash));
+    hw::Platform &plat = spm.monitor().platform();
+    plat.clock().advance(static_cast<SimTime>(
+        bytes * plat.costs().shaNsPerByte));
+
+    Node node;
+    node.record.digest = digest;
+    node.record.manifestJson = manifest_json;
+    node.record.manifest = mf;
+    node.record.imageName = image_name;
+    node.record.image = image;
+    node.record.imageHash = image_hash;
+    node.record.measurement = measurement.finalize();
+    lru.push_front(digest);
+    auto [it, inserted] = records.emplace(digest, std::move(node));
+    CRONUS_ASSERT(inserted, "digest raced into the store");
+    it->second.lruIt = lru.begin();
+    resident += bytes;
+    stats.counter("admissions").inc();
+    return const_cast<const ModuleRecord *>(&it->second.record);
+}
+
+} // namespace cronus::core

@@ -303,6 +303,8 @@ SrpcChannel::setupInner()
         setup_span.arg("callee", static_cast<int64_t>(calleeEid));
     }
 
+    SimTime phase_start = plat.clock().now();
+
     /* 1. Local attestation of the callee, over untrusted memory.
      * The request/response are MACed with secret_dhke because the
      * mOSes are mutually untrusted before attestation (§IV-A). */
@@ -336,6 +338,8 @@ SrpcChannel::setupInner()
         report.value().challenge != challenge)
         return Status(ErrorCode::AuthFailed,
                       "local attestation mismatch");
+    channelStats.setupAttestNs = plat.clock().now() - phase_start;
+    phase_start = plat.clock().now();
 
     /* 2. Allocate smem from the caller's partition and share it. */
     smemBytes = hw::pageAlignUp(kSlotsOff +
@@ -359,6 +363,8 @@ SrpcChannel::setupInner()
     CRONUS_RETURN_IF_ERROR(writeCaller(kRidOff, u64Bytes(0)));
     CRONUS_RETURN_IF_ERROR(writeCaller(kSidOff, u64Bytes(0)));
     CRONUS_RETURN_IF_ERROR(writeCaller(kClosedOff, Bytes{0}));
+    channelStats.setupGrantNs = plat.clock().now() - phase_start;
+    phase_start = plat.clock().now();
 
     /* 4. dCheck: the callee proves ownership of secret_dhke through
      * the shared memory itself. The callee computes its tag from
@@ -386,6 +392,8 @@ SrpcChannel::setupInner()
         return observed.status();
     if (!constantTimeEqual(observed.value(), expected_tag))
         return Status(ErrorCode::AuthFailed, "dCheck failed");
+    channelStats.setupDcheckNs = plat.clock().now() - phase_start;
+    phase_start = plat.clock().now();
 
     /* 5. Ask the normal world for an executor thread (one switch,
      * once per stream -- not per call). */
@@ -397,6 +405,8 @@ SrpcChannel::setupInner()
         pump(4);
         return open && !peerFailed;
     });
+
+    channelStats.setupExecutorNs = plat.clock().now() - phase_start;
 
     open = true;
     setup_span.arg("grant", static_cast<int64_t>(grant));

@@ -66,6 +66,15 @@ struct SrpcStats
     /** Ring-counter reads/writes served by the zero-copy fast path
      *  (in-place u64 accesses, no intermediate Bytes). */
     uint64_t counterFastOps = 0;
+    /* Per-phase virtual time of channel setup (pure bookkeeping:
+     * clock deltas observed around the existing steps, charging
+     * nothing extra). fig13 reports these as the cold-start
+     * breakdown: attestation, grant + page-table setup, dCheck,
+     * executor spawn. */
+    SimTime setupAttestNs = 0;
+    SimTime setupGrantNs = 0;
+    SimTime setupDcheckNs = 0;
+    SimTime setupExecutorNs = 0;
 };
 
 class SrpcChannel;

@@ -1,10 +1,29 @@
 #include "system.hh"
 
+#include <cstdlib>
+
 #include "base/logging.hh"
 #include "crypto/aes.hh"
 
 namespace cronus::core
 {
+
+namespace
+{
+
+/* Owner-key derivation counter shared by every create path, so key
+ * sequences are identical whether enclaves arrive through the legacy
+ * pipeline, the module store or a warm-pool shell. */
+uint64_t ownerCounter = 0;
+
+bool
+moduleStoreForcedOff()
+{
+    const char *env = std::getenv("CRONUS_DISABLE_MODSTORE");
+    return env != nullptr && env[0] != '\0';
+}
+
+} // namespace
 
 CronusSystem::CronusSystem(const CronusConfig &config) : cfg(config)
 {
@@ -71,6 +90,12 @@ CronusSystem::CronusSystem(const CronusConfig &config) : cfg(config)
     partitionManager = std::make_unique<tee::Spm>(*sm);
     nw = std::make_unique<tee::NormalWorld>(*sm, *partitionManager);
 
+    /* Module store: opt-in (cache hits change virtual time), and the
+     * ablation toggle wins over the config. */
+    if (cfg.moduleStoreBytes > 0 && !moduleStoreForcedOff())
+        modStore = std::make_unique<ModuleStore>(
+            *partitionManager, cfg.moduleStoreBytes);
+
     /* Failover wiring: record trap signals for inspection. */
     partitionManager->setTrapHandler([this](const tee::TrapSignal &s) {
         observedTraps.push_back(s);
@@ -128,6 +153,18 @@ CronusSystem::CronusSystem(const CronusConfig &config) : cfg(config)
         o["shootdowns"] = static_cast<int64_t>(c.shootdowns);
         return JsonValue(std::move(o));
     });
+    if (modStore != nullptr) {
+        metricsRegistry.addSource("modstore", [this] {
+            JsonObject o = modStore->statistics().toJson().asObject();
+            o["modules"] =
+                static_cast<int64_t>(modStore->moduleCount());
+            o["resident_bytes"] =
+                static_cast<int64_t>(modStore->residentBytes());
+            o["capacity_bytes"] =
+                static_cast<int64_t>(modStore->capacity());
+            return JsonValue(std::move(o));
+        });
+    }
     metricsRegistry.addSource("smmu", [this] {
         hw::TlbCounters c = plat->smmu().tlbCounters();
         JsonObject o;
@@ -189,9 +226,8 @@ CronusSystem::createEnclave(const std::string &manifest_json,
     plat->clock().advance(plat->costs().dispatchNs);
 
     AppHandle handle;
-    static uint64_t owner_counter = 0;
     handle.ownerKeys = crypto::deriveKeyPair(
-        toBytes("app-owner-" + std::to_string(owner_counter++)));
+        toBytes("app-owner-" + std::to_string(ownerCounter++)));
     auto created = os.value()->enclaveManager().create(
         manifest_json, image_name, image, handle.ownerKeys.pub);
     sm->worldSwitch();
@@ -204,6 +240,110 @@ CronusSystem::createEnclave(const std::string &manifest_json,
     plat->clock().advance(plat->costs().dhNs);
     handle.host = os.value();
     return handle;
+}
+
+Result<AppHandle>
+CronusSystem::createEnclaveCached(const std::string &manifest_json,
+                                  const std::string &image_name,
+                                  const Bytes &image,
+                                  const std::string &device_name)
+{
+    if (modStore == nullptr)
+        return createEnclave(manifest_json, image_name, image,
+                             device_name);
+
+    /* Content addressing stands in for "the client knows its
+     * module's digest": resolving it charges nothing. */
+    crypto::Digest digest =
+        ModuleStore::digestOf(manifest_json, image);
+    const ModuleRecord *record = nullptr;
+    auto hit = modStore->lookup(digest);
+    if (hit.isOk()) {
+        record = hit.value();
+    } else {
+        auto admitted = modStore->admit(manifest_json, image_name,
+                                        image);
+        if (!admitted.isOk())
+            return admitted.status();
+        record = admitted.value();
+    }
+
+    /* The record's parsed manifest also spares the dispatcher its
+     * routing re-parse. */
+    auto os = enclaveDispatcher.partitionFor(
+        record->manifest.deviceType, device_name);
+    if (!os.isOk())
+        return os.status();
+
+    sm->worldSwitch();
+    plat->clock().advance(plat->costs().dispatchNs);
+
+    AppHandle handle;
+    handle.ownerKeys = crypto::deriveKeyPair(
+        toBytes("app-owner-" + std::to_string(ownerCounter++)));
+    auto created = os.value()->enclaveManager().createFromRecord(
+        *record, handle.ownerKeys.pub);
+    sm->worldSwitch();
+    if (!created.isOk())
+        return created.status();
+
+    handle.eid = created.value().eid;
+    handle.secret = crypto::dhSharedSecret(handle.ownerKeys.priv,
+                                           created.value().enclavePub);
+    plat->clock().advance(plat->costs().dhNs);
+    handle.host = os.value();
+    return handle;
+}
+
+Result<AppHandle>
+CronusSystem::createEnclaveShell(const std::string &device_type,
+                                 uint64_t mem_bytes,
+                                 const std::string &device_name)
+{
+    auto os = enclaveDispatcher.partitionFor(device_type,
+                                             device_name);
+    if (!os.isOk())
+        return os.status();
+
+    sm->worldSwitch();
+    plat->clock().advance(plat->costs().dispatchNs);
+
+    AppHandle handle;
+    handle.ownerKeys = crypto::deriveKeyPair(
+        toBytes("app-owner-" + std::to_string(ownerCounter++)));
+    auto created = os.value()->enclaveManager().createShell(
+        handle.ownerKeys.pub, mem_bytes);
+    sm->worldSwitch();
+    if (!created.isOk())
+        return created.status();
+
+    handle.eid = created.value().eid;
+    handle.secret = crypto::dhSharedSecret(handle.ownerKeys.priv,
+                                           created.value().enclavePub);
+    plat->clock().advance(plat->costs().dhNs);
+    handle.host = os.value();
+    return handle;
+}
+
+Status
+CronusSystem::bindEnclaveModule(AppHandle &handle,
+                                const ModuleRecord &record)
+{
+    auto os = enclaveDispatcher.route(handle.eid);
+    if (!os.isOk())
+        return os.status();
+    uint64_t nonce = ++handle.nonce;
+    Bytes digest_bytes = crypto::digestToBytes(record.digest);
+    Bytes tag = EnclaveManager::authTag(handle.secret, handle.eid,
+                                        nonce, "bind", digest_bytes);
+    plat->clock().advance(static_cast<SimTime>(
+        digest_bytes.size() * plat->costs().hmacNsPerByte));
+    sm->worldSwitch();
+    plat->clock().advance(plat->costs().dispatchNs);
+    Status bound = os.value()->enclaveManager().bindModule(
+        handle.eid, record, nonce, tag);
+    sm->worldSwitch();
+    return bound;
 }
 
 Result<Bytes>

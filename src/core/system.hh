@@ -16,6 +16,7 @@
 #include "accel/npu.hh"
 #include "attestation.hh"
 #include "dispatcher.hh"
+#include "module_store.hh"
 #include "obs/metrics.hh"
 #include "srpc.hh"
 
@@ -31,6 +32,14 @@ struct CronusConfig
     uint64_t normalMemBytes = 128ull << 20;
     uint64_t secureMemBytes = 192ull << 20;
     uint64_t partitionMemBytes = 24ull << 20;
+    /**
+     * SPM-resident module-store capacity; 0 (the default) disables
+     * the store. Opt-in because cache hits change virtual time;
+     * figure benches that must stay byte-identical never set it.
+     * The CRONUS_DISABLE_MODSTORE environment toggle (non-empty)
+     * forces the store off even when configured, for ablations.
+     */
+    uint64_t moduleStoreBytes = 0;
 };
 
 /**
@@ -82,6 +91,42 @@ class CronusSystem
                                     const std::string &image_name,
                                     const Bytes &image,
                                     const std::string &device_name = "");
+
+    /* --- module store + warm pool (cold-start amortization) --- */
+
+    /** Whether the module store is active (configured and not
+     *  force-disabled through CRONUS_DISABLE_MODSTORE). */
+    bool moduleStoreEnabled() const { return modStore != nullptr; }
+
+    /** The store; only valid when moduleStoreEnabled(). */
+    ModuleStore &moduleStore() { return *modStore; }
+
+    /**
+     * createEnclave through the module store: a resident module
+     * skips the manifest parse, image-hash check and measurement
+     * SHA; a miss admits the module (charging exactly what the
+     * legacy pipeline charges) and proceeds. Falls back to
+     * createEnclave() when the store is disabled.
+     */
+    Result<AppHandle> createEnclaveCached(
+        const std::string &manifest_json,
+        const std::string &image_name, const Bytes &image,
+        const std::string &device_name = "");
+
+    /**
+     * Create an unbound enclave shell on @p device_type (optionally
+     * pinned to @p device_name). Warm pools pre-create, pre-attest
+     * and pre-connect shells; a request then binds a cached module
+     * instead of running the full create->attest->dCheck pipeline.
+     */
+    Result<AppHandle> createEnclaveShell(
+        const std::string &device_type, uint64_t mem_bytes,
+        const std::string &device_name = "");
+
+    /** Owner-authenticated bind of a cached module onto an owned
+     *  shell (or rebind of a pooled enclave). */
+    Status bindEnclaveModule(AppHandle &handle,
+                             const ModuleRecord &record);
 
     /** Authenticated mECall over the untrusted path. */
     Result<Bytes> ecall(AppHandle &handle, const std::string &fn,
@@ -174,6 +219,9 @@ class CronusSystem
     std::unique_ptr<hw::Platform> plat;
     std::unique_ptr<tee::SecureMonitor> sm;
     std::unique_ptr<tee::Spm> partitionManager;
+    /* Declared after the Spm: the store's destructor releases its
+     * SPM residency reservation. */
+    std::unique_ptr<ModuleStore> modStore;
     std::unique_ptr<tee::NormalWorld> nw;
     EnclaveDispatcher enclaveDispatcher;
     std::vector<std::unique_ptr<PartitionRecord>> records;

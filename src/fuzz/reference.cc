@@ -52,6 +52,11 @@ referenceRun(const Scenario &sc)
 
     uint64_t driverTotal = 0;
 
+    /* Churn enclaves per plan index: the runner reports the live
+     * count after each create/destroy, so a leaked or double-freed
+     * churn enclave shows up as an output mismatch. */
+    std::vector<uint64_t> churnLive(sc.enclaves.size(), 0);
+
     /* Pipe: same effective capacity as SharedPipe::setup, which
      * page-aligns header + capacity and gives the remainder to
      * data. */
@@ -84,6 +89,8 @@ referenceRun(const Scenario &sc)
             valid = validFor(op, "npu");
             break;
           case OpKind::Checkpoint:
+          case OpKind::ChurnCreate:
+          case OpKind::ChurnDestroy:
             valid = op.enclave < sc.enclaves.size();
             break;
           default:
@@ -168,6 +175,20 @@ referenceRun(const Scenario &sc)
           }
           case OpKind::Checkpoint:
             /* Status-only op (sealed bytes are key-dependent). */
+            break;
+          case OpKind::ChurnCreate:
+            if (!valid)
+                break;
+            exp.output = u64Output(++churnLive[op.enclave]);
+            break;
+          case OpKind::ChurnDestroy:
+            if (!valid)
+                break;
+            if (churnLive[op.enclave] == 0) {
+                exp.code = "InvalidState";
+                break;
+            }
+            exp.output = u64Output(--churnLive[op.enclave]);
             break;
           case OpKind::AttackReplay:
           case OpKind::AttackTamperArgs:

@@ -91,6 +91,31 @@ fzGpuManifest()
     return m.toJson();
 }
 
+/**
+ * Small-footprint manifest for churn enclaves (256K, vs 4M for the
+ * workload enclaves): a generated scenario (<= 30 ops) can never
+ * exhaust a 24M partition with them, so ChurnCreate is "Ok" by
+ * construction and the reference model needs no quota bookkeeping.
+ */
+std::string
+fzChurnManifest(const std::string &device_type)
+{
+    Manifest m;
+    m.deviceType = device_type;
+    if (device_type == "gpu") {
+        m.images["fz.cubin"] =
+            crypto::digestHex(crypto::sha256(fzGpuImage()));
+        for (const auto &fn : CudaRuntime::apiSurface())
+            m.mEcalls.push_back(
+                {fn, AutoPartitioner::cudaCallIsAsync(fn)});
+    } else {
+        for (const auto &fn : NpuRuntime::apiSurface())
+            m.mEcalls.push_back({fn, false});
+    }
+    m.memoryBytes = 256ull << 10;
+    return m.toJson();
+}
+
 std::string
 fzNpuManifest()
 {
@@ -125,6 +150,8 @@ streamOf(const ScenarioOp &op)
       case OpKind::GpuReadback:
       case OpKind::NpuWrite:
       case OpKind::NpuReadback:
+      case OpKind::ChurnCreate:
+      case OpKind::ChurnDestroy:
       case OpKind::AttackSmemTamper:
         return static_cast<int>(op.enclave);
       case OpKind::PipeWrite:
@@ -161,6 +188,13 @@ struct EnclaveState
     uint32_t npuBuf = 0;
     bool alive = false;
     bool tainted = false;
+};
+
+/** One ephemeral enclave made by ChurnCreate (LIFO per plan). */
+struct ChurnEnclave
+{
+    AppHandle handle;
+    std::unique_ptr<SrpcChannel> channel;
 };
 
 class Run
@@ -314,6 +348,7 @@ class Run
             states.push_back(std::move(st));
             recoveryOutcome.push_back("none");
         }
+        churn.resize(states.size());
 
         if (sc.withPipe && sc.pipeEnclave < states.size()) {
             EnclaveState &reader = states[sc.pipeEnclave];
@@ -679,6 +714,69 @@ class Run
             rec.code = errorCodeName(r.code());
             break;
           }
+          case OpKind::ChurnCreate: {
+            if (op.enclave >= states.size()) {
+                rec.code = "InvalidArgument";
+                rec.tainted = true;
+                break;
+            }
+            const EnclavePlan &plan = states[op.enclave].plan;
+            auto h = plan.deviceType == "gpu"
+                         ? sys->createEnclave(fzChurnManifest("gpu"),
+                                              "fz.cubin", fzGpuImage(),
+                                              plan.deviceName)
+                         : sys->createEnclave(fzChurnManifest("npu"),
+                                              "", Bytes{},
+                                              plan.deviceName);
+            if (!h.isOk()) {
+                rec.code = errorCodeName(h.code());
+                break;
+            }
+            ChurnEnclave ce;
+            ce.handle = h.value();
+            /* The channel is the interesting part: its ring grant and
+             * page-table entries are what ChurnDestroy must unwind
+             * precisely. Not attached to the auditor/injector --
+             * unlike workload channels it does not outlive the op
+             * sequence. */
+            auto ch = sys->connect(driver, ce.handle);
+            if (!ch.isOk()) {
+                sys->destroyEnclave(ce.handle);
+                rec.code = errorCodeName(ch.code());
+                break;
+            }
+            ce.channel = std::move(ch.value());
+            churn[op.enclave].push_back(std::move(ce));
+            rec.code = "Ok";
+            ByteWriter w;
+            w.putU64(churn[op.enclave].size());
+            rec.output = w.take();
+            break;
+          }
+          case OpKind::ChurnDestroy: {
+            if (op.enclave >= states.size()) {
+                rec.code = "InvalidArgument";
+                rec.tainted = true;
+                break;
+            }
+            auto &list = churn[op.enclave];
+            if (list.empty()) {
+                rec.code = "InvalidState";
+                break;
+            }
+            ChurnEnclave ce = std::move(list.back());
+            list.pop_back();
+            if (ce.channel)
+                ce.channel->close();
+            Status d = sys->destroyEnclave(ce.handle);
+            rec.code = errorCodeName(d.code());
+            if (d.isOk()) {
+                ByteWriter w;
+                w.putU64(list.size());
+                rec.output = w.take();
+            }
+            break;
+          }
           case OpKind::AttackReplay: {
             Bytes args = toBytes("fz-replay-probe");
             uint64_t nonce = ++driver.nonce;
@@ -785,6 +883,13 @@ class Run
             if (dead)
                 dead->close();
         }
+        for (auto &list : churn) {
+            for (ChurnEnclave &ce : list) {
+                if (ce.channel)
+                    ce.channel->close();
+                sys->destroyEnclave(ce.handle);
+            }
+        }
         if (pipe && driver.host != nullptr) {
             /* SharedPipe has no close(); revoke its grant so the
              * auditor's teardown accounting stays clean. Ignore the
@@ -836,6 +941,8 @@ class Run
     std::unique_ptr<inject::FaultInjector> injector;
     AppHandle driver;
     std::vector<EnclaveState> states;
+    /** Live ChurnCreate enclaves, indexed like `states`. */
+    std::vector<std::vector<ChurnEnclave>> churn;
     std::vector<std::unique_ptr<SrpcChannel>> graveyard;
     std::unique_ptr<SharedPipe> pipe;
 

@@ -26,6 +26,8 @@ const OpKindEntry kOpKinds[] = {
     {OpKind::PipeWrite, "pipe_write"},
     {OpKind::PipeRead, "pipe_read"},
     {OpKind::Checkpoint, "checkpoint"},
+    {OpKind::ChurnCreate, "churn_create"},
+    {OpKind::ChurnDestroy, "churn_destroy"},
     {OpKind::AttackReplay, "attack_replay"},
     {OpKind::AttackTamperArgs, "attack_tamper_args"},
     {OpKind::AttackUndeclaredCall, "attack_undeclared_call"},
@@ -81,6 +83,8 @@ opTargetsEnclave(OpKind k)
       case OpKind::GpuReadback:
       case OpKind::NpuWrite:
       case OpKind::NpuReadback:
+      case OpKind::ChurnCreate:
+      case OpKind::ChurnDestroy:
       case OpKind::AttackSmemTamper:
         return true;
       default:
@@ -218,8 +222,11 @@ generateScenario(uint64_t seed)
         menu.push_back({OpKind::NpuWrite, 3});
         menu.push_back({OpKind::NpuReadback, 3});
     }
-    if (!s.enclaves.empty())
+    if (!s.enclaves.empty()) {
+        menu.push_back({OpKind::ChurnCreate, 2});
+        menu.push_back({OpKind::ChurnDestroy, 2});
         menu.push_back({OpKind::AttackSmemTamper, 1});
+    }
     if (s.withPipe) {
         menu.push_back({OpKind::PipeWrite, 2});
         menu.push_back({OpKind::PipeRead, 2});
@@ -282,6 +289,8 @@ generateScenario(uint64_t seed)
           case OpKind::PipeRead:
             op.a = 8 + rng.nextBelow(120);
             break;
+          case OpKind::ChurnCreate:
+          case OpKind::ChurnDestroy:
           case OpKind::AttackSmemTamper:
             op.enclave = static_cast<uint32_t>(
                 rng.nextBelow(s.enclaves.size()));

@@ -43,6 +43,10 @@ enum class OpKind : uint32_t
     PipeWrite,      ///< driver writes chunk (len a, seed b) to pipe
     PipeRead,       ///< reader drains up to a bytes (snapshotted)
     Checkpoint,     ///< sealed checkpoint of the driver enclave
+    /* -- lifecycle churn (create/destroy under load; stresses grant
+     *    accounting and TLB shootdown on the target's partition) -- */
+    ChurnCreate,    ///< ephemeral enclave + channel beside enclave a
+    ChurnDestroy,   ///< close + destroy the newest churn enclave
     /* -- attack ops (sampled from the §III-B threat model; each
      *    must be *blocked* or the security oracle fails) -- */
     AttackReplay,         ///< replay a recorded authenticated mECall

@@ -18,13 +18,20 @@ MetricsRegistry::key(const std::string &name,
 {
     if (labels.empty())
         return name;
-    MetricLabels sorted(labels);
-    std::sort(sorted.begin(), sorted.end());
+    /* Dedupe duplicate label names, last occurrence wins, *before*
+     * canonical ordering: sorting alone would make {a=1,a=2} and
+     * {a=2,a=1} collapse to the same key and silently alias two
+     * distinct instruments. The map also yields the sorted order. */
+    std::map<std::string, std::string> canonical;
+    for (const auto &[k, v] : labels)
+        canonical[k] = v;
     std::string out = name + "{";
-    for (size_t i = 0; i < sorted.size(); ++i) {
-        if (i)
+    bool first = true;
+    for (const auto &[k, v] : canonical) {
+        if (!first)
             out += ",";
-        out += sorted[i].first + "=" + sorted[i].second;
+        first = false;
+        out += k + "=" + v;
     }
     out += "}";
     return out;
@@ -106,10 +113,13 @@ MetricsRegistry::snapshot() const
                 d["min"] = inst.distribution.min();
                 d["max"] = inst.distribution.max();
                 d["mean"] = inst.distribution.mean();
-                d["p50"] = inst.distribution.percentile(0.50);
-                d["p99"] = inst.distribution.percentile(0.99);
-                d["p999"] = inst.distribution.percentile(0.999);
             }
+            /* Percentiles are always present (0 on an empty
+             * distribution) so dashboards can chart them without a
+             * per-instrument existence check. */
+            d["p50"] = inst.distribution.percentile(0.50);
+            d["p99"] = inst.distribution.percentile(0.99);
+            d["p999"] = inst.distribution.percentile(0.999);
             distributions[k] = JsonValue(std::move(d));
             break;
           }

@@ -99,7 +99,9 @@ class MetricsRegistry
         }
     };
 
-    /** "name{k1=v1,k2=v2}" with labels sorted by key. */
+    /** "name{k1=v1,k2=v2}" with labels sorted by key; duplicate
+     *  label names are deduped (last occurrence wins) so permuted
+     *  duplicates cannot alias distinct instruments. */
     static std::string key(const std::string &name,
                            const MetricLabels &labels);
 

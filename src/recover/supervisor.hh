@@ -44,9 +44,14 @@ struct SupervisorConfig
 {
     /** Restarts allowed per partition before quarantine. */
     uint32_t restartBudget = 3;
-    /** Backoff before the Nth restart: base * factor^(N-1). */
+    /** Backoff before the Nth restart: base * factor^(N-1),
+     *  clamped to backoffMaxNs. */
     SimTime backoffBaseNs = 20 * kNsPerMs;
     uint32_t backoffFactor = 2;
+    /** Ceiling on the exponential backoff: without it, a large
+     *  restart budget (or a hand-tuned factor) overflows SimTime
+     *  after ~64 doublings and schedules deadlines in the past. */
+    SimTime backoffMaxNs = 10 * kNsPerSec;
     /** Hang-poll cadence for watches with hang detection. */
     SimTime pollPeriodNs = 50 * kNsPerMs;
 };

@@ -72,7 +72,7 @@ Spm::createPartition(const MosImage &image,
 
     uint64_t bytes = hw::pageAlignUp(mem_bytes);
     hw::Platform &plat = sm.platform();
-    if (nextSecureAlloc + bytes >
+    if (nextSecureAlloc + bytes + storeResident >
         plat.secureBase() + plat.secureSize())
         return Status(ErrorCode::ResourceExhausted,
                       "secure memory exhausted");
@@ -103,6 +103,28 @@ Spm::createPartition(const MosImage &image,
      * boot (born hung) is caught within one poll interval. */
     lastHeartbeat[pid] = 0;
     return pid;
+}
+
+Status
+Spm::reserveStoreBytes(uint64_t bytes)
+{
+    hw::Platform &plat = sm.platform();
+    if (nextSecureAlloc + storeResident + bytes >
+        plat.secureBase() + plat.secureSize())
+        return Status(ErrorCode::ResourceExhausted,
+                      "secure memory exhausted (module store)");
+    storeResident += bytes;
+    stats.counter("store_bytes_reserved").inc(bytes);
+    return Status::ok();
+}
+
+void
+Spm::releaseStoreBytes(uint64_t bytes)
+{
+    CRONUS_ASSERT(bytes <= storeResident,
+                  "module-store release exceeds reservation");
+    storeResident -= bytes;
+    stats.counter("store_bytes_released").inc(bytes);
 }
 
 Status

@@ -234,6 +234,23 @@ class Spm
     Result<const ShareGrant *> grant(uint64_t grant_id) const;
     std::vector<uint64_t> grantsOf(PartitionId pid) const;
 
+    /* ---------------- module-store residency ---------------- */
+
+    /**
+     * Reserve @p bytes of SPM-resident storage for the enclave
+     * module store (measured module images cached across creates).
+     * The reservation is carved from the secure-memory pool that
+     * also backs partitions, so a store cannot starve partition
+     * creation silently -- the usual ResourceExhausted surfaces.
+     */
+    Status reserveStoreBytes(uint64_t bytes);
+
+    /** Return a reservation made by reserveStoreBytes. */
+    void releaseStoreBytes(uint64_t bytes);
+
+    /** Bytes currently reserved for module-store residency. */
+    uint64_t storeBytesResident() const { return storeResident; }
+
     /* ---------------- fault signals ---------------- */
 
     using TrapHandler = std::function<void(const TrapSignal &)>;
@@ -304,6 +321,7 @@ class Spm
     PartitionId nextPid = 1;
     uint64_t nextGrant = 1;
     PhysAddr nextSecureAlloc;
+    uint64_t storeResident = 0;
     StatGroup stats;
     TrapHandler trapHandler;
     AccessHook accessHook;

@@ -58,7 +58,23 @@ TEST(StatsTest, DistributionEmptyPanics)
 {
     Distribution d;
     EXPECT_THROW(d.mean(), PanicError);
-    EXPECT_THROW(d.percentile(0.5), PanicError);
+    EXPECT_THROW(d.min(), PanicError);
+    EXPECT_THROW(d.max(), PanicError);
+}
+
+TEST(StatsTest, DistributionEmptyPercentileIsZero)
+{
+    /* Every percentile of an empty distribution is defined as 0 so
+     * snapshot paths need no caller-side emptiness guard; the
+     * definition must survive a reset back to empty. */
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 0.0);
+    d.sample(7.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 7.0);
+    d.reset();
+    EXPECT_DOUBLE_EQ(d.percentile(0.999), 0.0);
 }
 
 TEST(StatsTest, ThroughputSeriesBuckets)

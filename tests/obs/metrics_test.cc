@@ -96,13 +96,48 @@ TEST(MetricsTest, SnapshotRendersAllKindsAndSources)
     EXPECT_EQ(reg.collisions(), 0u);
 }
 
-TEST(MetricsTest, EmptyDistributionSnapshotsWithoutPercentiles)
+TEST(MetricsTest, EmptyDistributionSnapshotsZeroPercentiles)
 {
+    /* count=0 still renders p50/p99/p999 (as 0) so dashboards can
+     * chart percentiles without a per-instrument existence check;
+     * min/max/mean stay omitted -- they have no zero convention. */
     MetricsRegistry reg;
     reg.distribution("empty");
     JsonValue snap = reg.snapshot();
     EXPECT_EQ(snap["distributions"]["empty"]["count"].asInt(), 0);
-    EXPECT_FALSE(snap["distributions"]["empty"].has("p50"));
+    EXPECT_FALSE(snap["distributions"]["empty"].has("min"));
+    EXPECT_FALSE(snap["distributions"]["empty"].has("mean"));
+    EXPECT_DOUBLE_EQ(snap["distributions"]["empty"]["p50"].asDouble(),
+                     0.0);
+    EXPECT_DOUBLE_EQ(snap["distributions"]["empty"]["p99"].asDouble(),
+                     0.0);
+    EXPECT_DOUBLE_EQ(
+        snap["distributions"]["empty"]["p999"].asDouble(), 0.0);
+}
+
+TEST(MetricsTest, DuplicateLabelNamesCannotAliasInstruments)
+{
+    /* Permuted duplicate label names used to build the raw keys
+     * "m{a=1,a=2}" and "m{a=2,a=1}" -- two spellings, two
+     * instruments, for what sorting alone would then collapse into
+     * one key. Dedupe (last occurrence wins) makes both resolve to
+     * the single instrument "m{a=2}" / "m{a=1}" respectively. */
+    MetricsRegistry reg;
+    Counter &last_two_a = reg.counter("m", {{"a", "1"}, {"a", "2"}});
+    Counter &plain_two = reg.counter("m", {{"a", "2"}});
+    EXPECT_EQ(&last_two_a, &plain_two);
+
+    Counter &last_one_a = reg.counter("m", {{"a", "2"}, {"a", "1"}});
+    Counter &plain_one = reg.counter("m", {{"a", "1"}});
+    EXPECT_EQ(&last_one_a, &plain_one);
+
+    EXPECT_NE(&plain_two, &plain_one);
+    EXPECT_EQ(reg.instrumentCount(), 2u);
+
+    last_two_a.inc(5);
+    last_one_a.inc(9);
+    EXPECT_EQ(plain_two.value(), 5u);
+    EXPECT_EQ(plain_one.value(), 9u);
 }
 
 TEST(MetricsTest, GlobalRegistryIsOneInstance)

@@ -6,6 +6,8 @@
  * born-hung detection through the seeded heartbeat table.
  */
 
+#include <limits>
+
 #include "../core/test_fixtures.hh"
 #include "recover/supervisor.hh"
 
@@ -45,6 +47,57 @@ TEST(SupervisorTest, BackoffScheduleIsExponentialAndDeterministic)
     EXPECT_EQ(sup_a.backoffDelay(3), 90 * kNsPerMs);
     for (uint32_t n = 1; n <= 5; ++n)
         EXPECT_EQ(sup_a.backoffDelay(n), sup_b.backoffDelay(n));
+}
+
+TEST(SupervisorTest, BackoffClampsAtCeilingWithoutOverflow)
+{
+    auto sys = makeTwoGpuSystem();
+    SupervisorConfig cfg;
+    cfg.backoffBaseNs = 20 * kNsPerMs;
+    cfg.backoffFactor = 2;
+    cfg.backoffMaxNs = 10 * kNsPerSec;
+    Supervisor sup(*sys, cfg);
+
+    /* Within the default restart budget the schedule is untouched. */
+    EXPECT_EQ(sup.backoffDelay(1), 20 * kNsPerMs);
+    EXPECT_EQ(sup.backoffDelay(2), 40 * kNsPerMs);
+    EXPECT_EQ(sup.backoffDelay(3), 80 * kNsPerMs);
+
+    /* 20ms * 2^9 = 10.24s crosses the 10s ceiling at restart 10;
+     * from there on the delay pins to the ceiling exactly. */
+    EXPECT_EQ(sup.backoffDelay(9), 20 * kNsPerMs << 8);
+    EXPECT_EQ(sup.backoffDelay(10), cfg.backoffMaxNs);
+    EXPECT_EQ(sup.backoffDelay(11), cfg.backoffMaxNs);
+
+    /* Unclamped, restart 100 would need 20ms * 2^99 -- far past
+     * SimTime's 64-bit range. The clamp must short-circuit before
+     * the multiply wraps instead of returning a wrapped value. */
+    EXPECT_EQ(sup.backoffDelay(64), cfg.backoffMaxNs);
+    EXPECT_EQ(sup.backoffDelay(100), cfg.backoffMaxNs);
+    EXPECT_EQ(sup.backoffDelay(std::numeric_limits<uint32_t>::max()),
+              cfg.backoffMaxNs);
+}
+
+TEST(SupervisorTest, BackoffClampDegenerateConfigs)
+{
+    auto sys = makeTwoGpuSystem();
+
+    /* A base above the ceiling clamps immediately. */
+    SupervisorConfig high;
+    high.backoffBaseNs = 30 * kNsPerSec;
+    high.backoffMaxNs = 10 * kNsPerSec;
+    Supervisor sup_high(*sys, high);
+    EXPECT_EQ(sup_high.backoffDelay(1), high.backoffMaxNs);
+    EXPECT_EQ(sup_high.backoffDelay(50), high.backoffMaxNs);
+
+    /* Factor < 2 means no growth: constant base, never past max,
+     * and no division-by-zero inside the clamp arithmetic. */
+    SupervisorConfig flat;
+    flat.backoffBaseNs = 20 * kNsPerMs;
+    flat.backoffFactor = 0;
+    Supervisor sup_flat(*sys, flat);
+    EXPECT_EQ(sup_flat.backoffDelay(1), 20 * kNsPerMs);
+    EXPECT_EQ(sup_flat.backoffDelay(40), 20 * kNsPerMs);
 }
 
 TEST(SupervisorTest, StagedRecoveryBringsPartitionBack)
