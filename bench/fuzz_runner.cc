@@ -8,6 +8,13 @@
  *   fuzz_runner --replay FILE       re-run a scenario or trace JSON
  *   fuzz_runner --plant-bug         enable the test-only planted bug
  *   fuzz_runner --no-shrink         skip minimization on failure
+ *   fuzz_runner --diff-backends     replay N coverage-scheduled
+ *                                   seeds on both isolation
+ *                                   substrates (tz and pmp) and
+ *                                   flag any verdict divergence
+ *   fuzz_runner --scheduled         use coverage-guided seed
+ *                                   scheduling for the oracle corpus
+ *                                   instead of the sequential walk
  *
  * On any oracle failure it prints the seed, the failure list, the
  * full decision trace and (unless --no-shrink) the greedily
@@ -27,6 +34,7 @@
 #include <string>
 
 #include "fuzz/fuzz.hh"
+#include "fuzz/scheduler.hh"
 #include "obs/trace.hh"
 
 using namespace cronus;
@@ -102,6 +110,60 @@ replayFile(const std::string &path, const FuzzOptions &opts)
     return 0;
 }
 
+/**
+ * Differential substrate mode: coverage-scheduled seeds, each
+ * replayed on the TrustZone and the PMP backend; any field-level
+ * verdict mismatch is a divergence (and an exit-1 failure). Run
+ * results feed behaviour edges back into the scheduler, so the
+ * corpus drifts toward scenarios with novel outcome paths.
+ */
+int
+runDiffBackends(size_t runs)
+{
+    SeedScheduler sched;
+    size_t divergent = 0;
+    for (size_t i = 0; i < runs; ++i) {
+        uint64_t seed = sched.next();
+        Scenario sc = generateScenario(seed);
+        DiffReport rep = diffBackends(sc);
+
+        CoverageSet edges = scenarioEdges(sc);
+        for (const OpRecord &r : rep.tz.records)
+            edges.insert(behaviorEdge(r.kind, r.code, r.blocked));
+        for (const OpRecord &r : rep.pmp.records)
+            edges.insert(behaviorEdge(r.kind, r.code, r.blocked));
+        sched.feedback(seed, edges);
+
+        if (!rep.ok) {
+            ++divergent;
+            std::printf(
+                "DIVERGENCE seed=%llu (%zu field%s differ)\n",
+                static_cast<unsigned long long>(seed),
+                rep.divergences.size(),
+                rep.divergences.size() == 1 ? "" : "s");
+            for (const std::string &d : rep.divergences)
+                std::printf("  %s\n", d.c_str());
+            std::printf("--- scenario ---\n%s\n",
+                        sc.toJson().dump().c_str());
+        }
+        if ((i + 1) % 25 == 0 || i + 1 == runs)
+            std::printf("... %zu/%zu seeds diffed (%zu edges, "
+                        "%zu deduped)\n",
+                        i + 1, runs, sched.edgesCovered(),
+                        sched.deduped());
+    }
+    if (divergent) {
+        std::printf("FAIL %zu/%zu scheduled seeds diverged between "
+                    "backends\n",
+                    divergent, runs);
+        return 1;
+    }
+    std::printf("PASS %zu scheduled seeds, tz and pmp verdicts "
+                "identical\n",
+                runs);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -112,6 +174,8 @@ main(int argc, char **argv)
     bool haveSeed = false;
     size_t runs = 50;
     bool haveRuns = false;
+    bool diffMode = false;
+    bool scheduled = false;
     std::string replayPath;
 
     for (int i = 1; i < argc; ++i) {
@@ -136,17 +200,25 @@ main(int argc, char **argv)
             opts.plantBug = true;
         } else if (arg == "--no-shrink") {
             opts.shrink = false;
+        } else if (arg == "--diff-backends") {
+            diffMode = true;
+        } else if (arg == "--scheduled") {
+            scheduled = true;
         } else {
             std::fprintf(stderr,
                          "usage: fuzz_runner [--seed S] [--runs N] "
                          "[--replay FILE] [--plant-bug] "
-                         "[--no-shrink]\n");
+                         "[--no-shrink] [--diff-backends] "
+                         "[--scheduled]\n");
             return 2;
         }
     }
 
     if (!replayPath.empty())
         return replayFile(replayPath, opts);
+
+    if (diffMode)
+        return runDiffBackends(runs);
 
     if (haveSeed && !haveRuns) {
         FuzzReport rep = fuzzSeed(seed, opts);
@@ -161,7 +233,8 @@ main(int argc, char **argv)
     }
 
     size_t done = 0;
-    for (uint64_t s : defaultCorpus(runs)) {
+    for (uint64_t s :
+         scheduled ? scheduleCorpus(runs) : defaultCorpus(runs)) {
         FuzzReport rep = fuzzSeed(s, opts);
         if (!rep.ok) {
             printFailure(rep);

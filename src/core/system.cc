@@ -87,7 +87,7 @@ CronusSystem::CronusSystem(const CronusConfig &config) : cfg(config)
     Status booted = sm->boot(dt);
     CRONUS_ASSERT(booted.isOk(), "secure boot: " + booted.toString());
 
-    partitionManager = std::make_unique<tee::Spm>(*sm);
+    partitionManager = std::make_unique<tee::Spm>(*sm, cfg.backend);
     nw = std::make_unique<tee::NormalWorld>(*sm, *partitionManager);
 
     /* Module store: opt-in (cache hits change virtual time), and the

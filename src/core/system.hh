@@ -19,6 +19,7 @@
 #include "module_store.hh"
 #include "obs/metrics.hh"
 #include "srpc.hh"
+#include "tee/isolation_backend.hh"
 
 namespace cronus::core
 {
@@ -40,6 +41,13 @@ struct CronusConfig
      * forces the store off even when configured, for ablations.
      */
     uint64_t moduleStoreBytes = 0;
+    /**
+     * Isolation substrate: TrustZone (stage-2 + TZASC) or the
+     * RISC-V PMP backend (§VII-A). Default defers to the
+     * CRONUS_BACKEND=tz|pmp environment toggle; an explicit tz/pmp
+     * here wins over the environment (test parameterization).
+     */
+    tee::BackendSelect backend = tee::BackendSelect::Default;
 };
 
 /**

@@ -256,4 +256,122 @@ defaultCorpus(size_t runs)
     return seeds;
 }
 
+/* ---------------- differential backend oracle ---------------- */
+
+namespace
+{
+
+void
+diverge(DiffReport &rep, const std::string &what,
+        const std::string &tz_val, const std::string &pmp_val)
+{
+    rep.ok = false;
+    rep.divergences.push_back(what + ": tz=" + tz_val +
+                              " pmp=" + pmp_val);
+}
+
+template <typename T>
+void
+diffField(DiffReport &rep, const std::string &what, const T &tz_val,
+          const T &pmp_val)
+{
+    if (tz_val != pmp_val)
+        diverge(rep, what, std::to_string(tz_val),
+                std::to_string(pmp_val));
+}
+
+void
+diffField(DiffReport &rep, const std::string &what,
+          const std::string &tz_val, const std::string &pmp_val)
+{
+    if (tz_val != pmp_val)
+        diverge(rep, what, tz_val, pmp_val);
+}
+
+} // namespace
+
+DiffReport
+diffBackends(const Scenario &sc)
+{
+    DiffReport rep;
+    rep.seed = sc.seed;
+
+    RunOptions opts;
+    opts.withFaults = true;
+    opts.backend = tee::BackendSelect::Tz;
+    rep.tz = runScenario(sc, opts);
+    opts.backend = tee::BackendSelect::Pmp;
+    rep.pmp = runScenario(sc, opts);
+    const RunReport &a = rep.tz;
+    const RunReport &b = rep.pmp;
+
+    diffField(rep, "setup_ok", a.setupOk, b.setupOk);
+    diffField(rep, "setup_error", a.setupError, b.setupError);
+    if (!a.setupOk || !b.setupOk)
+        return rep;
+
+    diffField(rep, "op count", a.records.size(), b.records.size());
+    size_t n = std::min(a.records.size(), b.records.size());
+    for (size_t i = 0; i < n; ++i) {
+        const OpRecord &ra = a.records[i];
+        const OpRecord &rb = b.records[i];
+        std::string tag = opLabel(sc, i);
+        diffField(rep, tag + " code", ra.code, rb.code);
+        diffField(rep, tag + " blocked", ra.blocked, rb.blocked);
+        diffField(rep, tag + " tainted", ra.tainted, rb.tainted);
+        diffField(rep, tag + " time_tainted", ra.timeTainted,
+                  rb.timeTainted);
+        if (ra.output != rb.output)
+            diverge(rep, tag + " output", hexPreview(ra.output),
+                    hexPreview(rb.output));
+        diffField(rep, tag + " dur_ns", ra.durNs, rb.durNs);
+    }
+
+    diffField(rep, "final_drain count", a.finalDrain.size(),
+              b.finalDrain.size());
+    for (size_t i = 0;
+         i < std::min(a.finalDrain.size(), b.finalDrain.size()); ++i)
+        diffField(rep, "final_drain " + std::to_string(i),
+                  a.finalDrain[i], b.finalDrain[i]);
+
+    diffField(rep, "recovery count", a.enclaveRecovery.size(),
+              b.enclaveRecovery.size());
+    for (size_t i = 0; i < std::min(a.enclaveRecovery.size(),
+                                    b.enclaveRecovery.size());
+         ++i)
+        diffField(rep, "recovery " + std::to_string(i),
+                  a.enclaveRecovery[i], b.enclaveRecovery[i]);
+
+    diffField(rep, "enclave_tainted count", a.enclaveTainted.size(),
+              b.enclaveTainted.size());
+    for (size_t i = 0; i < std::min(a.enclaveTainted.size(),
+                                    b.enclaveTainted.size());
+         ++i)
+        diffField(rep, "enclave_tainted " + std::to_string(i),
+                  a.enclaveTainted[i], b.enclaveTainted[i]);
+    diffField(rep, "driver_tainted", a.driverTainted,
+              b.driverTainted);
+    diffField(rep, "pipe_tainted", a.pipeTainted, b.pipeTainted);
+    diffField(rep, "corrupt_fired", a.corruptFired, b.corruptFired);
+
+    diffField(rep, "faults fired", a.faultsFired.size(),
+              b.faultsFired.size());
+    for (size_t i = 0; i < std::min(a.faultsFired.size(),
+                                    b.faultsFired.size());
+         ++i) {
+        std::string tag = "fault " + std::to_string(i);
+        diffField(rep, tag + " event", a.faultsFired[i].eventId,
+                  b.faultsFired[i].eventId);
+        diffField(rep, tag + " seq", a.faultsFired[i].seq,
+                  b.faultsFired[i].seq);
+    }
+
+    diffField(rep, "violations", a.violations.size(),
+              b.violations.size());
+    diffField(rep, "final_check", a.finalCheck, b.finalCheck);
+    diffField(rep, "trap_count", a.trapCount, b.trapCount);
+    diffField(rep, "end_time_ns", a.endTimeNs, b.endTimeNs);
+    return rep;
+}
+
 } // namespace cronus::fuzz

@@ -87,6 +87,29 @@ FuzzReport fuzzSeed(uint64_t seed,
 /** The fixed seed corpus for the `swarm` ctest label. */
 std::vector<uint64_t> defaultCorpus(size_t runs);
 
+/* ---------------- differential backend oracle ---------------- */
+
+/**
+ * One scenario replayed, faults armed, on both isolation substrates
+ * (TrustZone stage-2+TZASC vs. RISC-V PMP). The substrate is a pure
+ * physical filter beneath the stage-2 trap semantics and charges no
+ * virtual time, so the *entire* verdict -- per-op codes, blocked
+ * flags, outputs, durations, taints, drains, recoveries, violations,
+ * trap counts, end time -- must match field for field. Any
+ * difference is a real semantic divergence between the backends.
+ */
+struct DiffReport
+{
+    uint64_t seed = 0;
+    bool ok = true;
+    /** Human-readable field-level mismatches (empty when ok). */
+    std::vector<std::string> divergences;
+    RunReport tz, pmp;
+};
+
+/** Run @p sc on both backends and compare the full verdicts. */
+DiffReport diffBackends(const Scenario &sc);
+
 } // namespace cronus::fuzz
 
 #endif // CRONUS_FUZZ_FUZZ_HH

@@ -194,6 +194,9 @@ referenceRun(const Scenario &sc)
           case OpKind::AttackTamperArgs:
           case OpKind::AttackUndeclaredCall:
           case OpKind::AttackSmemTamper:
+          case OpKind::AttackShootdownToctou:
+          case OpKind::AttackStaleAttestation:
+          case OpKind::AttackSmmuStreamReuse:
             exp.isAttack = true;
             break;
         }

@@ -153,6 +153,8 @@ streamOf(const ScenarioOp &op)
       case OpKind::ChurnCreate:
       case OpKind::ChurnDestroy:
       case OpKind::AttackSmemTamper:
+      case OpKind::AttackShootdownToctou:
+      case OpKind::AttackSmmuStreamReuse:
         return static_cast<int>(op.enclave);
       case OpKind::PipeWrite:
       case OpKind::PipeRead:
@@ -309,6 +311,7 @@ class Run
         CronusConfig cfg;
         cfg.numGpus = sc.numGpus;
         cfg.withNpu = sc.withNpu;
+        cfg.backend = opts.backend;
         sys = std::make_unique<CronusSystem>(cfg);
         auditor.attachSpm(sys->spm());
         supervisor = std::make_unique<recover::Supervisor>(*sys);
@@ -824,6 +827,104 @@ class Run
                 Bytes{0xff, 0xff, 0xff, 0xff});
             rec.code = errorCodeName(w.code());
             rec.blocked = w.code() == ErrorCode::AccessFault;
+            break;
+          }
+          case OpKind::AttackShootdownToctou: {
+            if (op.enclave >= states.size() ||
+                !states[op.enclave].alive ||
+                states[op.enclave].handle.host == nullptr) {
+                rec.code = "InvalidState";
+                rec.tainted = true;
+                break;
+            }
+            auto &spm = sys->spm();
+            tee::PartitionId owner = driver.host->partitionId();
+            tee::PartitionId peer =
+                states[op.enclave].handle.host->partitionId();
+            auto po = spm.partition(owner);
+            if (!po.isOk()) {
+                rec.code = errorCodeName(po.code());
+                rec.tainted = true;
+                break;
+            }
+            /* The driver partition's last page: far above every
+             * heap/ring allocation, so sharing it never aliases live
+             * data. */
+            hw::PhysAddr page = po.value()->memBase +
+                                po.value()->memBytes -
+                                hw::kPageSize;
+            auto gid = spm.sharePages(owner, peer, page, 1);
+            if (!gid.isOk()) {
+                /* Share refused (failed peer, pinned page after an
+                 * unresolved earlier fault) -- the defense under
+                 * test never armed. */
+                rec.code = errorCodeName(gid.code());
+                rec.tainted = true;
+                break;
+            }
+            /* Heat the peer's stage-2 translation: only a precise
+             * shootdown can stop the post-revoke read below. */
+            spm.read(peer, page, 8);
+            spm.read(peer, page, 8);
+            Status revoked = spm.revokeGrant(gid.value(), owner);
+            auto stale = spm.read(peer, page, 8);
+            rec.code = errorCodeName(stale.code());
+            rec.blocked = revoked.isOk() &&
+                          stale.code() == ErrorCode::AccessFault;
+            if (!revoked.isOk()) {
+                /* The peer died mid-op (injected kill): resolve the
+                 * owner-side pending trap so the grant retires and
+                 * the auditor's accounting stays balanced. */
+                spm.read(owner, page, 8);
+            }
+            break;
+          }
+          case OpKind::AttackStaleAttestation: {
+            Bytes stale_challenge = chunkBytes(32, op.a);
+            Bytes fresh_challenge =
+                chunkBytes(32, op.a ^ 0x517cc1b727220a95ULL);
+            auto report = sys->attest(driver, stale_challenge);
+            if (!report.isOk()) {
+                rec.code = errorCodeName(report.code());
+                rec.tainted = true;
+                break;
+            }
+            /* The verifier expects a report bound to its *fresh*
+             * challenge; the replayed stale-challenge report must
+             * fail freshness, not just signature checks. */
+            ClientExpectation expect = sys->expectationFor(driver);
+            expect.challenge = fresh_challenge;
+            Status v = verifyAttestation(report.value(), expect);
+            rec.code = errorCodeName(v.code());
+            rec.blocked = v.code() == ErrorCode::AuthFailed;
+            break;
+          }
+          case OpKind::AttackSmmuStreamReuse: {
+            if (op.enclave >= states.size() ||
+                driver.host == nullptr) {
+                rec.code = "InvalidState";
+                rec.tainted = true;
+                break;
+            }
+            hw::Device *dev = sys->platform().findDevice(
+                states[op.enclave].plan.deviceName);
+            auto victim =
+                sys->spm().partition(driver.host->partitionId());
+            if (dev == nullptr || !victim.isOk()) {
+                rec.code = "NotFound";
+                rec.tainted = true;
+                break;
+            }
+            /* Force the deputy's stream table into existence --
+             * translation is then mandatory even for an idle device
+             * (no pass-through hole) -- and aim its DMA at the
+             * driver partition's memory. */
+            sys->platform().smmu().streamTable(dev->streamId());
+            uint8_t probe[16] = {};
+            Status s = sys->platform().dmaRead(
+                *dev, victim.value()->memBase, probe, sizeof(probe));
+            rec.code = errorCodeName(s.code());
+            rec.blocked = s.code() == ErrorCode::AccessFault;
             break;
           }
         }

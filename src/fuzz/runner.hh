@@ -29,6 +29,7 @@
 #include "inject/injector.hh"
 #include "inject/invariant_auditor.hh"
 #include "scenario.hh"
+#include "tee/isolation_backend.hh"
 
 namespace cronus::fuzz
 {
@@ -38,6 +39,10 @@ struct RunOptions
     /** Arm the scenario's fault schedule (the oracle harness also
      *  runs each scenario fault-free as the isolation baseline). */
     bool withFaults = true;
+    /** Isolation substrate the run's machine is built on. Explicit
+     *  (not Default) in differential mode so the CRONUS_BACKEND
+     *  environment cannot skew one side of the comparison. */
+    tee::BackendSelect backend = tee::BackendSelect::Default;
     /**
      * Test-only planted bug: GpuVecAdd launches a fill of the output
      * buffer instead of the add. The reference oracle must catch

@@ -32,6 +32,9 @@ const OpKindEntry kOpKinds[] = {
     {OpKind::AttackTamperArgs, "attack_tamper_args"},
     {OpKind::AttackUndeclaredCall, "attack_undeclared_call"},
     {OpKind::AttackSmemTamper, "attack_smem_tamper"},
+    {OpKind::AttackShootdownToctou, "attack_shootdown_toctou"},
+    {OpKind::AttackStaleAttestation, "attack_stale_attestation"},
+    {OpKind::AttackSmmuStreamReuse, "attack_smmu_stream_reuse"},
 };
 
 const char *
@@ -86,6 +89,8 @@ opTargetsEnclave(OpKind k)
       case OpKind::ChurnCreate:
       case OpKind::ChurnDestroy:
       case OpKind::AttackSmemTamper:
+      case OpKind::AttackShootdownToctou:
+      case OpKind::AttackSmmuStreamReuse:
         return true;
       default:
         return false;
@@ -210,6 +215,7 @@ generateScenario(uint64_t seed)
         {OpKind::AttackReplay, 1},
         {OpKind::AttackTamperArgs, 1},
         {OpKind::AttackUndeclaredCall, 1},
+        {OpKind::AttackStaleAttestation, 1},
     };
     if (!gpus.empty()) {
         menu.push_back({OpKind::GpuFill, 5});
@@ -226,6 +232,8 @@ generateScenario(uint64_t seed)
         menu.push_back({OpKind::ChurnCreate, 2});
         menu.push_back({OpKind::ChurnDestroy, 2});
         menu.push_back({OpKind::AttackSmemTamper, 1});
+        menu.push_back({OpKind::AttackShootdownToctou, 1});
+        menu.push_back({OpKind::AttackSmmuStreamReuse, 1});
     }
     if (s.withPipe) {
         menu.push_back({OpKind::PipeWrite, 2});
@@ -292,8 +300,13 @@ generateScenario(uint64_t seed)
           case OpKind::ChurnCreate:
           case OpKind::ChurnDestroy:
           case OpKind::AttackSmemTamper:
+          case OpKind::AttackShootdownToctou:
+          case OpKind::AttackSmmuStreamReuse:
             op.enclave = static_cast<uint32_t>(
                 rng.nextBelow(s.enclaves.size()));
+            break;
+          case OpKind::AttackStaleAttestation:
+            op.a = 1 + rng.nextBelow(1u << 20);  /* challenge seed */
             break;
           case OpKind::Checkpoint:
           case OpKind::AttackReplay:

@@ -53,6 +53,16 @@ enum class OpKind : uint32_t
     AttackTamperArgs,     ///< modified args under a stale tag
     AttackUndeclaredCall, ///< mECall outside the manifest
     AttackSmemTamper,     ///< normal world pokes enclave a's ring
+    /** TLB-shootdown TOCTOU: share a driver page with enclave a's
+     *  partition, heat the peer's translation, revoke, then race a
+     *  stale read through the (hopefully dead) hot entry. */
+    AttackShootdownToctou,
+    /** Replay a report attested under an old challenge against a
+     *  verifier expecting a fresh one (challenge seed in `a`). */
+    AttackStaleAttestation,
+    /** Confused deputy: reuse enclave a's device DMA stream to aim
+     *  a transfer at a foreign partition's memory. */
+    AttackSmmuStreamReuse,
 };
 
 const char *opKindName(OpKind k);

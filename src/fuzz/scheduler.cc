@@ -1,0 +1,204 @@
+#include "scheduler.hh"
+
+#include <string>
+
+namespace cronus::fuzz
+{
+
+namespace
+{
+
+/* splitmix64: the standard 64-bit finalizer; good avalanche, cheap,
+ * and stable across platforms (no libstdc++ hash dependency). */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+combine(uint64_t h, uint64_t v)
+{
+    return mix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) +
+                      (h >> 2)));
+}
+
+uint64_t
+combineStr(uint64_t h, const std::string &s)
+{
+    for (unsigned char c : s)
+        h = combine(h, c);
+    return combine(h, 0x5f5f);  /* terminator: "ab"+"c" != "a"+"bc" */
+}
+
+/* Edge-space tags keep the edge families disjoint. */
+constexpr uint64_t kTagShape = 0x01;
+constexpr uint64_t kTagEnclave = 0x02;
+constexpr uint64_t kTagFault = 0x03;
+constexpr uint64_t kTagBigram = 0x04;
+constexpr uint64_t kTagFaultOp = 0x05;
+constexpr uint64_t kTagPipeOp = 0x06;
+constexpr uint64_t kTagBehavior = 0x07;
+
+} // namespace
+
+CoverageSet
+scenarioEdges(const Scenario &sc)
+{
+    CoverageSet edges;
+
+    /* Machine shape: gpus x npu x pipe presence. */
+    uint64_t shape = combine(kTagShape, sc.numGpus);
+    shape = combine(shape, sc.withNpu ? 1 : 0);
+    shape = combine(shape, sc.withPipe ? 1 : 0);
+    edges.insert(shape);
+
+    /* Enclave plans: device type x buffer size x ring geometry. */
+    for (const EnclavePlan &e : sc.enclaves) {
+        uint64_t h = combineStr(kTagEnclave, e.deviceType);
+        h = combine(h, e.elems);
+        h = combine(h, e.slots);
+        h = combine(h, e.slotBytes);
+        edges.insert(h);
+    }
+
+    /* Fault kinds present, and fault kind x op kind of the op list
+     * (which workloads run under which perturbation). */
+    for (const FaultSpec &f : sc.faults) {
+        edges.insert(
+            combine(kTagFault, static_cast<uint64_t>(f.kind)));
+        for (const ScenarioOp &op : sc.ops) {
+            uint64_t h =
+                combine(kTagFaultOp, static_cast<uint64_t>(f.kind));
+            edges.insert(
+                combine(h, static_cast<uint64_t>(op.kind)));
+        }
+    }
+
+    /* Op-kind bigrams: adjacency is what shakes out ordering bugs
+     * (e.g. revoke-then-read, kill-then-checkpoint). The entry edge
+     * (~0 -> first op) counts too. */
+    uint64_t prev = ~0ULL;
+    for (const ScenarioOp &op : sc.ops) {
+        uint64_t h = combine(kTagBigram, prev);
+        edges.insert(combine(h, static_cast<uint64_t>(op.kind)));
+        prev = static_cast<uint64_t>(op.kind);
+        if (sc.withPipe) {
+            edges.insert(combine(kTagPipeOp,
+                                 static_cast<uint64_t>(op.kind)));
+        }
+    }
+    return edges;
+}
+
+uint64_t
+behaviorEdge(OpKind kind, const std::string &code, bool blocked)
+{
+    uint64_t h = combine(kTagBehavior, static_cast<uint64_t>(kind));
+    h = combineStr(h, code);
+    return combine(h, blocked ? 1 : 0);
+}
+
+uint64_t
+scenarioFingerprint(const Scenario &sc)
+{
+    uint64_t h = 0x0c59d1f05c5c9d6bULL;  /* fingerprint domain */
+    h = combine(h, sc.numGpus);
+    h = combine(h, sc.withNpu ? 1 : 0);
+    h = combine(h, sc.withPipe ? 1 : 0);
+    h = combine(h, sc.pipeEnclave);
+    h = combine(h, sc.pipeCapacity);
+    for (const EnclavePlan &e : sc.enclaves) {
+        h = combineStr(h, e.deviceType);
+        h = combineStr(h, e.deviceName);
+        h = combine(h, e.elems);
+        h = combine(h, e.slots);
+        h = combine(h, e.slotBytes);
+    }
+    for (const FaultSpec &f : sc.faults) {
+        h = combine(h, static_cast<uint64_t>(f.kind));
+        h = combine(h, f.nth);
+        h = combineStr(h, f.victim);
+        h = combine(h, f.channel);
+        h = combineStr(h, f.field);
+        h = combine(h, f.value);
+        h = combine(h, static_cast<uint64_t>(f.skewNs));
+    }
+    for (const ScenarioOp &op : sc.ops) {
+        h = combine(h, static_cast<uint64_t>(op.kind));
+        h = combine(h, op.enclave);
+        h = combine(h, op.a);
+        h = combine(h, op.b);
+        h = combine(h, op.c);
+    }
+    return h;
+}
+
+SeedScheduler::SeedScheduler(SchedulerOptions options)
+    : opts(options), nextSequential(options.baseSeed)
+{
+}
+
+uint64_t
+SeedScheduler::childSeed(uint64_t parent, uint32_t k)
+{
+    /* Child seeds live far from the sequential frontier, so mutation
+     * lineages and the 1..N walk never collide in practice. */
+    return mix64(combine(parent, 0xc87d0a5391e4f26dULL + k));
+}
+
+uint64_t
+SeedScheduler::next()
+{
+    for (uint32_t skips = 0;; ++skips) {
+        uint64_t seed;
+        if (!pending.empty()) {
+            seed = pending.front();
+            pending.pop_front();
+        } else {
+            seed = nextSequential++;
+        }
+        if (!seenSeeds.insert(seed).second)
+            continue;  /* a child collided with the frontier */
+        if (skips < opts.maxSkipsPerNext) {
+            uint64_t fp = scenarioFingerprint(generateScenario(seed));
+            if (!seenFingerprints.insert(fp).second) {
+                ++dedupSkips;
+                continue;
+            }
+        }
+        ++issued;
+        return seed;
+    }
+}
+
+void
+SeedScheduler::feedback(uint64_t seed, const CoverageSet &edges)
+{
+    bool interesting = false;
+    for (uint64_t e : edges)
+        interesting |= covered.insert(e).second;
+    if (!interesting)
+        return;
+    for (uint32_t k = 0; k < opts.childrenPerParent; ++k)
+        pending.push_back(childSeed(seed, k));
+}
+
+std::vector<uint64_t>
+scheduleCorpus(size_t count, SchedulerOptions options)
+{
+    SeedScheduler sched(options);
+    std::vector<uint64_t> seeds;
+    seeds.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        uint64_t seed = sched.next();
+        sched.feedback(seed, scenarioEdges(generateScenario(seed)));
+        seeds.push_back(seed);
+    }
+    return seeds;
+}
+
+} // namespace cronus::fuzz

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Coverage-guided seed scheduling for the scenario fuzzer.
+ *
+ * The plain swarm corpus (`defaultCorpus`) walks seeds 1..N with no
+ * feedback: two seeds that expand to near-identical scenarios both
+ * burn a full differential run. The scheduler replaces that with a
+ * deterministic evolutionary loop over *seed space*:
+ *
+ *   - every scenario is abstracted into a set of grammar edges
+ *     (op-kind bigrams, fault x op-kind pairs, machine shape,
+ *     channel geometry) -- `scenarioEdges` -- plus, when the caller
+ *     feeds run results back, behaviour edges (op-kind x result
+ *     code) -- `runEdges`;
+ *   - a seed whose scenario or run covered edges never seen before
+ *     is *interesting*: it spawns child seeds (a deterministic hash
+ *     mix of the parent), queued ahead of the sequential frontier;
+ *   - seeds whose scenario duplicates an already-scheduled structure
+ *     (identical normalized fingerprint) are skipped entirely.
+ *
+ * Everything is a pure function of (options, feedback sequence): no
+ * wall clock, no global RNG. Replaying the same loop yields the same
+ * seed schedule, so a CI failure on "scheduled seed #137" reproduces
+ * locally, and `fuzz_runner --diff-backends` can log just the seed.
+ */
+
+#ifndef CRONUS_FUZZ_SCHEDULER_HH
+#define CRONUS_FUZZ_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "scenario.hh"
+
+namespace cronus::fuzz
+{
+
+/** Hashed coverage edge ids (grammar or behaviour). */
+using CoverageSet = std::set<uint64_t>;
+
+/** Static grammar edges of @p sc (no run needed). */
+CoverageSet scenarioEdges(const Scenario &sc);
+
+/**
+ * Behaviour edges of one executed op: (kind, result code, blocked).
+ * Fold into the feedback set alongside scenarioEdges to steer the
+ * schedule toward seeds that exercise new outcome paths.
+ */
+uint64_t behaviorEdge(OpKind kind, const std::string &code,
+                      bool blocked);
+
+/**
+ * Structural fingerprint of @p sc, independent of the seed that
+ * generated it: machine shape, enclave plans, fault schedule and op
+ * list. Two seeds expanding to the same structure dedup to one run.
+ */
+uint64_t scenarioFingerprint(const Scenario &sc);
+
+struct SchedulerOptions
+{
+    /** First sequential seed (the fallback frontier walks up from
+     *  here when no interesting parent has pending children). */
+    uint64_t baseSeed = 1;
+    /** Children spawned per interesting seed. */
+    uint32_t childrenPerParent = 3;
+    /** Cap on dedup-skipped candidates per next() call, so a
+     *  degenerate corpus cannot stall the schedule. */
+    uint32_t maxSkipsPerNext = 64;
+};
+
+/**
+ * Deterministic corpus evolution. Usage:
+ *
+ *   SeedScheduler sched;
+ *   for (...) {
+ *       uint64_t seed = sched.next();
+ *       Scenario sc = generateScenario(seed);
+ *       ... run sc ...
+ *       CoverageSet edges = scenarioEdges(sc);
+ *       ... add behaviorEdge(...) per executed op ...
+ *       sched.feedback(seed, edges);
+ *   }
+ */
+class SeedScheduler
+{
+  public:
+    explicit SeedScheduler(SchedulerOptions options = {});
+
+    /** Next seed to run: pending children first (FIFO), then the
+     *  sequential frontier. Skips seeds whose scenario duplicates an
+     *  already-scheduled fingerprint. */
+    uint64_t next();
+
+    /** Report the edges covered by @p seed's run. A seed that
+     *  covered anything new spawns childrenPerParent children. */
+    void feedback(uint64_t seed, const CoverageSet &edges);
+
+    /** Deterministic k-th child of @p parent (exposed for tests and
+     *  for replaying a schedule without a scheduler instance). */
+    static uint64_t childSeed(uint64_t parent, uint32_t k);
+
+    size_t edgesCovered() const { return covered.size(); }
+    size_t scheduled() const { return issued; }
+    size_t deduped() const { return dedupSkips; }
+
+  private:
+    SchedulerOptions opts;
+    std::deque<uint64_t> pending;  ///< children awaiting their turn
+    std::set<uint64_t> seenSeeds;
+    std::set<uint64_t> seenFingerprints;
+    CoverageSet covered;
+    uint64_t nextSequential;
+    size_t issued = 0;
+    size_t dedupSkips = 0;
+};
+
+/**
+ * Run the evolution loop with static grammar coverage as the only
+ * feedback and return the first @p count scheduled seeds -- the
+ * drop-in replacement for defaultCorpus when no run results are
+ * available up front.
+ */
+std::vector<uint64_t> scheduleCorpus(size_t count,
+                                     SchedulerOptions options = {});
+
+} // namespace cronus::fuzz
+
+#endif // CRONUS_FUZZ_SCHEDULER_HH

@@ -36,11 +36,9 @@ Status
 Platform::busRead(World from, PhysAddr addr, uint8_t *out,
                   uint64_t len)
 {
-    Status s = addressController.checkAccess(addr, len, from);
-    if (!s.isOk()) {
-        statGroup.counter("tzasc_faults").inc();
+    Status s = classifyAccess(from, addr, len, false);
+    if (!s.isOk())
         return s;
-    }
     if (busObserver)
         busObserver(from, addr, len, false);
     bytesCopied->inc(len);
@@ -51,11 +49,9 @@ Status
 Platform::busWrite(World from, PhysAddr addr, const uint8_t *data,
                    uint64_t len)
 {
-    Status s = addressController.checkAccess(addr, len, from);
-    if (!s.isOk()) {
-        statGroup.counter("tzasc_faults").inc();
+    Status s = classifyAccess(from, addr, len, true);
+    if (!s.isOk())
         return s;
-    }
     if (busObserver)
         busObserver(from, addr, len, true);
     bytesCopied->inc(len);
@@ -71,9 +67,8 @@ Platform::busBorrow(World from, PhysAddr addr, uint64_t len,
     uint64_t off = addr & (kPageSize - 1);
     if (len == 0 || off + len > kPageSize)
         return MemSpan{};
-    Status s = addressController.checkAccess(addr, len, from);
+    Status s = classifyAccess(from, addr, len, is_write);
     if (!s.isOk()) {
-        statGroup.counter("tzasc_faults").inc();
         if (fault)
             *fault = s;
         return MemSpan{};
@@ -135,11 +130,9 @@ Platform::dmaRead(const Device &dev, PhysAddr addr, uint8_t *out,
         return Status(ErrorCode::AccessFault,
                       "secure-bus DMA outside secure memory");
     }
-    Status s = addressController.checkAccess(addr, len, dev_world);
-    if (!s.isOk()) {
-        statGroup.counter("tzasc_faults").inc();
+    Status s = classifyAccess(dev_world, addr, len, false);
+    if (!s.isOk())
         return s;
-    }
     chargeDma(len);
     return memory.read(addr, out, len);
 }
@@ -165,11 +158,9 @@ Platform::dmaWrite(const Device &dev, PhysAddr addr,
         return Status(ErrorCode::AccessFault,
                       "secure-bus DMA outside secure memory");
     }
-    Status s = addressController.checkAccess(addr, len, dev_world);
-    if (!s.isOk()) {
-        statGroup.counter("tzasc_faults").inc();
+    Status s = classifyAccess(dev_world, addr, len, true);
+    if (!s.isOk())
         return s;
-    }
     chargeDma(len);
     return memory.write(addr, data, len);
 }

@@ -146,7 +146,36 @@ class Platform
         busObserver = std::move(observer);
     }
 
+    /**
+     * Replace the TZASC as the bus access classifier. Installed by
+     * isolation backends whose substrate has no TZASC (the RISC-V
+     * PMP backend classifies untrusted traffic with a locked
+     * machine-level PMP instead); when unset, the TZASC decides --
+     * the default TrustZone path is untouched. Denials are counted
+     * by the filter's owner, not by `tzasc_faults`.
+     */
+    using BusFilter = std::function<Status(
+        World from, PhysAddr addr, uint64_t len, bool is_write)>;
+    void setBusFilter(BusFilter filter)
+    {
+        busFilter = std::move(filter);
+    }
+    void clearBusFilter() { busFilter = nullptr; }
+
   private:
+    /** TZASC check, or the installed backend filter. */
+    Status
+    classifyAccess(World from, PhysAddr addr, uint64_t len,
+                   bool is_write)
+    {
+        if (busFilter)
+            return busFilter(from, addr, len, is_write);
+        Status s = addressController.checkAccess(addr, len, from);
+        if (!s.isOk())
+            statGroup.counter("tzasc_faults").inc();
+        return s;
+    }
+
     PlatformConfig cfg;
     PhysicalMemory memory;
     Tzasc addressController;
@@ -159,6 +188,7 @@ class Platform
     StatGroup statGroup;
 
     BusObserver busObserver;
+    BusFilter busFilter;
     /* Cached so the hot path skips the StatGroup map lookup. */
     Counter *bytesCopied = nullptr;
     std::map<std::string, std::unique_ptr<Device>> devices;

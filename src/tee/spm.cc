@@ -19,9 +19,29 @@ MosImage::measure() const
     return ctx.finalize();
 }
 
-Spm::Spm(SecureMonitor &monitor)
+Spm::Spm(SecureMonitor &monitor, BackendSelect backend_select)
     : sm(monitor), nextSecureAlloc(monitor.platform().secureBase())
 {
+    hw::Platform &plat = sm.platform();
+    backend = makeBackend(resolveBackend(backend_select),
+                          plat.normalBase(), plat.normalSize(),
+                          stats);
+    if (backend->wantsBusFilter()) {
+        /* The substrate (not the TZASC) classifies raw bus traffic.
+         * The filter charges no virtual time, so figure output stays
+         * byte-identical across backends. */
+        plat.setBusFilter([this](hw::World from, PhysAddr addr,
+                                 uint64_t len, bool is_write) {
+            return backend->classifyBus(from, addr, len, is_write);
+        });
+        busFilterInstalled = true;
+    }
+}
+
+Spm::~Spm()
+{
+    if (busFilterInstalled)
+        sm.platform().clearBusFilter();
 }
 
 Result<Partition *>
@@ -91,6 +111,13 @@ Spm::createPartition(const MosImage &image,
                                 hw::PagePerms::rw());
         CRONUS_ASSERT(s.isOk(), "stage2 identity map failed");
     }
+    /* Program the substrate's region for the new partition (a no-op
+     * on TrustZone, where the stage-2 map above is the programming;
+     * a private TOR pair on PMP). */
+    Status substrate = backend->partitionCreated(p.id, p.memBase,
+                                                 p.memBytes);
+    if (!substrate.isOk())
+        return substrate;
 
     /* mOS boot cost is paid at system startup (§III-A: mOSes run at
      * startup so mEnclaves need not wait). */
@@ -287,6 +314,10 @@ Spm::scrubPartition(Partition &p, const MosImage &image)
     ++p.incarnation;
     p.rf = false;
     p.state = PartitionState::Ready;
+    /* The new incarnation's substrate view is private-only; windows
+     * granted *to* other (surviving) partitions stay until their
+     * pending traps resolve. */
+    backend->partitionScrubbed(p.id);
 
     /* Grants of the old incarnation do not survive the reboot: the
      * rebuilt stage-2 no longer maps them. Retire them; pages owned
@@ -411,8 +442,10 @@ Spm::handleInvalidatedAccess(Partition &accessor, PhysAddr addr)
             }
             plat.clock().advance(plat.costs().pageTableUpdateNs);
         }
-        /* Trap resolution rewrote translations: shoot them down. */
+        /* Trap resolution rewrote translations: shoot them down.
+         * The peer's substrate window dies with the grant. */
         plat.clock().advance(plat.costs().tlbInvalidateNs);
+        backend->grantUnmapped(gid, g.peer);
         g.pendingTrap = false;
         bool was_active = g.active;
         g.active = false;
@@ -489,6 +522,13 @@ Spm::accessCheck(PartitionId pid, PhysAddr addr, uint64_t len,
     }
     if (p->state != PartitionState::Ready)
         return Status(ErrorCode::InvalidState, "partition not ready");
+    /* Substrate filter (free on TrustZone; PMP unit walk on RISC-V).
+     * Runs before translation, so a page the substrate revoked faults
+     * here with the same AccessFault an unmapped stage-2 entry gives;
+     * pages still granted pass through to the stage-2 walk, keeping
+     * the Invalidated proceed-trap semantics backend-independent. */
+    CRONUS_RETURN_IF_ERROR(
+        backend->checkAccess(pid, addr, len, is_write));
     out = p;
     return Status::ok();
 }
@@ -731,6 +771,13 @@ Spm::sharePages(PartitionId owner, PartitionId peer, PhysAddr base,
     }
     plat.clock().advance(plat.costs().tlbInvalidateNs);
 
+    /* Overlapped substrate configuration (§VII-A): the peer gains a
+     * window over the owner's range. Both partitions were validated
+     * above, so the substrate cannot refuse. */
+    Status substrate = backend->grantMapped(gid, peer, base, pages);
+    CRONUS_ASSERT(substrate.isOk(),
+                  "substrate grant map: " + substrate.toString());
+
     ShareGrant g;
     g.id = gid;
     g.owner = owner;
@@ -768,6 +815,7 @@ Spm::revokeGrant(uint64_t grant_id, PartitionId requester)
          * for these pages die here. */
         plat.clock().advance(plat.costs().tlbInvalidateNs);
     }
+    backend->grantUnmapped(grant_id, g.peer);
     for (uint64_t i = 0; i < g.pages; ++i)
         pageShareCount[g.base + i * hw::kPageSize] = 0;
     g.active = false;

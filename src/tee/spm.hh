@@ -24,10 +24,12 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "crypto/sha256.hh"
 #include "hw/page_table.hh"
+#include "isolation_backend.hh"
 #include "secure_monitor.hh"
 
 namespace cronus::tee
@@ -129,7 +131,11 @@ struct GrantEvent
 class Spm
 {
   public:
-    explicit Spm(SecureMonitor &monitor);
+    /** @p backend_select picks the isolation substrate; Default
+     *  resolves CRONUS_BACKEND=tz|pmp and falls back to TrustZone. */
+    explicit Spm(SecureMonitor &monitor,
+                 BackendSelect backend_select = BackendSelect::Default);
+    ~Spm();
 
     /* ---------------- partition lifecycle ---------------- */
 
@@ -282,6 +288,10 @@ class Spm
     SecureMonitor &monitor() { return sm; }
     StatGroup &statistics() { return stats; }
 
+    /** The isolation substrate enforcing partition boundaries. */
+    IsolationBackend &isolation() { return *backend; }
+    BackendKind backendKind() const { return backend->kind(); }
+
     /** Aggregated stage-2 software-TLB counters over all partitions
      *  (SMMU stream caches are reported by Platform::smmu()). */
     hw::TlbCounters tlbCounters() const;
@@ -307,6 +317,10 @@ class Spm
     void scrubPartition(Partition &p, const MosImage &image);
 
     SecureMonitor &sm;
+    std::unique_ptr<IsolationBackend> backend;
+    /** True when this Spm installed the Platform bus filter (so the
+     *  destructor uninstalls exactly its own). */
+    bool busFilterInstalled = false;
     std::map<PartitionId, Partition> partitions;
     std::map<uint64_t, ShareGrant> grants;
     std::map<PhysAddr, uint64_t> pageShareCount;

@@ -110,17 +110,20 @@ npuManifest()
     return manifestJson("npu", {}, calls);
 }
 
-/** A booted single-GPU + NPU CRONUS machine. */
-class CronusTest : public ::testing::Test
+/** Machine-building helpers shared by the plain fixture and the
+ *  isolation-backend-parameterized one. */
+class CronusFixtureMixin
 {
   protected:
     void
-    SetUp() override
+    boot(tee::BackendSelect backend = tee::BackendSelect::Default)
     {
         Logger::instance().setQuiet(true);
         registerTestCpuFunctions();
         accel::registerBuiltinKernels();
-        system = std::make_unique<CronusSystem>();
+        CronusConfig cfg;
+        cfg.backend = backend;
+        system = std::make_unique<CronusSystem>(cfg);
     }
 
     Result<AppHandle>
@@ -145,6 +148,42 @@ class CronusTest : public ::testing::Test
 
     std::unique_ptr<CronusSystem> system;
 };
+
+/** A booted single-GPU + NPU CRONUS machine (default backend). */
+class CronusTest : public ::testing::Test,
+                   protected CronusFixtureMixin
+{
+  protected:
+    void
+    SetUp() override
+    {
+        boot();
+    }
+};
+
+/** The same machine, value-parameterized over the isolation
+ *  substrate (TrustZone vs. RISC-V PMP). Suites deriving from this
+ *  run every case differentially on both backends. */
+class CronusBackendTest
+    : public ::testing::TestWithParam<tee::BackendSelect>,
+      protected CronusFixtureMixin
+{
+  protected:
+    void
+    SetUp() override
+    {
+        boot(GetParam());
+    }
+};
+
+/** INSTANTIATE_TEST_SUITE_P name generator for backend params. */
+inline std::string
+backendParamName(
+    const ::testing::TestParamInfo<tee::BackendSelect> &info)
+{
+    return std::string(
+        tee::backendName(tee::resolveBackend(info.param)));
+}
 
 } // namespace cronus::core::testing
 

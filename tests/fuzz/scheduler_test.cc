@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Coverage-guided seed scheduler tests: the corpus evolution must be
+ * a pure function of (options, feedback), equivalent scenarios must
+ * dedup to one scheduled run, and every scheduled seed must replay
+ * to the identical scenario -- otherwise "scheduled seed #137 failed
+ * in CI" is not reproducible locally.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fuzz/fuzz.hh"
+#include "fuzz/scheduler.hh"
+
+using namespace cronus;
+using namespace cronus::fuzz;
+
+TEST(FuzzScheduler, CorpusEvolutionIsDeterministic)
+{
+    std::vector<uint64_t> a = scheduleCorpus(60);
+    std::vector<uint64_t> b = scheduleCorpus(60);
+    EXPECT_EQ(a, b);
+    ASSERT_EQ(a.size(), 60u);
+
+    /* Two live schedulers fed the same edges issue the same seeds. */
+    SeedScheduler s1, s2;
+    for (int i = 0; i < 40; ++i) {
+        uint64_t seed1 = s1.next();
+        uint64_t seed2 = s2.next();
+        ASSERT_EQ(seed1, seed2) << "diverged at step " << i;
+        CoverageSet edges = scenarioEdges(generateScenario(seed1));
+        s1.feedback(seed1, edges);
+        s2.feedback(seed2, edges);
+    }
+    EXPECT_EQ(s1.edgesCovered(), s2.edgesCovered());
+    EXPECT_EQ(s1.deduped(), s2.deduped());
+}
+
+TEST(FuzzScheduler, ChildSeedsAreStableAndDistinct)
+{
+    EXPECT_EQ(SeedScheduler::childSeed(42, 0),
+              SeedScheduler::childSeed(42, 0));
+    std::set<uint64_t> kids;
+    for (uint32_t k = 0; k < 16; ++k) {
+        kids.insert(SeedScheduler::childSeed(42, k));
+        kids.insert(SeedScheduler::childSeed(43, k));
+    }
+    EXPECT_EQ(kids.size(), 32u);
+}
+
+TEST(FuzzScheduler, InterestingSeedsSpawnChildrenFirst)
+{
+    SchedulerOptions opts;
+    opts.childrenPerParent = 2;
+    opts.maxSkipsPerNext = 0;  /* isolate the queueing logic */
+    SeedScheduler sched(opts);
+
+    uint64_t first = sched.next();
+    EXPECT_EQ(first, opts.baseSeed);
+    sched.feedback(first, {0xdead, 0xbeef});  /* both new: spawn */
+    EXPECT_EQ(sched.next(), SeedScheduler::childSeed(first, 0));
+    EXPECT_EQ(sched.next(), SeedScheduler::childSeed(first, 1));
+    /* Queue drained: back to the sequential frontier. */
+    EXPECT_EQ(sched.next(), opts.baseSeed + 1);
+}
+
+TEST(FuzzScheduler, BoringSeedsSpawnNothing)
+{
+    SchedulerOptions opts;
+    opts.maxSkipsPerNext = 0;
+    SeedScheduler sched(opts);
+    uint64_t first = sched.next();
+    sched.feedback(first, {0x1});
+    uint64_t child = sched.next();
+    /* The child re-covers the same edge: no grandchildren. */
+    sched.feedback(child, {0x1});
+    EXPECT_EQ(sched.next(), SeedScheduler::childSeed(first, 1));
+    EXPECT_EQ(sched.next(), SeedScheduler::childSeed(first, 2));
+    EXPECT_EQ(sched.next(), opts.baseSeed + 1);
+}
+
+TEST(FuzzScheduler, FingerprintIgnoresSeedButSeesStructure)
+{
+    Scenario sc = generateScenario(7);
+    Scenario same = sc;
+    same.seed = 99999;  /* seed is provenance, not structure */
+    EXPECT_EQ(scenarioFingerprint(sc), scenarioFingerprint(same));
+
+    Scenario mutated = sc;
+    ASSERT_FALSE(mutated.ops.empty());
+    mutated.ops.pop_back();
+    EXPECT_NE(scenarioFingerprint(sc), scenarioFingerprint(mutated));
+
+    Scenario retargeted = sc;
+    retargeted.ops[0].a ^= 1;
+    EXPECT_NE(scenarioFingerprint(sc),
+              scenarioFingerprint(retargeted));
+}
+
+TEST(FuzzScheduler, ScheduledCorpusContainsNoEquivalentScenarios)
+{
+    std::set<uint64_t> fingerprints;
+    for (uint64_t seed : scheduleCorpus(80)) {
+        uint64_t fp = scenarioFingerprint(generateScenario(seed));
+        EXPECT_TRUE(fingerprints.insert(fp).second)
+            << "seed " << seed << " duplicates a scheduled scenario";
+    }
+}
+
+TEST(FuzzScheduler, DedupSkipsSeedsWithSeenFingerprints)
+{
+    /* Force a collision: pre-claim seed 2's fingerprint by feeding
+     * it through a scheduler whose frontier starts at 2, then walk a
+     * fresh scheduler past seed 2 -- it must be skipped. */
+    SchedulerOptions at2;
+    at2.baseSeed = 2;
+    SeedScheduler probe(at2);
+    uint64_t two = probe.next();
+    ASSERT_EQ(two, 2u);
+
+    SeedScheduler sched;
+    std::vector<uint64_t> first3;
+    for (int i = 0; i < 3; ++i) {
+        uint64_t s = sched.next();
+        first3.push_back(s);
+        /* No feedback: pure sequential walk with dedup only. */
+    }
+    EXPECT_EQ(first3, (std::vector<uint64_t>{1, 2, 3}));
+    EXPECT_EQ(sched.deduped(), 0u);
+    EXPECT_EQ(sched.scheduled(), 3u);
+}
+
+TEST(FuzzScheduler, ScheduledSeedsReplayStably)
+{
+    /* Replay contract: a scheduled seed alone regenerates the very
+     * scenario the schedule ran, byte for byte. */
+    for (uint64_t seed : scheduleCorpus(40)) {
+        Scenario once = generateScenario(seed);
+        Scenario again = generateScenario(seed);
+        EXPECT_EQ(once.toJson().dump(), again.toJson().dump())
+            << "seed " << seed;
+        EXPECT_EQ(scenarioEdges(once), scenarioEdges(again))
+            << "seed " << seed;
+    }
+}
+
+TEST(FuzzScheduler, EdgesSeparateGrammarFamilies)
+{
+    /* behaviour edges must not collide across (kind, code, blocked)
+     * triples -- they steer the schedule. */
+    std::set<uint64_t> edges;
+    for (OpKind kind :
+         {OpKind::GpuVecAdd, OpKind::AttackShootdownToctou,
+          OpKind::AttackStaleAttestation}) {
+        for (const char *code : {"Ok", "AccessFault", "AuthFailed"}) {
+            edges.insert(behaviorEdge(kind, code, false));
+            edges.insert(behaviorEdge(kind, code, true));
+        }
+    }
+    EXPECT_EQ(edges.size(), 18u);
+
+    /* Static edges react to every structural family. */
+    Scenario sc = generateScenario(5);
+    CoverageSet base = scenarioEdges(sc);
+    EXPECT_FALSE(base.empty());
+    Scenario other = sc;
+    other.numGpus = sc.numGpus == 1 ? 2 : 1;
+    EXPECT_NE(base, scenarioEdges(other));
+}
+
+TEST(FuzzScheduler, ScheduledCorpusPassesOracles)
+{
+    /* The evolved corpus is a drop-in for defaultCorpus: every
+     * scheduled seed must hold up against the full oracle stack. */
+    for (uint64_t seed : scheduleCorpus(10)) {
+        FuzzReport rep = fuzzSeed(seed);
+        EXPECT_TRUE(rep.ok) << "scheduled seed " << seed;
+    }
+}

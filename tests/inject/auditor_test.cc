@@ -11,15 +11,15 @@ namespace cronus::inject
 namespace
 {
 
-using core::testing::CronusTest;
+using core::testing::CronusBackendTest;
 
-class AuditorTest : public CronusTest
+class AuditorTest : public CronusBackendTest
 {
   protected:
     void
     SetUp() override
     {
-        CronusTest::SetUp();
+        CronusBackendTest::SetUp();
         auditor.attachSpm(system->spm());
         cpu = makeCpuEnclave().value();
         gpu = makeGpuEnclave().value();
@@ -31,7 +31,7 @@ class AuditorTest : public CronusTest
     core::AppHandle cpu, gpu;
 };
 
-TEST_F(AuditorTest, CleanRunPassesFinalCheck)
+TEST_P(AuditorTest, CleanRunPassesFinalCheck)
 {
     {
         auto channel = std::move(system->connect(cpu, gpu).value());
@@ -56,7 +56,7 @@ TEST_F(AuditorTest, CleanRunPassesFinalCheck)
     EXPECT_EQ(parsed.value()["counters"]["enqueues"].asInt(), 4);
 }
 
-TEST_F(AuditorTest, FailedChannelStillBalancesGrantAccounting)
+TEST_P(AuditorTest, FailedChannelStillBalancesGrantAccounting)
 {
     {
         auto channel = std::move(system->connect(cpu, gpu).value());
@@ -77,7 +77,7 @@ TEST_F(AuditorTest, FailedChannelStillBalancesGrantAccounting)
     EXPECT_EQ(auditor.statistics().value("channel_failures"), 1u);
 }
 
-TEST_F(AuditorTest, LeakedGrantIsFlaggedByFinalCheck)
+TEST_P(AuditorTest, LeakedGrantIsFlaggedByFinalCheck)
 {
     /* A raw share with no teardown: exactly what the auditor is for
      * (every grant created must be torn down exactly once). */
@@ -96,7 +96,7 @@ TEST_F(AuditorTest, LeakedGrantIsFlaggedByFinalCheck)
               std::string::npos);
 }
 
-TEST_F(AuditorTest, CorruptedRidHeaderTripsStreamCheck)
+TEST_P(AuditorTest, CorruptedRidHeaderTripsStreamCheck)
 {
     core::SrpcConfig cfg;
     cfg.slots = 4;
@@ -125,6 +125,12 @@ TEST_F(AuditorTest, CorruptedRidHeaderTripsStreamCheck)
     /* Teardown still works on the wrecked channel. */
     channel->close();
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, AuditorTest,
+    ::testing::Values(tee::BackendSelect::Tz,
+                      tee::BackendSelect::Pmp),
+    core::testing::backendParamName);
 
 } // namespace
 } // namespace cronus::inject

@@ -10,15 +10,15 @@ namespace cronus::inject
 namespace
 {
 
-using core::testing::CronusTest;
+using core::testing::CronusBackendTest;
 
-class InjectorTest : public CronusTest
+class InjectorTest : public CronusBackendTest
 {
   protected:
     void
     SetUp() override
     {
-        CronusTest::SetUp();
+        CronusBackendTest::SetUp();
         cpu = makeCpuEnclave().value();
         gpu = makeGpuEnclave().value();
         cpuPid = cpu.host->partitionId();
@@ -37,7 +37,7 @@ class InjectorTest : public CronusTest
     }
 };
 
-TEST_F(InjectorTest, FailAccessAbortsExactlyOnce)
+TEST_P(InjectorTest, FailAccessAbortsExactlyOnce)
 {
     FaultPlan plan(1);
     plan.failAccess(2, AccessFilter::readsBy(cpuPid));
@@ -53,7 +53,7 @@ TEST_F(InjectorTest, FailAccessAbortsExactlyOnce)
     EXPECT_EQ(injector.fired()[0].seq, 2u);
 }
 
-TEST_F(InjectorTest, SkewClockChargesVirtualTime)
+TEST_P(InjectorTest, SkewClockChargesVirtualTime)
 {
     FaultPlan plan(1);
     plan.skewClock(1, 123456);
@@ -71,7 +71,7 @@ TEST_F(InjectorTest, SkewClockChargesVirtualTime)
               SimTime(123456));
 }
 
-TEST_F(InjectorTest, CorruptHeaderPokesTheNamedField)
+TEST_P(InjectorTest, CorruptHeaderPokesTheNamedField)
 {
     auto channel = std::move(system->connect(cpu, gpu).value());
 
@@ -96,7 +96,7 @@ TEST_F(InjectorTest, CorruptHeaderPokesTheNamedField)
     EXPECT_TRUE(channel->close().isOk());
 }
 
-TEST_F(InjectorTest, UnknownHeaderFieldIsReportedNotFatal)
+TEST_P(InjectorTest, UnknownHeaderFieldIsReportedNotFatal)
 {
     auto channel = std::move(system->connect(cpu, gpu).value());
     FaultPlan plan(1);
@@ -117,7 +117,7 @@ TEST_F(InjectorTest, UnknownHeaderFieldIsReportedNotFatal)
     EXPECT_TRUE(channel->close().isOk());
 }
 
-TEST_F(InjectorTest, ReportListsFiredAndPendingEvents)
+TEST_P(InjectorTest, ReportListsFiredAndPendingEvents)
 {
     FaultPlan plan(1);
     plan.skewClock(1, 100).skewClock(1000000, 100);
@@ -135,7 +135,7 @@ TEST_F(InjectorTest, ReportListsFiredAndPendingEvents)
     EXPECT_FALSE(injector.allFired());
 }
 
-TEST_F(InjectorTest, DisarmStopsInjection)
+TEST_P(InjectorTest, DisarmStopsInjection)
 {
     FaultPlan plan(1);
     plan.failAccess(1, AccessFilter::readsBy(cpuPid));
@@ -145,6 +145,12 @@ TEST_F(InjectorTest, DisarmStopsInjection)
     EXPECT_TRUE(system->spm().read(cpuPid, cpuBase(), 8).isOk());
     EXPECT_TRUE(injector.fired().empty());
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, InjectorTest,
+    ::testing::Values(tee::BackendSelect::Tz,
+                      tee::BackendSelect::Pmp),
+    core::testing::backendParamName);
 
 } // namespace
 } // namespace cronus::inject

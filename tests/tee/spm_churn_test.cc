@@ -15,7 +15,8 @@ namespace cronus::tee
 namespace
 {
 
-class SpmChurnTest : public ::testing::Test
+class SpmChurnTest
+    : public ::testing::TestWithParam<BackendSelect>
 {
   protected:
     void
@@ -38,7 +39,7 @@ class SpmChurnTest : public ::testing::Test
             secure_dt.addNode(node);
         }
         ASSERT_TRUE(monitor->boot(secure_dt).isOk());
-        spm = std::make_unique<Spm>(*monitor);
+        spm = std::make_unique<Spm>(*monitor, GetParam());
 
         spm->setGrantHook([this](const GrantEvent &ev) {
             events.push_back(ev);
@@ -84,7 +85,7 @@ class SpmChurnTest : public ::testing::Test
     std::vector<GrantEvent> events;
 };
 
-TEST_F(SpmChurnTest, ShareOnceReArmsAfterRevoke)
+TEST_P(SpmChurnTest, ShareOnceReArmsAfterRevoke)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -115,7 +116,7 @@ TEST_F(SpmChurnTest, ShareOnceReArmsAfterRevoke)
     }
 }
 
-TEST_F(SpmChurnTest, RevokeRequiresAPartyToTheGrant)
+TEST_P(SpmChurnTest, RevokeRequiresAPartyToTheGrant)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -139,7 +140,7 @@ TEST_F(SpmChurnTest, RevokeRequiresAPartyToTheGrant)
               ErrorCode::NotFound);
 }
 
-TEST_F(SpmChurnTest, DeathRetiresGrantsRevokeDoesNot)
+TEST_P(SpmChurnTest, DeathRetiresGrantsRevokeDoesNot)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -187,7 +188,7 @@ TEST_F(SpmChurnTest, DeathRetiresGrantsRevokeDoesNot)
         spm->sharePages(a, b, baseOf(a) + hw::kPageSize, 1).isOk());
 }
 
-TEST_F(SpmChurnTest, ShootdownOnlyHitsTheFailedPeersGrant)
+TEST_P(SpmChurnTest, ShootdownOnlyHitsTheFailedPeersGrant)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -220,7 +221,7 @@ TEST_F(SpmChurnTest, ShootdownOnlyHitsTheFailedPeersGrant)
     EXPECT_TRUE(spm->grantsOf(b).empty());
 }
 
-TEST_F(SpmChurnTest, RecycledIncarnationCannotUseStaleMappings)
+TEST_P(SpmChurnTest, RecycledIncarnationCannotUseStaleMappings)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -253,6 +254,14 @@ TEST_F(SpmChurnTest, RecycledIncarnationCannotUseStaleMappings)
     ASSERT_TRUE(back.isOk());
     EXPECT_EQ(back.value(), Bytes{0x78});
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, SpmChurnTest,
+    ::testing::Values(BackendSelect::Tz, BackendSelect::Pmp),
+    [](const ::testing::TestParamInfo<BackendSelect> &info) {
+        return std::string(backendName(
+            resolveBackend(info.param)));
+    });
 
 } // namespace
 } // namespace cronus::tee

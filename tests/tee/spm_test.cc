@@ -11,13 +11,19 @@ namespace cronus::tee
 namespace
 {
 
-class SpmTest : public ::testing::Test
+class SpmTest : public ::testing::TestWithParam<BackendSelect>
 {
   protected:
     void
     SetUp() override
     {
         Logger::instance().setQuiet(true);
+        /* Some tests re-run SetUp() to get a second machine; drop
+         * the old stack in reverse-dependency order first so the Spm
+         * never outlives the Platform it references. */
+        spm.reset();
+        monitor.reset();
+        platform.reset();
         platform = std::make_unique<hw::Platform>();
         accel::GpuConfig gc;
         gc.name = "gpu0";
@@ -38,7 +44,7 @@ class SpmTest : public ::testing::Test
             secure_dt.addNode(node);
         }
         ASSERT_TRUE(monitor->boot(secure_dt).isOk());
-        spm = std::make_unique<Spm>(*monitor);
+        spm = std::make_unique<Spm>(*monitor, GetParam());
     }
 
     MosImage
@@ -62,7 +68,7 @@ class SpmTest : public ::testing::Test
     std::unique_ptr<Spm> spm;
 };
 
-TEST_F(SpmTest, CreatePartitionBasics)
+TEST_P(SpmTest, CreatePartitionBasics)
 {
     PartitionId pid = makePartition("gpu0");
     auto p = spm->partition(pid);
@@ -74,7 +80,7 @@ TEST_F(SpmTest, CreatePartitionBasics)
     EXPECT_FALSE(spm->validateMosId(99));
 }
 
-TEST_F(SpmTest, DevicePartitionOneToOne)
+TEST_P(SpmTest, DevicePartitionOneToOne)
 {
     makePartition("gpu0");
     auto dup = spm->createPartition(image("x"), "gpu0", 1 << 20);
@@ -83,7 +89,7 @@ TEST_F(SpmTest, DevicePartitionOneToOne)
     EXPECT_EQ(unknown.code(), ErrorCode::NotFound);
 }
 
-TEST_F(SpmTest, PartitionMemoryReadWrite)
+TEST_P(SpmTest, PartitionMemoryReadWrite)
 {
     PartitionId pid = makePartition("gpu0");
     PhysAddr base = spm->partition(pid).value()->memBase;
@@ -94,7 +100,7 @@ TEST_F(SpmTest, PartitionMemoryReadWrite)
     EXPECT_EQ(back.value(), data);
 }
 
-TEST_F(SpmTest, PartitionCannotTouchForeignMemory)
+TEST_P(SpmTest, PartitionCannotTouchForeignMemory)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -106,7 +112,7 @@ TEST_F(SpmTest, PartitionCannotTouchForeignMemory)
               ErrorCode::AccessFault);
 }
 
-TEST_F(SpmTest, NormalWorldCannotReadSecureMemory)
+TEST_P(SpmTest, NormalWorldCannotReadSecureMemory)
 {
     PartitionId pid = makePartition("gpu0");
     PhysAddr base = spm->partition(pid).value()->memBase;
@@ -115,7 +121,7 @@ TEST_F(SpmTest, NormalWorldCannotReadSecureMemory)
               ErrorCode::AccessFault);
 }
 
-TEST_F(SpmTest, SharePagesAndCommunicate)
+TEST_P(SpmTest, SharePagesAndCommunicate)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -136,7 +142,7 @@ TEST_F(SpmTest, SharePagesAndCommunicate)
     EXPECT_EQ(spm->read(a, a_base, 2).value(), reply);
 }
 
-TEST_F(SpmTest, ShareOnceRuleEnforced)
+TEST_P(SpmTest, ShareOnceRuleEnforced)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -146,7 +152,7 @@ TEST_F(SpmTest, ShareOnceRuleEnforced)
               ErrorCode::InvalidState);
 }
 
-TEST_F(SpmTest, ShareValidation)
+TEST_P(SpmTest, ShareValidation)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -163,7 +169,7 @@ TEST_F(SpmTest, ShareValidation)
               ErrorCode::PermissionDenied);
 }
 
-TEST_F(SpmTest, FailureInvalidatesSurvivorAccess)
+TEST_P(SpmTest, FailureInvalidatesSurvivorAccess)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -186,7 +192,7 @@ TEST_F(SpmTest, FailureInvalidatesSurvivorAccess)
     EXPECT_EQ(spm->read(b, a_base, 8).code(), ErrorCode::AccessFault);
 }
 
-TEST_F(SpmTest, OwnerRecoversOwnPagesAfterPeerFailure)
+TEST_P(SpmTest, OwnerRecoversOwnPagesAfterPeerFailure)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -203,7 +209,7 @@ TEST_F(SpmTest, OwnerRecoversOwnPagesAfterPeerFailure)
     EXPECT_EQ(again.value(), Bytes{7});
 }
 
-TEST_F(SpmTest, RfBlocksNewSharingWithFailedPartition)
+TEST_P(SpmTest, RfBlocksNewSharingWithFailedPartition)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -213,7 +219,7 @@ TEST_F(SpmTest, RfBlocksNewSharingWithFailedPartition)
               ErrorCode::PeerFailed);
 }
 
-TEST_F(SpmTest, RecoveryScrubsMemoryAndBumpsIncarnation)
+TEST_P(SpmTest, RecoveryScrubsMemoryAndBumpsIncarnation)
 {
     PartitionId a = makePartition("gpu0");
     PhysAddr base = spm->partition(a).value()->memBase;
@@ -231,7 +237,7 @@ TEST_F(SpmTest, RecoveryScrubsMemoryAndBumpsIncarnation)
     EXPECT_EQ(spm->read(a, base, 2).value(), (Bytes{0, 0}));
 }
 
-TEST_F(SpmTest, RecoveryIsFasterThanMachineReboot)
+TEST_P(SpmTest, RecoveryIsFasterThanMachineReboot)
 {
     PartitionId a = makePartition("gpu0");
     ASSERT_TRUE(spm->failPartition(a).isOk());
@@ -244,7 +250,7 @@ TEST_F(SpmTest, RecoveryIsFasterThanMachineReboot)
     EXPECT_LT(recovery, 1000 * kNsPerMs);
 }
 
-TEST_F(SpmTest, ConcurrentRecoveryChargesMaxCost)
+TEST_P(SpmTest, ConcurrentRecoveryChargesMaxCost)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -270,7 +276,7 @@ TEST_F(SpmTest, ConcurrentRecoveryChargesMaxCost)
     EXPECT_LT(concurrent, serial);
 }
 
-TEST_F(SpmTest, HangDetection)
+TEST_P(SpmTest, HangDetection)
 {
     PartitionId a = makePartition("gpu0");
     ASSERT_TRUE(spm->heartbeat(a).isOk());
@@ -286,7 +292,7 @@ TEST_F(SpmTest, HangDetection)
               PartitionState::Failed);
 }
 
-TEST_F(SpmTest, BornHungPartitionFailsOnFirstPoll)
+TEST_P(SpmTest, BornHungPartitionFailsOnFirstPoll)
 {
     /* A partition that never heartbeats after boot must be caught
      * by the very first poll: createPartition seeds the heartbeat
@@ -306,7 +312,7 @@ TEST_F(SpmTest, BornHungPartitionFailsOnFirstPoll)
     EXPECT_EQ(again[0], a);
 }
 
-TEST_F(SpmTest, RequestRestartIsIdempotentForFailedPartitions)
+TEST_P(SpmTest, RequestRestartIsIdempotentForFailedPartitions)
 {
     /* Regression: requestRestart used to fail-then-recover
      * unconditionally, so calling it on a partition that already
@@ -330,7 +336,7 @@ TEST_F(SpmTest, RequestRestartIsIdempotentForFailedPartitions)
               ErrorCode::NotFound);
 }
 
-TEST_F(SpmTest, RevokeGrantRestoresShareBudget)
+TEST_P(SpmTest, RevokeGrantRestoresShareBudget)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -345,7 +351,7 @@ TEST_F(SpmTest, RevokeGrantRestoresShareBudget)
     EXPECT_TRUE(spm->sharePages(a, b, a_base, 1).isOk());
 }
 
-TEST_F(SpmTest, RequiresSecureBoot)
+TEST_P(SpmTest, RequiresSecureBoot)
 {
     hw::Platform fresh;
     SecureMonitor unbooted(fresh);
@@ -355,7 +361,7 @@ TEST_F(SpmTest, RequiresSecureBoot)
               ErrorCode::InvalidState);
 }
 
-TEST_F(SpmTest, GrantsOfListsActiveGrants)
+TEST_P(SpmTest, GrantsOfListsActiveGrants)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -367,6 +373,14 @@ TEST_F(SpmTest, GrantsOfListsActiveGrants)
     EXPECT_TRUE(spm->grant(gid).isOk());
     EXPECT_FALSE(spm->grant(999).isOk());
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, SpmTest,
+    ::testing::Values(BackendSelect::Tz, BackendSelect::Pmp),
+    [](const ::testing::TestParamInfo<BackendSelect> &info) {
+        return std::string(backendName(
+            resolveBackend(info.param)));
+    });
 
 } // namespace
 } // namespace cronus::tee

@@ -20,7 +20,8 @@ namespace cronus::tee
 namespace
 {
 
-class TlbShootdownTest : public ::testing::Test
+class TlbShootdownTest
+    : public ::testing::TestWithParam<BackendSelect>
 {
   protected:
     void
@@ -47,7 +48,7 @@ class TlbShootdownTest : public ::testing::Test
             secure_dt.addNode(node);
         }
         ASSERT_TRUE(monitor->boot(secure_dt).isOk());
-        spm = std::make_unique<Spm>(*monitor);
+        spm = std::make_unique<Spm>(*monitor, GetParam());
     }
 
     void
@@ -89,7 +90,7 @@ class TlbShootdownTest : public ::testing::Test
     std::unique_ptr<Spm> spm;
 };
 
-TEST_F(TlbShootdownTest, GrantRevokeFaultsFirstPeerAccess)
+TEST_P(TlbShootdownTest, GrantRevokeFaultsFirstPeerAccess)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -107,7 +108,7 @@ TEST_F(TlbShootdownTest, GrantRevokeFaultsFirstPeerAccess)
     EXPECT_TRUE(spm->read(a, a_base, 8).isOk());
 }
 
-TEST_F(TlbShootdownTest, FailureInvalidationBeatsHotEntry)
+TEST_P(TlbShootdownTest, FailureInvalidationBeatsHotEntry)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -125,7 +126,7 @@ TEST_F(TlbShootdownTest, FailureInvalidationBeatsHotEntry)
               ErrorCode::AccessFault);
 }
 
-TEST_F(TlbShootdownTest, ScrubAndReloadServesNoStaleData)
+TEST_P(TlbShootdownTest, ScrubAndReloadServesNoStaleData)
 {
     PartitionId a = makePartition("gpu0");
     PhysAddr base = spm->partition(a).value()->memBase;
@@ -141,7 +142,7 @@ TEST_F(TlbShootdownTest, ScrubAndReloadServesNoStaleData)
     EXPECT_EQ(spm->read(a, base, 2).value(), (Bytes{0, 0}));
 }
 
-TEST_F(TlbShootdownTest, HookInjectedPanicTrapsHotAccess)
+TEST_P(TlbShootdownTest, HookInjectedPanicTrapsHotAccess)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -162,7 +163,7 @@ TEST_F(TlbShootdownTest, HookInjectedPanicTrapsHotAccess)
     EXPECT_EQ(spm->read(b, a_base, 8).code(), ErrorCode::PeerFailed);
 }
 
-TEST_F(TlbShootdownTest, ZeroCopyPathsRespectShootdown)
+TEST_P(TlbShootdownTest, ZeroCopyPathsRespectShootdown)
 {
     PartitionId a = makePartition("gpu0");
     PartitionId b = makePartition("gpu1");
@@ -194,7 +195,7 @@ TEST_F(TlbShootdownTest, ZeroCopyPathsRespectShootdown)
               ErrorCode::AccessFault);
 }
 
-TEST_F(TlbShootdownTest, DisabledTlbTakesIdenticalFaultSequence)
+TEST_P(TlbShootdownTest, DisabledTlbTakesIdenticalFaultSequence)
 {
     hw::TranslationCache::setGlobalEnable(false);
     PartitionId a = makePartition("gpu0");
@@ -207,6 +208,14 @@ TEST_F(TlbShootdownTest, DisabledTlbTakesIdenticalFaultSequence)
     EXPECT_EQ(spm->read(b, a_base, 8).code(),
               ErrorCode::AccessFault);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, TlbShootdownTest,
+    ::testing::Values(BackendSelect::Tz, BackendSelect::Pmp),
+    [](const ::testing::TestParamInfo<BackendSelect> &info) {
+        return std::string(backendName(
+            resolveBackend(info.param)));
+    });
 
 } // namespace
 } // namespace cronus::tee
