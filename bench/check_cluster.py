@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Robustness gate for the multi-SoC cluster bench.
+
+Reads the JSON written by `fig12_cluster --out` (schema
+cronus-cluster-bench-v1) and enforces the fleet's survival
+contract under the seeded node-fault plan:
+
+  - zero acked-call loss (`ledger_violations == 0`): every call the
+    frontend acked survived two node kills, a link partition, a
+    drain, and the operator's rebalance migrations;
+  - zero lost or cloned enclaves (`dead_enclaves == 0`,
+    `unconverged_migrations == 0`);
+  - zero unexpected call failures (`call_failures == 0` -- PeerFailed
+    during the partition window is tolerated by the bench itself and
+    never acked, so it does not count);
+  - the whole fault plan actually fired (`fault_events_fired == 3`);
+  - full (non-smoke) runs meet the scale floor: >= 8 nodes and
+    >= 2000 enclaves.
+
+Everything the bench measures is *virtual* time on the shared fleet
+clock, so with --baseline BASELINE.json (the committed snapshot under
+bench/baselines/) the deterministic counters must match the baseline
+exactly -- any drift is a real behavioral change in placement,
+migration, or recovery, never host jitter.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "cronus-cluster-bench-v1"
+
+# Counters that must be zero in every run.
+ZERO_GATES = (
+    "ledger_violations",
+    "call_failures",
+    "dead_enclaves",
+    "unconverged_migrations",
+)
+
+# Deterministic counters compared exactly against the baseline.
+BASELINE_EXACT = (
+    "acked_calls",
+    "migrations_completed",
+    "migrations_aborted",
+    "drains",
+    "fleet_quarantines",
+    "replacements",
+    "fault_events_fired",
+    "end_time_ns",
+)
+
+MIN_NODES = 8
+MIN_ENCLAVES = 2000
+FAULT_EVENTS = 3
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("result", nargs="?", default="BENCH_cluster.json")
+    ap.add_argument("--baseline", metavar="JSON",
+                    help="committed snapshot to compare counters "
+                         "against (bench/baselines/)")
+    args = ap.parse_args()
+
+    doc = load(args.result)
+    failures = []
+
+    if doc.get("schema") != SCHEMA:
+        print(f"cluster gate FAILED: schema "
+              f"{doc.get('schema')!r} != {SCHEMA!r}", file=sys.stderr)
+        return 1
+
+    for key in ZERO_GATES:
+        val = doc.get(key)
+        status = "ok" if val == 0 else "FAIL"
+        print(f"{key}: {val} {status}")
+        if val != 0:
+            failures.append(f"{key}: {val} != 0")
+
+    fired = doc.get("fault_events_fired")
+    status = "ok" if fired == FAULT_EVENTS else "FAIL"
+    print(f"fault_events_fired: {fired} (want {FAULT_EVENTS}) {status}")
+    if fired != FAULT_EVENTS:
+        failures.append(
+            f"fault_events_fired: {fired} != {FAULT_EVENTS}")
+
+    if not doc.get("smoke", False):
+        nodes, enclaves = doc.get("nodes"), doc.get("enclaves")
+        ok = nodes >= MIN_NODES and enclaves >= MIN_ENCLAVES
+        print(f"scale: {nodes} nodes, {enclaves} enclaves "
+              f"(floors {MIN_NODES}/{MIN_ENCLAVES}) "
+              f"{'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"scale below floor: {nodes} nodes / "
+                f"{enclaves} enclaves")
+
+    if args.baseline:
+        base = load(args.baseline)
+        if base.get("smoke", False) != doc.get("smoke", False):
+            failures.append("baseline smoke flag differs from result")
+        for key in BASELINE_EXACT:
+            got, want = doc.get(key), base.get(key)
+            status = "ok" if got == want else "FAIL"
+            print(f"  baseline {key}: {got} (want {want}) {status}")
+            if got != want:
+                failures.append(
+                    f"{key}: {got} != baseline {want}")
+
+    if failures:
+        print("cluster gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("cluster gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

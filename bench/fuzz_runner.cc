@@ -15,6 +15,12 @@
  *   fuzz_runner --scheduled         use coverage-guided seed
  *                                   scheduling for the oracle corpus
  *                                   instead of the sequential walk
+ *   fuzz_runner --cluster           generate multi-SoC fleet
+ *                                   scenarios (fleet calls, live
+ *                                   migration, node kill/drain)
+ *                                   instead of single-node ones;
+ *                                   composes with --runs, --seed
+ *                                   and --diff-backends
  *
  * On any oracle failure it prints the seed, the failure list, the
  * full decision trace and (unless --no-shrink) the greedily
@@ -118,13 +124,14 @@ replayFile(const std::string &path, const FuzzOptions &opts)
  * corpus drifts toward scenarios with novel outcome paths.
  */
 int
-runDiffBackends(size_t runs)
+runDiffBackends(size_t runs, bool cluster)
 {
     SeedScheduler sched;
     size_t divergent = 0;
     for (size_t i = 0; i < runs; ++i) {
         uint64_t seed = sched.next();
-        Scenario sc = generateScenario(seed);
+        Scenario sc = cluster ? generateClusterScenario(seed)
+                              : generateScenario(seed);
         DiffReport rep = diffBackends(sc);
 
         CoverageSet edges = scenarioEdges(sc);
@@ -176,6 +183,7 @@ main(int argc, char **argv)
     bool haveRuns = false;
     bool diffMode = false;
     bool scheduled = false;
+    bool cluster = false;
     std::string replayPath;
 
     for (int i = 1; i < argc; ++i) {
@@ -204,24 +212,33 @@ main(int argc, char **argv)
             diffMode = true;
         } else if (arg == "--scheduled") {
             scheduled = true;
+        } else if (arg == "--cluster") {
+            cluster = true;
         } else {
             std::fprintf(stderr,
                          "usage: fuzz_runner [--seed S] [--runs N] "
                          "[--replay FILE] [--plant-bug] "
                          "[--no-shrink] [--diff-backends] "
-                         "[--scheduled]\n");
+                         "[--scheduled] [--cluster]\n");
             return 2;
         }
     }
+
+    /* In cluster mode every seed goes through the fleet scenario
+     * generator; the oracle/shrink/diff pipeline is unchanged. */
+    auto runSeed = [&](uint64_t s) {
+        return cluster ? fuzzScenario(generateClusterScenario(s), opts)
+                       : fuzzSeed(s, opts);
+    };
 
     if (!replayPath.empty())
         return replayFile(replayPath, opts);
 
     if (diffMode)
-        return runDiffBackends(runs);
+        return runDiffBackends(runs, cluster);
 
     if (haveSeed && !haveRuns) {
-        FuzzReport rep = fuzzSeed(seed, opts);
+        FuzzReport rep = runSeed(seed);
         if (!rep.ok) {
             printFailure(rep);
             return 1;
@@ -235,11 +252,12 @@ main(int argc, char **argv)
     size_t done = 0;
     for (uint64_t s :
          scheduled ? scheduleCorpus(runs) : defaultCorpus(runs)) {
-        FuzzReport rep = fuzzSeed(s, opts);
+        FuzzReport rep = runSeed(s);
         if (!rep.ok) {
             printFailure(rep);
-            std::printf("reproduce with: fuzz_runner --seed %llu%s\n",
+            std::printf("reproduce with: fuzz_runner --seed %llu%s%s\n",
                         static_cast<unsigned long long>(s),
+                        cluster ? " --cluster" : "",
                         opts.plantBug ? " --plant-bug" : "");
             return 1;
         }

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Multi-SoC CRONUS fleet: placement, cross-node calls, live
+ * migration and node-drain fault tolerance.
+ *
+ * A Cluster owns N ClusterNodes on one shared SimClock, an
+ * Interconnect between them, and a FleetDispatcher for placement.
+ * Every placed enclave is tracked in a FleetEnclave record holding
+ * its respawn spec (manifest/image), the latest sealed checkpoint
+ * (the *watermark*) and the journal of acked calls made since that
+ * watermark -- the ResumableChannel recipe lifted to fleet scope.
+ * Because the frontend journals at ack time, the fleet can always
+ * rebuild an enclave as watermark + replay, which is what makes
+ * both live migration and node-loss recovery acked-call-lossless.
+ *
+ * Migration state machine (migrateEnclave):
+ *
+ *   Snapshot -> ReAttest -> Transfer -> Restore -> Replay -> Retire
+ *
+ * The single commit point is Retire: the source copy is destroyed
+ * only after the destination finished replaying. A failure (or an
+ * injected node kill) at any earlier stage aborts back to the
+ * source -- destroying any partial destination copy -- and a dead
+ * *source* mid-flight does not abort: the frontend already holds
+ * watermark + journal, so the migration completes onto the
+ * destination. Either way exactly one live copy survives, which is
+ * the fuzzer's convergence oracle.
+ *
+ * drainNode evacuates a node under a DrainBudget: live-migrate
+ * while budget lasts, fall back to in-place recovery for enclaves
+ * that cannot move, and finally quarantine the node at fleet level
+ * (idempotent with the node Supervisor's own quarantine -- see
+ * Supervisor::quarantineDevice) re-placing whatever remained.
+ */
+
+#ifndef CRONUS_CLUSTER_CLUSTER_HH
+#define CRONUS_CLUSTER_CLUSTER_HH
+
+#include "fleet_dispatcher.hh"
+#include "interconnect.hh"
+#include "node.hh"
+
+namespace cronus::cluster
+{
+
+/** Fleet-wide enclave id (stable across migrations). */
+using Fid = uint64_t;
+
+struct ClusterConfig
+{
+    uint32_t numNodes = 2;
+    /** Per-node machine shape (sharedClock/nodeName overwritten). */
+    core::CronusConfig nodeSystem;
+    recover::SupervisorConfig supervisor;
+    LinkCostModel link;
+    /** Auto-checkpoint after this many acked calls (0 = manual). */
+    uint32_t autoCheckpointEvery = 0;
+    /** FleetDispatcher score penalty for Degraded nodes. */
+    uint64_t degradedPenalty = 1ull << 20;
+};
+
+enum class MigrationStage
+{
+    Snapshot,
+    ReAttest,
+    Transfer,
+    Restore,
+    Replay,
+    Retire,
+};
+
+const char *migrationStageName(MigrationStage stage);
+Result<MigrationStage> migrationStageFromName(
+    const std::string &name);
+
+/** One completed (or aborted) migration, for audits and oracles. */
+struct MigrationAudit
+{
+    uint64_t seq = 0;
+    Fid fid = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::string outcome;  ///< "completed" | "aborted:<stage>: ..."
+    bool srcAlive = false;  ///< live copy on src after the attempt
+    bool dstAlive = false;  ///< live copy on dst after the attempt
+    SimTime startNs = 0;
+    SimTime endNs = 0;
+    uint64_t replayedCalls = 0;
+
+    /** The convergence invariant: exactly one live copy. */
+    bool converged() const { return srcAlive != dstAlive; }
+};
+
+/** Evacuation limits for drainNode. */
+struct DrainBudget
+{
+    /** Live migrations allowed (the rest re-place cold). */
+    uint32_t maxMigrations = 0xffffffffu;
+    /** Virtual-time ceiling for the whole drain (0 = none). */
+    SimTime maxNs = 0;
+};
+
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig &config);
+    ~Cluster();
+
+    SimClock &clock() { return fleetClock; }
+    size_t numNodes() const { return nodes.size(); }
+    ClusterNode &node(NodeId id) { return *nodes.at(id); }
+    Interconnect &interconnect() { return fabric; }
+    FleetDispatcher &dispatcher() { return placer; }
+    const ClusterConfig &config() const { return cfg; }
+
+    /* --- placement + calls --- */
+
+    /**
+     * Place a new enclave on the best node (health-aware
+     * least-loaded). The spec is retained for re-placement after
+     * node loss.
+     */
+    Result<Fid> placeEnclave(const std::string &manifest_json,
+                             const std::string &image_name,
+                             const Bytes &image);
+
+    /**
+     * Authenticated call routed frontend -> node over the
+     * interconnect. An acked (successful) call is journaled before
+     * it is reported acked, so no acked call can be lost to a later
+     * node failure; the auto-checkpoint cadence advances the
+     * watermark.
+     */
+    Result<Bytes> call(Fid fid, const std::string &fn,
+                       const Bytes &args);
+
+    /**
+     * Advance the enclave's watermark: seal its state, pull the
+     * blob to the frontend and clear the journal.
+     */
+    Status checkpoint(Fid fid);
+
+    Status destroyEnclave(Fid fid);
+
+    /* --- migration + drain --- */
+
+    /** Live-migrate @p fid to @p dst (see the state machine). */
+    Status migrateEnclave(Fid fid, NodeId dst);
+
+    /** Evacuate every enclave from @p node under @p budget. */
+    Status drainNode(NodeId node, const DrainBudget &budget);
+
+    /* --- node lifecycle (benches, injection) --- */
+
+    /**
+     * Crash an entire SoC. Refuses (InvalidState) to kill the last
+     * placeable node -- the fleet must keep a recovery target.
+     * Idempotent: killing a Down node is Ok.
+     */
+    Status killNode(NodeId id);
+
+    /** Reboot a Down node and re-admit it to the fleet. */
+    Status recoverNode(NodeId id);
+
+    /** Sever/heal the interconnect between two nodes. */
+    void partitionLink(NodeId a, NodeId b, bool down);
+
+    /**
+     * Fleet-level quarantine of @p node: marks it Quarantined,
+     * quarantines its devices on the node Supervisor (idempotent --
+     * a device the Supervisor already gave up on is not re-dumped)
+     * and re-places its enclaves elsewhere.
+     */
+    Status quarantineNode(NodeId id, const std::string &why);
+
+    /**
+     * Fleet sweep: re-place enclaves stranded on Down/Quarantined
+     * nodes and refresh node health from each Supervisor. Call
+     * between operations (the fuzz runner pumps after node kills).
+     */
+    void pump();
+
+    /* --- introspection + audit --- */
+
+    bool exists(Fid fid) const;
+    /** The node currently hosting @p fid. */
+    Result<NodeId> nodeOf(Fid fid) const;
+    /** A live, callable copy exists (host node up, partition Ready). */
+    bool enclaveAlive(Fid fid);
+    uint64_t ackedCalls(Fid fid) const;
+    std::vector<Fid> enclavesOn(NodeId id) const;
+
+    const std::vector<MigrationAudit> &migrations() const
+    {
+        return migrationLog;
+    }
+
+    /**
+     * Stage hook, fired just *before* each migration stage executes
+     * (seq is 1-based). The FleetInjector lands migration-window
+     * kills through this.
+     */
+    using StageHook = std::function<void(
+        uint64_t seq, MigrationStage stage, NodeId src, NodeId dst)>;
+    void setStageHook(StageHook hook) { stageHook = std::move(hook); }
+
+    /** Fleet counters + per-node health + interconnect report. */
+    JsonValue report();
+
+    /* --- fleet counters (public for bench assertions) --- */
+    uint64_t placements = 0;
+    uint64_t migrationsCompleted = 0;
+    uint64_t migrationsAborted = 0;
+    uint64_t drains = 0;
+    uint64_t fleetQuarantines = 0;
+    uint64_t replacements = 0;  ///< cold re-places after node loss
+    uint64_t supervisorEscalations = 0;  ///< node-sup quarantine hooks
+
+  private:
+    struct FleetCall
+    {
+        std::string fn;
+        Bytes args;
+    };
+
+    struct FleetEnclave
+    {
+        Fid fid = 0;
+        NodeId nodeId = 0;
+        core::AppHandle handle;
+        /* Respawn spec. */
+        std::string manifestJson;
+        std::string imageName;
+        Bytes image;
+        /* Watermark + journal (frontend-durable). */
+        Bytes sealed;
+        Bytes sealedSecret;
+        bool haveCheckpoint = false;
+        std::vector<FleetCall> journal;
+        uint64_t acked = 0;
+        uint32_t callsSinceCkpt = 0;
+    };
+
+    /** Create + restore + replay @p rec onto @p target; updates the
+     *  record on success. The shared tail of migration Restore/
+     *  Replay and cold re-placement. */
+    Status materialize(FleetEnclave &rec, NodeId target,
+                       uint64_t *replayed, bool via_frontend);
+
+    /** Re-place a stranded enclave on the best other node. */
+    Status recoverEnclave(FleetEnclave &rec);
+
+    /** Live copy of @p rec on node @p id right now? */
+    bool aliveOn(FleetEnclave &rec, NodeId id);
+
+    uint64_t journalBytes(const FleetEnclave &rec) const;
+    void fireStage(uint64_t seq, MigrationStage stage, NodeId src,
+                   NodeId dst);
+
+    ClusterConfig cfg;
+    SimClock fleetClock;
+    std::vector<std::unique_ptr<ClusterNode>> nodes;
+    Interconnect fabric;
+    FleetDispatcher placer;
+    std::map<Fid, FleetEnclave> enclaves;
+    Fid nextFid = 1;
+    uint64_t migrationSeq = 0;
+    std::vector<MigrationAudit> migrationLog;
+    StageHook stageHook;
+};
+
+} // namespace cronus::cluster
+
+#endif // CRONUS_CLUSTER_CLUSTER_HH

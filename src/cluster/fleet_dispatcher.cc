@@ -1,0 +1,33 @@
+#include "fleet_dispatcher.hh"
+
+namespace cronus::cluster
+{
+
+Result<NodeId>
+FleetDispatcher::placeNode(
+    const std::vector<std::unique_ptr<ClusterNode>> &nodes,
+    const std::set<NodeId> &exclude) const
+{
+    bool found = false;
+    NodeId best = 0;
+    uint64_t bestScore = 0;
+    for (const auto &node : nodes) {
+        if (!node->placeable() || exclude.count(node->id()))
+            continue;
+        uint64_t score = node->liveEnclaves;
+        if (node->health() == NodeHealth::Degraded)
+            score += penalty;
+        /* Strictly-less keeps the lowest-id winner on ties. */
+        if (!found || score < bestScore) {
+            found = true;
+            best = node->id();
+            bestScore = score;
+        }
+    }
+    if (!found)
+        return Status(ErrorCode::ResourceExhausted,
+                      "no placeable node in the fleet");
+    return best;
+}
+
+} // namespace cronus::cluster

@@ -30,6 +30,11 @@ CronusSystem::CronusSystem(const CronusConfig &config) : cfg(config)
     hw::PlatformConfig pc;
     pc.normalMemBytes = cfg.normalMemBytes;
     pc.secureMemBytes = cfg.secureMemBytes;
+    pc.externalClock = cfg.sharedClock;
+    /* Named fleet members carry distinct root-of-trust identities;
+     * anonymous (single-node) systems keep the default seed. */
+    if (!cfg.nodeName.empty())
+        pc.rotSeed = toBytes("platform-" + cfg.nodeName);
     plat = std::make_unique<hw::Platform>(pc);
 
     /* Vendor PKI: ARM for the CPU, NVIDIA for GPUs, VTA for NPUs. */

@@ -15,6 +15,7 @@
 #include "accel/gpu.hh"
 #include "accel/npu.hh"
 #include "attestation.hh"
+#include "base/sim_clock.hh"
 #include "dispatcher.hh"
 #include "module_store.hh"
 #include "obs/metrics.hh"
@@ -48,6 +49,24 @@ struct CronusConfig
      * here wins over the environment (test parameterization).
      */
     tee::BackendSelect backend = tee::BackendSelect::Default;
+    /**
+     * Fleet-shared virtual clock. When set, the node's Platform
+     * charges all virtual time against this clock instead of its
+     * own, so every SoC in a cluster::Cluster shares one timeline.
+     * Null (the default) keeps the platform-owned clock; single-node
+     * behavior is bit-for-bit unchanged. Pointee must outlive the
+     * system.
+     */
+    SimClock *sharedClock = nullptr;
+    /**
+     * Node identity for fleet membership ("node3"). Consumed by
+     * recover::Supervisor span/dump qualification and by cluster
+     * credentials; empty for standalone systems. A non-empty name
+     * also derives a per-node RoT seed ("platform-<name>") so fleet
+     * peers attest distinct keys; the empty default keeps the seed
+     * -- and every attestation vector -- bit-for-bit unchanged.
+     */
+    std::string nodeName;
 };
 
 /**
@@ -70,6 +89,9 @@ class CronusSystem
 
     /* --- component access --- */
     hw::Platform &platform() { return *plat; }
+    const CronusConfig &config() const { return cfg; }
+    /** Fleet node identity ("" for a standalone system). */
+    const std::string &nodeName() const { return cfg.nodeName; }
     tee::SecureMonitor &monitor() { return *sm; }
     tee::Spm &spm() { return *partitionManager; }
     tee::NormalWorld &normalWorld() { return *nw; }

@@ -153,6 +153,19 @@ fuzzScenario(const Scenario &sc, const FuzzOptions &opts)
     } else {
         checkAgainstReference(sc, faulted, expected, "", rep);
         checkAudit(faulted, "", rep);
+        /* Migration convergence: every cross-node migration --
+         * including one whose window a node kill landed in -- must
+         * end with exactly one live copy (source XOR destination).
+         * Unlike the reference oracle this is checked on tainted
+         * records too; it is the fleet's crash-safety contract. */
+        if (!faulted.migrationConsistent) {
+            std::string detail;
+            for (const std::string &m : faulted.migrationOutcomes)
+                detail += " [" + m + "]";
+            addFailure(rep, "migration",
+                       "migration-window convergence violated:" +
+                           detail);
+        }
         /* Liveness: every never-faulted channel drains clean. */
         for (size_t i = 0; i < faulted.finalDrain.size(); ++i) {
             bool tainted = i < faulted.enclaveTainted.size() &&
@@ -193,6 +206,16 @@ fuzzScenario(const Scenario &sc, const FuzzOptions &opts)
             checkAgainstReference(sc, baseline, expected,
                                   "baseline: ", rep);
             checkAudit(baseline, "baseline: ", rep);
+            if (!baseline.migrationConsistent) {
+                std::string detail;
+                for (const std::string &m :
+                     baseline.migrationOutcomes)
+                    detail += " [" + m + "]";
+                addFailure(rep, "migration",
+                           "baseline: migration-window convergence "
+                           "violated:" +
+                               detail);
+            }
             size_t n = std::min(faulted.records.size(),
                                 baseline.records.size());
             for (size_t i = 0; i < n; ++i) {
@@ -368,6 +391,17 @@ diffBackends(const Scenario &sc)
 
     diffField(rep, "violations", a.violations.size(),
               b.violations.size());
+    /* Fleet verdict: migration audits must agree attempt-for-attempt
+     * across isolation substrates, outcome and liveness bits alike. */
+    diffField(rep, "migration count", a.migrationOutcomes.size(),
+              b.migrationOutcomes.size());
+    for (size_t i = 0; i < std::min(a.migrationOutcomes.size(),
+                                    b.migrationOutcomes.size());
+         ++i)
+        diffField(rep, "migration " + std::to_string(i),
+                  a.migrationOutcomes[i], b.migrationOutcomes[i]);
+    diffField(rep, "migration_consistent", a.migrationConsistent,
+              b.migrationConsistent);
     diffField(rep, "final_check", a.finalCheck, b.finalCheck);
     diffField(rep, "trap_count", a.trapCount, b.trapCount);
     diffField(rep, "end_time_ns", a.endTimeNs, b.endTimeNs);

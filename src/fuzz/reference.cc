@@ -32,11 +32,93 @@ struct GpuModel
     std::vector<float> buf[3];
 };
 
+/**
+ * Fleet-aware reference model for cluster scenarios. Mirrors the
+ * observables of the fault-free fleet: per-enclave accumulate
+ * totals (which survive migration and node loss by construction --
+ * watermark + journal replay), plus the node up/down set needed to
+ * predict lifecycle op codes (killNode's last-usable-node refusal,
+ * migrate to a Down destination, drain of the last usable node).
+ * Quarantine never occurs fault-free, so it is not modelled; the
+ * runner taints lifecycle records once a fleet fault has fired.
+ */
+std::vector<ExpectedOp>
+clusterReferenceRun(const Scenario &sc)
+{
+    const size_t count = sc.enclaves.size();
+    std::vector<uint64_t> totals(count, 0);
+    std::vector<bool> down(sc.numNodes, false);
+
+    auto upNodes = [&] {
+        uint32_t up = 0;
+        for (bool d : down)
+            up += d ? 0 : 1;
+        return up;
+    };
+
+    std::vector<ExpectedOp> out;
+    out.reserve(sc.ops.size());
+    for (const ScenarioOp &op : sc.ops) {
+        ExpectedOp exp;
+        size_t e = count ? op.enclave % count : 0;
+        uint32_t node = sc.numNodes
+                            ? static_cast<uint32_t>(op.a) %
+                                  sc.numNodes
+                            : 0;
+        switch (op.kind) {
+          case OpKind::FleetCall:
+            if (count == 0) {
+                exp.code = "InvalidArgument";
+                break;
+            }
+            totals[e] += op.a;
+            exp.output = u64Output(totals[e]);
+            break;
+          case OpKind::FleetCheckpoint:
+            if (count == 0)
+                exp.code = "InvalidArgument";
+            break;
+          case OpKind::Migrate:
+            if (count == 0)
+                exp.code = "InvalidArgument";
+            else if (down[node])
+                /* Snapshot-stage abort: destination not placeable. */
+                exp.code = "InvalidState";
+            break;
+          case OpKind::NodeKill:
+            if (down[node])
+                break;  /* idempotent Ok */
+            if (upNodes() <= 1) {
+                exp.code = "InvalidState";
+                break;
+            }
+            down[node] = true;
+            break;
+          case OpKind::NodeRecover:
+            down[node] = false;
+            break;
+          case OpKind::NodeDrain:
+            if (!down[node] && upNodes() <= 1)
+                exp.code = "InvalidState";
+            break;
+          default:
+            /* Non-fleet kinds are inert in the fleet dialect; the
+             * runner reports them Unsupported. */
+            exp.code = "Unsupported";
+            break;
+        }
+        out.push_back(std::move(exp));
+    }
+    return out;
+}
+
 } // namespace
 
 std::vector<ExpectedOp>
 referenceRun(const Scenario &sc)
 {
+    if (sc.numNodes > 1)
+        return clusterReferenceRun(sc);
     /* Per-enclave state, zero-initialized like the real devices
      * (VRAM and NPU buffers are scrubbed allocations). */
     std::vector<GpuModel> gpus(sc.enclaves.size());
@@ -198,6 +280,15 @@ referenceRun(const Scenario &sc)
           case OpKind::AttackStaleAttestation:
           case OpKind::AttackSmmuStreamReuse:
             exp.isAttack = true;
+            break;
+          case OpKind::FleetCall:
+          case OpKind::FleetCheckpoint:
+          case OpKind::Migrate:
+          case OpKind::NodeKill:
+          case OpKind::NodeRecover:
+          case OpKind::NodeDrain:
+            /* Fleet ops in a single-node scenario: unsupported. */
+            exp.code = "Unsupported";
             break;
         }
         out.push_back(std::move(exp));

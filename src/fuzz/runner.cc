@@ -15,10 +15,10 @@ namespace cronus::fuzz
 
 using namespace core;
 
-namespace
-{
-
 /* ---------------- fixtures ---------------- */
+
+/* Non-static: the fleet runner (cluster_run.cc) places the same CPU
+ * accumulate workers on every node of its cluster. */
 
 void
 registerFuzzCpuFunctions()
@@ -57,14 +57,6 @@ fzCpuImage()
     return image.serialize();
 }
 
-Bytes
-fzGpuImage()
-{
-    accel::GpuModuleImage image{
-        "fz.cubin", {"fill_f32", "vec_add_f32", "saxpy_f32"}};
-    return image.serialize();
-}
-
 std::string
 fzCpuManifest()
 {
@@ -75,6 +67,17 @@ fzCpuManifest()
     m.mEcalls = {{"fz_echo", false}, {"fz_accumulate", false}};
     m.memoryBytes = 4ull << 20;
     return m.toJson();
+}
+
+namespace
+{
+
+Bytes
+fzGpuImage()
+{
+    accel::GpuModuleImage image{
+        "fz.cubin", {"fill_f32", "vec_add_f32", "saxpy_f32"}};
+    return image.serialize();
 }
 
 std::string
@@ -387,6 +390,9 @@ class Run
                   case FaultSpec::Kind::SkewClock:
                     plan.skewClock(f.nth, f.skewNs);
                     break;
+                  case FaultSpec::Kind::MigrationKill:
+                    /* Fleet-only fault; inert on a single node. */
+                    break;
                 }
             }
             injector = std::make_unique<inject::FaultInjector>(
@@ -511,6 +517,12 @@ class Run
               case inject::FaultAction::Kind::SkewClock:
                 if (rec)
                     rec->tainted = true;
+                break;
+              case inject::FaultAction::Kind::KillNode:
+              case inject::FaultAction::Kind::PartitionLink:
+              case inject::FaultAction::Kind::KillMigration:
+                /* Fleet-scoped events never fire on the single-node
+                 * SPM injector (it filters them out). */
                 break;
             }
         }
@@ -927,6 +939,16 @@ class Run
             rec.blocked = s.code() == ErrorCode::AccessFault;
             break;
           }
+          case OpKind::FleetCall:
+          case OpKind::FleetCheckpoint:
+          case OpKind::Migrate:
+          case OpKind::NodeKill:
+          case OpKind::NodeRecover:
+          case OpKind::NodeDrain:
+            /* Fleet-dialect ops in a single-node scenario (only
+             * possible in a hand-edited repro): no fleet to act on. */
+            rec.code = "Unsupported";
+            break;
         }
     }
 
@@ -1143,6 +1165,16 @@ RunReport::toJson(const Scenario &sc, const RunOptions &opts) const
     root["pipe_tainted"] = pipeTainted;
     root["corrupt_fired"] = corruptFired;
 
+    /* Fleet verdict -- written only for cluster scenarios so the
+     * single-node trace document stays byte-identical. */
+    if (sc.numNodes > 1) {
+        JsonArray migs;
+        for (const std::string &m : migrationOutcomes)
+            migs.push_back(JsonValue(m));
+        root["migration_outcomes"] = JsonValue(migs);
+        root["migration_consistent"] = migrationConsistent;
+    }
+
     root["trap_count"] = static_cast<int64_t>(trapCount);
     root["end_time_ns"] = static_cast<int64_t>(endTimeNs);
     root["decisions"] = decisions;
@@ -1152,6 +1184,8 @@ RunReport::toJson(const Scenario &sc, const RunOptions &opts) const
 RunReport
 runScenario(const Scenario &sc, const RunOptions &opts)
 {
+    if (sc.numNodes > 1)
+        return runClusterScenario(sc, opts);
     Run run(sc, opts);
     return run.execute();
 }

@@ -98,6 +98,19 @@ struct RunReport
     uint64_t trapCount = 0;
     SimTime endTimeNs = 0;
 
+    /* --- fleet verdict (cluster scenarios: numNodes > 1) --- */
+
+    /** One line per migration attempt: "seq fid src->dst outcome
+     *  [src][dst]" -- part of the differential backend verdict. */
+    std::vector<std::string> migrationOutcomes;
+    /** The convergence oracle held: every migration between two
+     *  distinct nodes ended with exactly one live copy (source XOR
+     *  destination) -- or, when a migration-window kill left both
+     *  ends dead, the fleet sweep re-placed the enclave on a third
+     *  node. Checked even in faulted runs: two live copies (a
+     *  clone) or a lost enclave is always a violation. */
+    bool migrationConsistent = true;
+
     /** Interleaved decision log (placements, ecalls, op boundaries,
      *  fault firings, recoveries, traps) as a JSON array. */
     JsonValue decisions;
@@ -106,9 +119,21 @@ struct RunReport
     JsonValue toJson(const Scenario &sc, const RunOptions &opts) const;
 };
 
-/** Execute @p sc on a fresh CronusSystem. */
+/** Execute @p sc on a fresh CronusSystem. Cluster scenarios
+ *  (numNodes > 1) dispatch to the fleet runner (cluster_run.cc). */
 RunReport runScenario(const Scenario &sc,
                       const RunOptions &opts = RunOptions());
+
+/** Fleet runner for cluster scenarios (internal; use runScenario). */
+RunReport runClusterScenario(const Scenario &sc,
+                             const RunOptions &opts);
+
+/* Shared CPU fixtures (runner.cc) reused by the fleet runner: the
+ * fz_accumulate/fz_echo function registry entries, image and
+ * manifest. */
+void registerFuzzCpuFunctions();
+Bytes fzCpuImage();
+std::string fzCpuManifest();
 
 /** Lower-case hex of @p b (trace dumps). */
 std::string hexBytes(const Bytes &b);

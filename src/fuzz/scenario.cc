@@ -35,6 +35,12 @@ const OpKindEntry kOpKinds[] = {
     {OpKind::AttackShootdownToctou, "attack_shootdown_toctou"},
     {OpKind::AttackStaleAttestation, "attack_stale_attestation"},
     {OpKind::AttackSmmuStreamReuse, "attack_smmu_stream_reuse"},
+    {OpKind::FleetCall, "fleet_call"},
+    {OpKind::FleetCheckpoint, "fleet_checkpoint"},
+    {OpKind::Migrate, "migrate"},
+    {OpKind::NodeKill, "node_kill"},
+    {OpKind::NodeRecover, "node_recover"},
+    {OpKind::NodeDrain, "node_drain"},
 };
 
 const char *
@@ -45,6 +51,7 @@ faultKindName(FaultSpec::Kind k)
       case FaultSpec::Kind::FailAccess: return "fail_access";
       case FaultSpec::Kind::CorruptHeader: return "corrupt_header";
       case FaultSpec::Kind::SkewClock: return "skew_clock";
+      case FaultSpec::Kind::MigrationKill: return "migration_kill";
     }
     return "?";
 }
@@ -60,6 +67,8 @@ faultKindFromName(const std::string &name)
         return FaultSpec::Kind::CorruptHeader;
     if (name == "skew_clock")
         return FaultSpec::Kind::SkewClock;
+    if (name == "migration_kill")
+        return FaultSpec::Kind::MigrationKill;
     return Status(ErrorCode::InvalidArgument,
                   "unknown fault kind '" + name + "'");
 }
@@ -91,6 +100,9 @@ opTargetsEnclave(OpKind k)
       case OpKind::AttackSmemTamper:
       case OpKind::AttackShootdownToctou:
       case OpKind::AttackSmmuStreamReuse:
+      case OpKind::FleetCall:
+      case OpKind::FleetCheckpoint:
+      case OpKind::Migrate:
         return true;
       default:
         return false;
@@ -313,6 +325,102 @@ generateScenario(uint64_t seed)
           case OpKind::AttackTamperArgs:
           case OpKind::AttackUndeclaredCall:
             break;
+          default:
+            /* Fleet kinds are never on the single-SoC menu. */
+            break;
+        }
+        s.ops.push_back(op);
+    }
+    return s;
+}
+
+Scenario
+generateClusterScenario(uint64_t seed)
+{
+    /* Distinct stream constant: a cluster scenario for seed N is
+     * unrelated to the single-SoC scenario for seed N. */
+    Rng rng(seed ^ 0x9d3f72c8a65b01eeULL);
+    Scenario s;
+    s.seed = seed;
+    s.numNodes = 2 + static_cast<uint32_t>(rng.nextBelow(3));
+    s.numGpus = 0;
+    s.withNpu = false;
+
+    /* Fleet enclaves: CPU accumulate workers, placed by the fleet
+     * dispatcher. elems/slots/slotBytes are unused in the fleet
+     * dialect but kept well-formed for the JSON round trip. */
+    uint64_t enclave_count = 2 + rng.nextBelow(4);
+    for (uint64_t i = 0; i < enclave_count; ++i) {
+        EnclavePlan plan;
+        plan.deviceType = "cpu";
+        plan.deviceName = "cpu";
+        plan.elems = 0;
+        s.enclaves.push_back(plan);
+    }
+
+    /* Fault schedule: 0-2 migration-window node kills. */
+    static const char *kStages[] = {"snapshot", "reattest",
+                                    "transfer", "restore",
+                                    "replay",   "retire"};
+    uint64_t fault_count = rng.nextBelow(3);
+    for (uint64_t i = 0; i < fault_count; ++i) {
+        FaultSpec f;
+        f.kind = FaultSpec::Kind::MigrationKill;
+        f.nth = 1 + rng.nextBelow(4);
+        f.stage = kStages[rng.nextBelow(6)];
+        f.killDst = rng.nextBelow(2) == 1;
+        s.faults.push_back(f);
+    }
+
+    struct Weighted
+    {
+        OpKind kind;
+        uint32_t weight;
+    };
+    const Weighted menu[] = {
+        {OpKind::FleetCall, 8},    {OpKind::FleetCheckpoint, 2},
+        {OpKind::Migrate, 4},      {OpKind::NodeKill, 2},
+        {OpKind::NodeRecover, 2},  {OpKind::NodeDrain, 1},
+    };
+    uint32_t total_weight = 0;
+    for (const auto &w : menu)
+        total_weight += w.weight;
+
+    uint64_t op_count = 8 + rng.nextBelow(20);
+    for (uint64_t i = 0; i < op_count; ++i) {
+        uint64_t roll = rng.nextBelow(total_weight);
+        OpKind kind = menu[0].kind;
+        for (const auto &w : menu) {
+            if (roll < w.weight) {
+                kind = w.kind;
+                break;
+            }
+            roll -= w.weight;
+        }
+        ScenarioOp op;
+        op.kind = kind;
+        switch (kind) {
+          case OpKind::FleetCall:
+            op.enclave = static_cast<uint32_t>(
+                rng.nextBelow(s.enclaves.size()));
+            op.a = 1 + rng.nextBelow(100);
+            break;
+          case OpKind::FleetCheckpoint:
+            op.enclave = static_cast<uint32_t>(
+                rng.nextBelow(s.enclaves.size()));
+            break;
+          case OpKind::Migrate:
+            op.enclave = static_cast<uint32_t>(
+                rng.nextBelow(s.enclaves.size()));
+            op.a = rng.nextBelow(s.numNodes);
+            break;
+          case OpKind::NodeKill:
+          case OpKind::NodeRecover:
+          case OpKind::NodeDrain:
+            op.a = rng.nextBelow(s.numNodes);
+            break;
+          default:
+            break;
         }
         s.ops.push_back(op);
     }
@@ -328,6 +436,10 @@ Scenario::toJson() const
 {
     JsonObject root;
     root["seed"] = static_cast<int64_t>(seed);
+    /* Written only for cluster scenarios: single-node documents stay
+     * byte-identical to the pre-cluster format. */
+    if (numNodes != 1)
+        root["num_nodes"] = static_cast<int64_t>(numNodes);
     root["num_gpus"] = static_cast<int64_t>(numGpus);
     root["with_npu"] = withNpu;
     root["with_pipe"] = withPipe;
@@ -362,6 +474,10 @@ Scenario::toJson() const
             break;
           case FaultSpec::Kind::SkewClock:
             o["skew_ns"] = static_cast<int64_t>(f.skewNs);
+            break;
+          case FaultSpec::Kind::MigrationKill:
+            o["stage"] = f.stage;
+            o["kill_dst"] = f.killDst;
             break;
           case FaultSpec::Kind::FailAccess:
             break;
@@ -399,6 +515,8 @@ Scenario::fromJson(const JsonValue &v)
     if (!seed_val.isOk())
         return seed_val.status();
     s.seed = static_cast<uint64_t>(seed_val.value());
+    if (v.has("num_nodes"))
+        s.numNodes = static_cast<uint32_t>(v["num_nodes"].asInt());
     s.numGpus = static_cast<uint32_t>(v["num_gpus"].asInt());
     s.withNpu = v["with_npu"].isBool() && v["with_npu"].asBool();
     s.withPipe = v["with_pipe"].isBool() && v["with_pipe"].asBool();
@@ -449,6 +567,11 @@ Scenario::fromJson(const JsonValue &v)
             f.value = static_cast<uint64_t>(fv["value"].asInt());
         if (fv.has("skew_ns"))
             f.skewNs = static_cast<SimTime>(fv["skew_ns"].asInt());
+        if (fv.has("stage"))
+            f.stage = fv["stage"].asString();
+        if (fv.has("kill_dst"))
+            f.killDst =
+                fv["kill_dst"].isBool() && fv["kill_dst"].asBool();
         s.faults.push_back(f);
     }
 
@@ -548,7 +671,7 @@ Scenario::normalize()
             uint32_t idx = static_cast<uint32_t>(
                 std::stoul(e.deviceName.substr(3)));
             max_gpu = std::max(max_gpu, idx);
-        } else {
+        } else if (e.deviceType == "npu") {
             any_npu = true;
         }
     }

@@ -63,6 +63,15 @@ enum class OpKind : uint32_t
     /** Confused deputy: reuse enclave a's device DMA stream to aim
      *  a transfer at a foreign partition's memory. */
     AttackSmmuStreamReuse,
+    /* -- fleet ops (cluster scenarios only: numNodes > 1; the
+     *    runner executes them against a cluster::Cluster and the
+     *    reference model mirrors totals + node up/down state) -- */
+    FleetCall,        ///< accumulate(a) on fleet enclave `enclave`
+    FleetCheckpoint,  ///< advance fleet enclave's sealed watermark
+    Migrate,          ///< live-migrate enclave to node a % numNodes
+    NodeKill,         ///< crash node a % numNodes (fleet re-places)
+    NodeRecover,      ///< reboot node a % numNodes
+    NodeDrain,        ///< evacuate node a % numNodes
 };
 
 const char *opKindName(OpKind k);
@@ -99,20 +108,31 @@ struct FaultSpec
         FailAccess,     ///< abort the triggering checked access
         CorruptHeader,  ///< poke ring header of channel `channel`
         SkewClock,      ///< advance virtual time by skewNs
+        /** Kill the migration source (or destination, with killDst)
+         *  node when the nth fleet migration reaches `stage`.
+         *  Cluster scenarios only; armed via the FleetInjector. */
+        MigrationKill,
     };
 
     Kind kind = Kind::Kill;
-    uint64_t nth = 10;     ///< Nth checked SPM access (1-based)
+    uint64_t nth = 10;     ///< Nth SPM access / Nth migration
     std::string victim;    ///< Kill: device name
     uint32_t channel = 0;  ///< CorruptHeader: device-enclave index
     std::string field;     ///< CorruptHeader: "rid" | "sid"
     uint64_t value = 0;    ///< CorruptHeader: small replacement value
     SimTime skewNs = 0;    ///< SkewClock
+    std::string stage;     ///< MigrationKill: "snapshot".."retire"
+    bool killDst = false;  ///< MigrationKill: kill dst, not src
 };
 
 struct Scenario
 {
     uint64_t seed = 0;
+    /** Fleet size. 1 (the default) runs the classic single-SoC
+     *  machine below; > 1 runs a cluster::Cluster of CPU-only nodes
+     *  and the op list speaks the fleet dialect (FleetCall /
+     *  Migrate / NodeKill / ...). */
+    uint32_t numNodes = 1;
     /** Machine shape: 1 CPU partition + numGpus + (withNpu ? 1 : 0)
      *  device partitions, i.e. 1-4 partitions total. */
     uint32_t numGpus = 1;
@@ -142,6 +162,14 @@ struct Scenario
 
 /** Expand @p seed into a full scenario (pure function of the seed). */
 Scenario generateScenario(uint64_t seed);
+
+/**
+ * Expand @p seed into a multi-node *cluster* scenario (numNodes > 1,
+ * fleet-dialect ops, MigrationKill fault schedule). A separate
+ * generator -- not a mode flag on generateScenario -- so the classic
+ * single-SoC corpus keeps its exact draw order seed for seed.
+ */
+Scenario generateClusterScenario(uint64_t seed);
 
 /**
  * Deterministic payload chunk used by NpuWrite/PipeWrite: both the

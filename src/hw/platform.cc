@@ -23,13 +23,15 @@ Platform::Platform(const PlatformConfig &config)
     CRONUS_ASSERT(s.isOk(), "secure region setup: " + s.toString());
     bytesCopied = &statGroup.counter("bus_bytes_copied");
     /* Register the virtual clock so the tracer can stamp events in
-     * virtual time (it only reads the clock -- zero cost charged). */
-    obs::Tracer::instance().attachClock(&simClock);
+     * virtual time (it only reads the clock -- zero cost charged).
+     * With an external (fleet-shared) clock configured, that is the
+     * clock events must be stamped from. */
+    obs::Tracer::instance().attachClock(&clock());
 }
 
 Platform::~Platform()
 {
-    obs::Tracer::instance().detachClock(&simClock);
+    obs::Tracer::instance().detachClock(&clock());
 }
 
 Status
@@ -222,14 +224,14 @@ Platform::lockDown()
 void
 Platform::chargeMemcpy(uint64_t bytes)
 {
-    simClock.advance(
+    clock().advance(
         static_cast<SimTime>(bytes * costModel.memcpyNsPerByte));
 }
 
 void
 Platform::chargeDma(uint64_t bytes)
 {
-    simClock.advance(
+    clock().advance(
         static_cast<SimTime>(bytes * costModel.dmaNsPerByte));
 }
 

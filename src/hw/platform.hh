@@ -35,6 +35,15 @@ struct PlatformConfig
     uint64_t normalMemBytes = 256ull << 20;
     uint64_t secureMemBytes = 128ull << 20;
     Bytes rotSeed = {'p', 'l', 'a', 't', 'f', 'o', 'r', 'm'};
+    /**
+     * When set, this platform charges virtual time against the given
+     * clock instead of its own member clock. A multi-SoC Cluster
+     * points every node at one fleet clock so cross-node timelines
+     * stay totally ordered; single-node users leave it null and the
+     * platform behaves exactly as before (the member clock is then
+     * the effective clock). The pointee must outlive the Platform.
+     */
+    SimClock *externalClock = nullptr;
 };
 
 class Platform
@@ -120,7 +129,8 @@ class Platform
     RootOfTrust &rootOfTrust() { return rot; }
     VendorRegistry &vendors() { return vendorRegistry; }
 
-    SimClock &clock() { return simClock; }
+    SimClock &clock() { return cfg.externalClock ? *cfg.externalClock
+                                                 : simClock; }
     const CostModel &costs() const { return costModel; }
     /** Mutable cost model for what-if experiments (e.g. the §VII-B
      *  hardware-assisted trusted-shared-memory ablation). */

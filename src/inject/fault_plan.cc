@@ -105,6 +105,61 @@ FaultPlan::skewClock(uint64_t nth, SimTime skew_ns, AccessFilter f)
     return add(t, a);
 }
 
+FaultPlan &
+FaultPlan::killNodeAtTime(SimTime when, const std::string &node)
+{
+    FaultTrigger t;
+    t.kind = FaultTrigger::Kind::AtTime;
+    t.when = when;
+    FaultAction a;
+    a.kind = FaultAction::Kind::KillNode;
+    a.node = node;
+    return add(t, a);
+}
+
+FaultPlan &
+FaultPlan::partitionLinkAtTime(SimTime when, const std::string &na,
+                               const std::string &nb)
+{
+    FaultTrigger t;
+    t.kind = FaultTrigger::Kind::AtTime;
+    t.when = when;
+    FaultAction a;
+    a.kind = FaultAction::Kind::PartitionLink;
+    a.node = na;
+    a.nodeB = nb;
+    return add(t, a);
+}
+
+FaultPlan &
+FaultPlan::killMigration(uint64_t nth, const std::string &stage,
+                         bool kill_dst)
+{
+    FaultTrigger t;
+    t.kind = FaultTrigger::Kind::NthMigration;
+    t.nth = nth;
+    FaultAction a;
+    a.kind = FaultAction::Kind::KillMigration;
+    a.stage = stage;
+    a.killDst = kill_dst;
+    return add(t, a);
+}
+
+bool
+isFleetEvent(const FaultTrigger &t, const FaultAction &a)
+{
+    if (t.kind == FaultTrigger::Kind::NthMigration)
+        return true;
+    switch (a.kind) {
+      case FaultAction::Kind::KillNode:
+      case FaultAction::Kind::PartitionLink:
+      case FaultAction::Kind::KillMigration:
+        return true;
+      default:
+        return false;
+    }
+}
+
 FaultPlan
 FaultPlan::randomPlan(uint64_t seed, const RandomPlanSpec &spec)
 {
@@ -152,6 +207,7 @@ triggerKindName(FaultTrigger::Kind k)
       case FaultTrigger::Kind::NthAccess: return "nth_access";
       case FaultTrigger::Kind::AtTime: return "at_time";
       case FaultTrigger::Kind::AtIncarnation: return "at_incarnation";
+      case FaultTrigger::Kind::NthMigration: return "nth_migration";
     }
     return "?";
 }
@@ -164,6 +220,9 @@ actionKindName(FaultAction::Kind k)
       case FaultAction::Kind::FailAccess: return "fail_access";
       case FaultAction::Kind::CorruptHeader: return "corrupt_header";
       case FaultAction::Kind::SkewClock: return "skew_clock";
+      case FaultAction::Kind::KillNode: return "kill_node";
+      case FaultAction::Kind::PartitionLink: return "partition_link";
+      case FaultAction::Kind::KillMigration: return "kill_migration";
     }
     return "?";
 }
@@ -202,6 +261,17 @@ FaultPlan::toJson() const
             break;
           case FaultAction::Kind::SkewClock:
             a["skew_ns"] = static_cast<int64_t>(e.action.skewNs);
+            break;
+          case FaultAction::Kind::KillNode:
+            a["node"] = e.action.node;
+            break;
+          case FaultAction::Kind::PartitionLink:
+            a["node"] = e.action.node;
+            a["node_b"] = e.action.nodeB;
+            break;
+          case FaultAction::Kind::KillMigration:
+            a["stage"] = e.action.stage;
+            a["kill_dst"] = e.action.killDst;
             break;
         }
 

@@ -74,6 +74,11 @@ struct FaultTrigger
          *  successive reboot — a deterministic crash-loop plan that
          *  drives a supervisor into its restart budget. */
         AtIncarnation,
+        /** Fire on the Nth fleet migration (1-based), at the stage
+         *  named by the action. Fleet-scoped: armed by the cluster's
+         *  FleetInjector against Cluster::setStageHook; the SPM
+         *  FaultInjector ignores these events. */
+        NthMigration,
     };
 
     Kind kind = Kind::NthAccess;
@@ -99,6 +104,22 @@ struct FaultAction
         /** Advance the simulated clock by a fixed skew (models a
          *  stalled device or timing perturbation). */
         SkewClock,
+        /** Crash an entire SoC: every partition on the named node
+         *  panics at once (power loss / fatal SoC error). Fleet-
+         *  scoped -- armed by the FleetInjector, ignored by the SPM
+         *  FaultInjector. */
+        KillNode,
+        /** Sever the interconnect link between two named nodes (or
+         *  between a node and the fleet frontend when `nodeB` is
+         *  empty): cross-node sRPC over the link fails with
+         *  PeerFailed until the bench/test heals it. Fleet-scoped. */
+        PartitionLink,
+        /** Kill the migration source or destination node mid-
+         *  migration, at the stage named by `stage` ("snapshot",
+         *  "transfer", "reattest", "restore", "replay", "retire").
+         *  The convergence oracle: afterwards exactly one of
+         *  source/destination must hold the enclave. Fleet-scoped. */
+        KillMigration,
     };
 
     Kind kind = Kind::KillPartition;
@@ -107,7 +128,15 @@ struct FaultAction
     uint64_t corruptValue = 0;     ///< CorruptHeader
     size_t channelIndex = 0;       ///< CorruptHeader (attach order)
     SimTime skewNs = 0;            ///< SkewClock
+    std::string node;              ///< KillNode / PartitionLink
+    std::string nodeB;             ///< PartitionLink (other end)
+    std::string stage;             ///< KillMigration (stage name)
+    bool killDst = false;          ///< KillMigration: dst, not src
 };
+
+/** True for events the SPM-level FaultInjector must not arm (they
+ *  target fleet machinery: nodes, links, migration windows). */
+bool isFleetEvent(const FaultTrigger &t, const FaultAction &a);
 
 struct FaultEvent
 {
@@ -188,6 +217,22 @@ class FaultPlan
     /** On the @p nth matching access, advance the clock @p skew_ns. */
     FaultPlan &skewClock(uint64_t nth, SimTime skew_ns,
                          AccessFilter f = AccessFilter::any());
+
+    /* --- fleet-scoped events (cluster::FleetInjector) --- */
+
+    /** Crash every partition on @p node at/after virtual @p when. */
+    FaultPlan &killNodeAtTime(SimTime when, const std::string &node);
+
+    /** Sever the @p a <-> @p b interconnect link at/after @p when
+     *  (empty @p b = the fleet frontend link). */
+    FaultPlan &partitionLinkAtTime(SimTime when, const std::string &a,
+                                   const std::string &b);
+
+    /** On the @p nth fleet migration, kill the source (or, with
+     *  @p kill_dst, the destination) node when the migration reaches
+     *  @p stage ("snapshot" ... "retire"). */
+    FaultPlan &killMigration(uint64_t nth, const std::string &stage,
+                             bool kill_dst = false);
 
     /**
      * Draw a whole schedule from @p seed within @p spec. The same

@@ -59,6 +59,11 @@ FaultInjector::onAccess(const tee::SpmAccess &access)
         if (firedFlags[i])
             continue;
         const FaultEvent &e = events[i];
+        /* Node/link/migration events belong to the fleet layer; the
+         * SPM-level injector leaves them unfired for the
+         * FleetInjector to claim. */
+        if (isFleetEvent(e.trigger, e.action))
+            continue;
         if (!e.trigger.filter.matches(access))
             continue;
         bool fire = false;
@@ -160,6 +165,12 @@ FaultInjector::execute(const FaultEvent &e,
       case FaultAction::Kind::SkewClock:
         plat.clock().advance(e.action.skewNs);
         return Status::ok();
+      case FaultAction::Kind::KillNode:
+      case FaultAction::Kind::PartitionLink:
+      case FaultAction::Kind::KillMigration:
+        /* Unreachable: onAccess() filters fleet events out. */
+        return Status(ErrorCode::Unsupported,
+                      "fleet-scoped event on the SPM injector");
     }
     return Status(ErrorCode::InvalidArgument, "unknown fault action");
 }

@@ -5,6 +5,22 @@
 namespace cronus::recover
 {
 
+namespace
+{
+
+/** Node-qualified channel track name ("channel node3/gpu0"); the
+ *  bare device when the supervisor has no node identity, so
+ *  single-node traces are unchanged. */
+std::string
+channelTrack(const Supervisor &sup, const std::string &device)
+{
+    const std::string &n = sup.node();
+    return n.empty() ? "channel " + device
+                     : "channel " + n + "/" + device;
+}
+
+} // namespace
+
 const char *
 channelStateName(ChannelState state)
 {
@@ -59,7 +75,7 @@ ResumableChannel::park()
     if (auto &trc = obs::Tracer::instance(); trc.active()) {
         JsonObject targs;
         targs["device"] = currentDevice;
-        trc.instant(trc.track("channel " + currentDevice),
+        trc.instant(trc.track(channelTrack(sup, currentDevice)),
                     "channel.park", "recover", std::move(targs));
     }
     st = ChannelState::Parked;
@@ -157,7 +173,7 @@ ResumableChannel::reconnect()
     obs::Span reconnect_span;
     if (trc.active()) {
         reconnect_span =
-            obs::Span(trc.track("channel " + currentDevice),
+            obs::Span(trc.track(channelTrack(sup, currentDevice)),
                       "channel.reconnect", "recover");
         reconnect_span.arg("device", currentDevice);
         reconnect_span.arg(
@@ -200,7 +216,7 @@ ResumableChannel::reconnect()
     obs::Span replay_span;
     if (trc.active() && !journal.empty()) {
         replay_span =
-            obs::Span(trc.track("channel " + currentDevice),
+            obs::Span(trc.track(channelTrack(sup, currentDevice)),
                       "channel.replay", "recover");
         replay_span.arg("calls",
                         static_cast<int64_t>(journal.size()));

@@ -109,6 +109,44 @@ Supervisor::logEvent(const std::string &device,
         sys.platform().clock().now(), device, what, restarts});
 }
 
+std::string
+Supervisor::qualified(const std::string &device) const
+{
+    const std::string &n = node();
+    return n.empty() ? device : n + "/" + device;
+}
+
+void
+Supervisor::quarantine(const std::string &device, DeviceWatch &w,
+                       const char *event,
+                       const std::string &dump_reason)
+{
+    if (w.health == DeviceHealth::Quarantined)
+        return;
+    w.health = DeviceHealth::Quarantined;
+    sys.dispatcher().setDegraded(device, true);
+    logEvent(device, event, w.restarts);
+    noteRecovery("recover.quarantine", w.pid, qualified(device),
+                 w.restarts);
+    obs::Tracer::instance().dumpFlight(dump_reason);
+    if (onQuarantine)
+        onQuarantine(device);
+}
+
+Status
+Supervisor::quarantineDevice(const std::string &device,
+                             const std::string &why)
+{
+    auto it = watches.find(device);
+    if (it == watches.end())
+        return Status(ErrorCode::NotFound,
+                      "device '" + device + "' is not watched");
+    quarantine(device, it->second, "quarantined",
+               "fleet quarantine (" + why + "): " +
+                   qualified(device));
+    return Status::ok();
+}
+
 void
 Supervisor::onFailure(const std::string &device, DeviceWatch &w,
                       const char *what)
@@ -116,15 +154,10 @@ Supervisor::onFailure(const std::string &device, DeviceWatch &w,
     logEvent(device, what, w.restarts);
     noteRecovery(what[0] == 'h' ? "recover.hang"
                                 : "recover.failure",
-                 w.pid, device, w.restarts);
+                 w.pid, qualified(device), w.restarts);
     if (w.restarts >= cfg.restartBudget) {
-        w.health = DeviceHealth::Quarantined;
-        sys.dispatcher().setDegraded(device, true);
-        logEvent(device, "quarantined", w.restarts);
-        noteRecovery("recover.quarantine", w.pid, device,
-                     w.restarts);
-        obs::Tracer::instance().dumpFlight(
-            "supervisor quarantine: " + device);
+        quarantine(device, w, "quarantined",
+                   "supervisor quarantine: " + qualified(device));
         return;
     }
     ++w.restarts;
@@ -167,8 +200,9 @@ Supervisor::pump()
           case DeviceHealth::BackingOff: {
             if (clock.now() < w.deadline)
                 break;
-            noteRecoveryStage("recover.backoff", w.pid, device,
-                              w.stageStart, w.restarts);
+            noteRecoveryStage("recover.backoff", w.pid,
+                              qualified(device), w.stageStart,
+                              w.restarts);
             w.health = DeviceHealth::Scrubbing;
             auto est = sys.recoveryEstimate(device);
             w.stageStart = clock.now();
@@ -183,24 +217,21 @@ Supervisor::pump()
              * the rest of the machine was doing; the reboot itself
              * charges nothing extra. */
             Status s = sys.recover(device, /*charge_clock=*/false);
-            noteRecoveryStage("recover.scrub", w.pid, device,
-                              w.stageStart, w.restarts);
+            noteRecoveryStage("recover.scrub", w.pid,
+                              qualified(device), w.stageStart,
+                              w.restarts);
             if (!s.isOk()) {
-                w.health = DeviceHealth::Quarantined;
-                sys.dispatcher().setDegraded(device, true);
-                logEvent(device, "reboot-failed", w.restarts);
-                noteRecovery("recover.quarantine", w.pid, device,
-                             w.restarts);
-                obs::Tracer::instance().dumpFlight(
-                    "supervisor reboot failed: " + device);
+                quarantine(device, w, "reboot-failed",
+                           "supervisor reboot failed: " +
+                               qualified(device));
                 break;
             }
             w.health = DeviceHealth::Healthy;
             w.lastSeenHeartbeat = 0;
             w.nextHangPoll = clock.now() + cfg.pollPeriodNs;
             logEvent(device, "recovered", w.restarts);
-            noteRecovery("recover.recovered", w.pid, device,
-                         w.restarts);
+            noteRecovery("recover.recovered", w.pid,
+                         qualified(device), w.restarts);
             break;
           }
           case DeviceHealth::Quarantined:

@@ -31,6 +31,7 @@
 #ifndef CRONUS_RECOVER_SUPERVISOR_HH
 #define CRONUS_RECOVER_SUPERVISOR_HH
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -110,6 +111,38 @@ class Supervisor
     uint32_t restartsOf(const std::string &device) const;
     bool quarantined(const std::string &device) const;
 
+    /**
+     * Force @p device into Quarantined (fleet-initiated: a drain
+     * that exhausted its migration budget, a node the cluster gave
+     * up on). Idempotent -- if the device is already quarantined,
+     * nothing is logged, no flight dump is emitted and the
+     * on-quarantine hook does not fire again, so fleet- and
+     * node-level quarantine cannot double-fire. NotFound when the
+     * device is not watched.
+     */
+    Status quarantineDevice(const std::string &device,
+                            const std::string &why);
+
+    /**
+     * Observer fired exactly once per device transition into
+     * Quarantined (budget exhaustion, reboot failure, or
+     * quarantineDevice). The fleet layer uses it to escalate a
+     * node-local quarantine to cluster placement state.
+     */
+    void setOnQuarantine(
+        std::function<void(const std::string &device)> fn)
+    {
+        onQuarantine = std::move(fn);
+    }
+
+    /**
+     * Node identity qualifying this supervisor's spans and flight
+     * dumps ("node3/gpu0"); taken from the system's configured
+     * nodeName. Empty for a standalone system, in which case every
+     * name is exactly what it was before fleets existed.
+     */
+    const std::string &node() const { return sys.nodeName(); }
+
     /** Deterministic backoff before the Nth restart (1-based). */
     SimTime backoffDelay(uint32_t restart_number) const;
 
@@ -139,11 +172,24 @@ class Supervisor
                    const char *what);
     void logEvent(const std::string &device, const std::string &what,
                   uint32_t restarts);
+    /** Node-qualified device name for spans/dumps. */
+    std::string qualified(const std::string &device) const;
+    /**
+     * The single quarantine transition: marks the watch terminal,
+     * degrades the device on the dispatcher, logs @p event, emits
+     * the recover.quarantine instant, dumps the flight ring with
+     * @p dump_reason and fires the on-quarantine hook -- or does
+     * nothing at all if the watch is already Quarantined.
+     */
+    void quarantine(const std::string &device, DeviceWatch &w,
+                    const char *event,
+                    const std::string &dump_reason);
 
     core::CronusSystem &sys;
     SupervisorConfig cfg;
     std::map<std::string, DeviceWatch> watches;
     std::vector<SupervisorEvent> eventLog;
+    std::function<void(const std::string &)> onQuarantine;
 };
 
 } // namespace cronus::recover

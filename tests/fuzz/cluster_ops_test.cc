@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Fleet-dialect fuzzer regressions: the migration-window kill
+ * matrix (every migration stage x killing source or destination)
+ * must converge -- exactly one live copy, or a fleet re-placement
+ * with zero acked-call loss -- on BOTH isolation backends, and the
+ * cluster scenario grammar must round-trip and keep single-node
+ * documents byte-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzz.hh"
+
+using namespace cronus;
+using namespace cronus::fuzz;
+
+namespace
+{
+
+const char *const kStages[] = {"snapshot", "reattest", "transfer",
+                               "restore",  "replay",   "retire"};
+
+/**
+ * Three nodes, one enclave (placed on node 0), a call/checkpoint
+ * preamble so the migration has both a watermark and a non-empty
+ * journal, one migration to node 1, and post-migration calls whose
+ * totals prove no acked call was lost.
+ */
+Scenario
+migrationKillScenario(const std::string &stage, bool kill_dst)
+{
+    Scenario sc;
+    sc.seed = 1;
+    sc.numNodes = 3;
+    sc.numGpus = 0;
+    sc.withNpu = false;
+    EnclavePlan plan;
+    plan.deviceType = "cpu";
+    plan.deviceName = "cpu";
+    plan.elems = 0;
+    sc.enclaves.push_back(plan);
+
+    FaultSpec f;
+    f.kind = FaultSpec::Kind::MigrationKill;
+    f.nth = 1;
+    f.stage = stage;
+    f.killDst = kill_dst;
+    sc.faults.push_back(f);
+
+    auto push = [&sc](OpKind kind, uint64_t a = 0) {
+        ScenarioOp op;
+        op.kind = kind;
+        op.enclave = 0;
+        op.a = a;
+        sc.ops.push_back(op);
+    };
+    push(OpKind::FleetCall, 10);
+    push(OpKind::FleetCall, 20);
+    push(OpKind::FleetCheckpoint);
+    push(OpKind::FleetCall, 5);
+    push(OpKind::Migrate, 1);  // node 1
+    push(OpKind::FleetCall, 7);
+    push(OpKind::FleetCall, 3);
+    return sc;
+}
+
+class ClusterOpsTest
+    : public ::testing::TestWithParam<tee::BackendSelect>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ClusterOpsTest,
+    ::testing::Values(tee::BackendSelect::Tz,
+                      tee::BackendSelect::Pmp),
+    [](const ::testing::TestParamInfo<tee::BackendSelect> &info) {
+        return std::string(
+            tee::backendName(tee::resolveBackend(info.param)));
+    });
+
+} // namespace
+
+TEST_P(ClusterOpsTest, MigrationWindowKillConvergesAtEveryStage)
+{
+    for (const char *stage : kStages) {
+        for (bool kill_dst : {false, true}) {
+            SCOPED_TRACE(std::string("stage=") + stage +
+                         (kill_dst ? " kill=dst" : " kill=src"));
+            Scenario sc = migrationKillScenario(stage, kill_dst);
+            RunOptions ro;
+            ro.withFaults = true;
+            ro.backend = GetParam();
+            RunReport rep = runScenario(sc, ro);
+            ASSERT_TRUE(rep.setupOk) << rep.setupError;
+
+            /* The kill really landed inside the migration window. */
+            EXPECT_NE(rep.decisions.dump().find("fleet-fault"),
+                      std::string::npos);
+            ASSERT_EQ(rep.migrationOutcomes.size(), 1u);
+
+            /* Convergence: one live copy (or a fleet re-placement);
+             * never zero, never two. */
+            EXPECT_TRUE(rep.migrationConsistent)
+                << rep.migrationOutcomes.front();
+
+            /* Liveness + zero acked-call loss: the enclave survived
+             * and every FleetCall stayed exact -- the last call's
+             * running total is 10+20+5+7+3 regardless of which node
+             * died when. */
+            ASSERT_EQ(rep.finalDrain.size(), 1u);
+            EXPECT_EQ(rep.finalDrain.front(), "Ok");
+            const OpRecord &last = rep.records.back();
+            ASSERT_EQ(last.kind, OpKind::FleetCall);
+            EXPECT_EQ(last.code, "Ok");
+            ByteReader r(last.output);
+            EXPECT_EQ(r.getU64().value(), 45u);
+        }
+    }
+}
+
+TEST(ClusterOpsOracleTest, FullOracleHoldsAcrossKillMatrix)
+{
+    FuzzOptions opts;
+    opts.shrink = false;
+    for (const char *stage : kStages) {
+        for (bool kill_dst : {false, true}) {
+            SCOPED_TRACE(std::string("stage=") + stage +
+                         (kill_dst ? " kill=dst" : " kill=src"));
+            FuzzReport rep = fuzzScenario(
+                migrationKillScenario(stage, kill_dst), opts);
+            EXPECT_TRUE(rep.ok)
+                << (rep.failures.empty()
+                        ? "?"
+                        : rep.failures.front().oracle + ": " +
+                              rep.failures.front().detail);
+        }
+    }
+}
+
+TEST(ClusterOpsOracleTest, BackendsAgreeOnMigrationKills)
+{
+    for (const char *stage : {"snapshot", "transfer", "retire"}) {
+        for (bool kill_dst : {false, true}) {
+            SCOPED_TRACE(std::string("stage=") + stage +
+                         (kill_dst ? " kill=dst" : " kill=src"));
+            DiffReport rep = diffBackends(
+                migrationKillScenario(stage, kill_dst));
+            EXPECT_TRUE(rep.ok)
+                << (rep.divergences.empty()
+                        ? "?"
+                        : rep.divergences.front());
+        }
+    }
+}
+
+TEST(ClusterOpsOracleTest, GeneratedClusterSeedsPassOracles)
+{
+    FuzzOptions opts;
+    opts.shrink = false;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        FuzzReport rep =
+            fuzzScenario(generateClusterScenario(seed), opts);
+        EXPECT_TRUE(rep.ok)
+            << (rep.failures.empty()
+                    ? "?"
+                    : rep.failures.front().oracle + ": " +
+                          rep.failures.front().detail);
+    }
+}
+
+TEST(ClusterScenarioTest, ClusterScenarioRoundTripsThroughJson)
+{
+    Scenario sc = generateClusterScenario(42);
+    ASSERT_GT(sc.numNodes, 1u);
+    auto parsed = Scenario::parse(sc.toJson().dump());
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().numNodes, sc.numNodes);
+    EXPECT_EQ(parsed.value().toJson().dump(), sc.toJson().dump());
+}
+
+TEST(ClusterScenarioTest, GenerationIsDeterministicPerSeed)
+{
+    EXPECT_EQ(generateClusterScenario(7).toJson().dump(),
+              generateClusterScenario(7).toJson().dump());
+    EXPECT_NE(generateClusterScenario(7).toJson().dump(),
+              generateClusterScenario(8).toJson().dump());
+}
+
+TEST(ClusterScenarioTest, SingleNodeDocumentsStayByteIdentical)
+{
+    /* The fleet fields serialize only when meaningful: a classic
+     * single-node scenario must not grow a num_nodes key (replay
+     * corpora and CI double-run byte-diffs depend on it). */
+    Scenario sc = generateScenario(3);
+    EXPECT_EQ(sc.numNodes, 1u);
+    EXPECT_EQ(sc.toJson().dump().find("num_nodes"),
+              std::string::npos);
+}
