@@ -21,6 +21,16 @@
  *                                   instead of single-node ones;
  *                                   composes with --runs, --seed
  *                                   and --diff-backends
+ *   fuzz_runner --jobs N            run corpus seeds on N host
+ *                                   threads; every seed owns its own
+ *                                   simulated universe, so verdicts,
+ *                                   stdout and exit code are
+ *                                   byte-identical to --jobs 1
+ *   fuzz_runner --verdicts FILE     write one "seed=S PASS|FAIL
+ *                                   oracles" line per corpus seed
+ *                                   (runs the whole corpus even
+ *                                   past a failure, so the file is
+ *                                   diffable across --jobs values)
  *
  * On any oracle failure it prints the seed, the failure list, the
  * full decision trace and (unless --no-shrink) the greedily
@@ -33,12 +43,16 @@
  * next to the input, so a shrunken repro comes with its timeline.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "base/parallel.hh"
 #include "fuzz/fuzz.hh"
 #include "fuzz/scheduler.hh"
 #include "obs/trace.hh"
@@ -64,6 +78,28 @@ printFailure(const FuzzReport &rep)
         std::printf("--- minimal repro (%zu ops) ---\n%s\n",
                     rep.minimal.ops.size(),
                     rep.minimal.toJson().dump().c_str());
+}
+
+/** "seed=S PASS" or "seed=S FAIL oracle1,oracle2" (oracle names
+ *  sorted and deduplicated, so the line is order-independent). */
+std::string
+verdictLine(uint64_t seed, const FuzzReport &rep)
+{
+    std::string line =
+        "seed=" + std::to_string(seed) + (rep.ok ? " PASS" : " FAIL ");
+    if (rep.ok)
+        return line;
+    std::set<std::string> oracles;
+    for (const FuzzFailure &f : rep.failures)
+        oracles.insert(f.oracle);
+    bool first = true;
+    for (const std::string &o : oracles) {
+        if (!first)
+            line += ",";
+        line += o;
+        first = false;
+    }
+    return line;
 }
 
 int
@@ -184,7 +220,9 @@ main(int argc, char **argv)
     bool diffMode = false;
     bool scheduled = false;
     bool cluster = false;
+    unsigned jobs = 1;
     std::string replayPath;
+    std::string verdictsPath;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -214,12 +252,20 @@ main(int argc, char **argv)
             scheduled = true;
         } else if (arg == "--cluster") {
             cluster = true;
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 0));
+            if (jobs == 0)
+                jobs = 1;
+        } else if (arg == "--verdicts") {
+            verdictsPath = next();
         } else {
             std::fprintf(stderr,
                          "usage: fuzz_runner [--seed S] [--runs N] "
                          "[--replay FILE] [--plant-bug] "
                          "[--no-shrink] [--diff-backends] "
-                         "[--scheduled] [--cluster]\n");
+                         "[--scheduled] [--cluster] [--jobs N] "
+                         "[--verdicts FILE]\n");
             return 2;
         }
     }
@@ -249,16 +295,63 @@ main(int argc, char **argv)
         return 0;
     }
 
+    const std::vector<uint64_t> corpus =
+        scheduled ? scheduleCorpus(runs) : defaultCorpus(runs);
+
+    auto reproHint = [&](uint64_t s) {
+        std::printf("reproduce with: fuzz_runner --seed %llu%s%s\n",
+                    static_cast<unsigned long long>(s),
+                    cluster ? " --cluster" : "",
+                    opts.plantBug ? " --plant-bug" : "");
+    };
+
+    if (jobs > 1 || !verdictsPath.empty()) {
+        /* Batched mode: run the whole corpus (each seed owns its
+         * own simulated universe; the worker threads share nothing
+         * but the tracer/logger singletons, which lock), then replay
+         * the serial reporting logic over the collected reports --
+         * stdout, exit code and the verdict file are byte-identical
+         * whatever the job count. */
+        std::vector<FuzzReport> reports(corpus.size());
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(corpus.size());
+        for (size_t i = 0; i < corpus.size(); ++i)
+            tasks.push_back(
+                [&, i] { reports[i] = runSeed(corpus[i]); });
+        runTasks(jobs, tasks);
+
+        if (!verdictsPath.empty()) {
+            std::ofstream vout(verdictsPath);
+            if (!vout) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             verdictsPath.c_str());
+                return 2;
+            }
+            for (size_t i = 0; i < corpus.size(); ++i)
+                vout << verdictLine(corpus[i], reports[i]) << "\n";
+        }
+
+        size_t done = 0;
+        for (size_t i = 0; i < corpus.size(); ++i) {
+            if (!reports[i].ok) {
+                printFailure(reports[i]);
+                reproHint(corpus[i]);
+                return 1;
+            }
+            ++done;
+            if (done % 25 == 0 || done == runs)
+                std::printf("... %zu/%zu seeds ok\n", done, runs);
+        }
+        std::printf("PASS %zu seeds, no oracle failures\n", done);
+        return 0;
+    }
+
     size_t done = 0;
-    for (uint64_t s :
-         scheduled ? scheduleCorpus(runs) : defaultCorpus(runs)) {
+    for (uint64_t s : corpus) {
         FuzzReport rep = runSeed(s);
         if (!rep.ok) {
             printFailure(rep);
-            std::printf("reproduce with: fuzz_runner --seed %llu%s%s\n",
-                        static_cast<unsigned long long>(s),
-                        cluster ? " --cluster" : "",
-                        opts.plantBug ? " --plant-bug" : "");
+            reproHint(s);
             return 1;
         }
         ++done;

@@ -26,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -111,11 +112,14 @@ class GpuKernelRegistry
   public:
     static GpuKernelRegistry &instance();
 
+    /** First registration of a name wins; re-registering is a no-op
+     *  (see CpuFunctionRegistry::registerFunction). */
     void registerKernel(const std::string &name, GpuKernel kernel);
     const GpuKernel *find(const std::string &name) const;
     bool has(const std::string &name) const;
 
   private:
+    mutable std::shared_mutex mu;
     std::map<std::string, GpuKernel> kernels;
 };
 

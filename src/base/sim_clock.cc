@@ -1,0 +1,29 @@
+#include "sim_clock.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cronus
+{
+
+thread_local SimClock::Frame *SimClock::tlsFrame = nullptr;
+
+namespace detail
+{
+
+void
+clockInvariantFailure(const char *what, unsigned long long a,
+                      unsigned long long b)
+{
+    /* Not panic(): the clock invariants guard the parallel engine,
+     * whose worker threads must never unwind a PanicError through
+     * the pool loop, and the checks must fire in NDEBUG builds too.
+     * A torn virtual timeline is unrecoverable; die loudly. */
+    std::fprintf(stderr, "cronus: %s (%llu, %llu)\n", what, a, b);
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace cronus

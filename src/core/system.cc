@@ -11,11 +11,6 @@ namespace cronus::core
 namespace
 {
 
-/* Owner-key derivation counter shared by every create path, so key
- * sequences are identical whether enclaves arrive through the legacy
- * pipeline, the module store or a warm-pool shell. */
-uint64_t ownerCounter = 0;
-
 bool
 moduleStoreForcedOff()
 {

@@ -258,6 +258,13 @@ class CronusSystem
     std::map<std::string, crypto::KeyPair> vendorKeys;
     std::vector<tee::TrapSignal> observedTraps;
     EcallObserver ecallObserver;
+    /* Owner-key derivation counter shared by every create path, so
+     * key sequences are identical whether enclaves arrive through
+     * the legacy pipeline, the module store or a warm-pool shell.
+     * Per-system (not process-global): cluster nodes must derive the
+     * same sequences regardless of how creates interleave across
+     * nodes, and parallel-engine workers must not race on it. */
+    uint64_t ownerCounter = 0;
 };
 
 } // namespace cronus::core

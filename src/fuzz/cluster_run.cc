@@ -119,7 +119,7 @@ class ClusterRun
     {
         Logger::instance().setQuiet(true);
         registerFuzzCpuFunctions();
-        obs::Tracer::instance().flight().clear();
+        obs::Tracer::instance().clearFlight();
 
         cluster::ClusterConfig cc;
         cc.numNodes = sc.numNodes;

@@ -42,6 +42,28 @@ eventJson(const TraceEvent &ev)
     return JsonValue(std::move(o));
 }
 
+/**
+ * Per-thread stamping state. The main thread attaches platform
+ * clocks exactly like the serial tracer always did; a fuzz --jobs
+ * worker gets its own stack so concurrent seeds stamp independently;
+ * a parallel-engine worker attaches nothing (its clock comes from
+ * the active SimClock frame).
+ */
+struct TlsClockState
+{
+    std::vector<const SimClock *> stack;
+    uint32_t ordinal = 0;
+};
+
+TlsClockState &
+tlsClocks()
+{
+    static thread_local TlsClockState state;
+    return state;
+}
+
+thread_local Tracer::Capture *tlsCapture = nullptr;
+
 } // namespace
 
 Tracer::Tracer()
@@ -68,25 +90,28 @@ Tracer::envEnabled()
 void
 Tracer::ensureMode(TraceMode mode)
 {
-    if (static_cast<int>(mode) > static_cast<int>(traceMode))
-        traceMode = mode;
+    TraceMode cur = traceMode.load();
+    while (static_cast<int>(mode) > static_cast<int>(cur) &&
+           !traceMode.compare_exchange_weak(cur, mode)) {
+    }
 }
 
 void
 Tracer::attachClock(const SimClock *clk)
 {
-    clockStack.push_back(clk);
-    platformOrdinal = nextPlatformOrdinal++;
+    TlsClockState &tls = tlsClocks();
+    tls.stack.push_back(clk);
+    tls.ordinal = nextPlatformOrdinal.fetch_add(1);
 }
 
 void
 Tracer::detachClock(const SimClock *clk)
 {
     /* Platforms usually die LIFO, but be robust to any order. */
-    for (size_t i = clockStack.size(); i-- > 0;) {
-        if (clockStack[i] == clk) {
-            clockStack.erase(clockStack.begin() +
-                             static_cast<ptrdiff_t>(i));
+    std::vector<const SimClock *> &stack = tlsClocks().stack;
+    for (size_t i = stack.size(); i-- > 0;) {
+        if (stack[i] == clk) {
+            stack.erase(stack.begin() + static_cast<ptrdiff_t>(i));
             break;
         }
     }
@@ -95,11 +120,45 @@ Tracer::detachClock(const SimClock *clk)
 SimTime
 Tracer::now() const
 {
-    return clockStack.empty() ? 0 : clockStack.back()->now();
+    if (const SimClock::Frame *frame = SimClock::activeFrame())
+        return frame->clock->now();
+    const std::vector<const SimClock *> &stack = tlsClocks().stack;
+    return stack.empty() ? 0 : stack.back()->now();
+}
+
+uint32_t
+Tracer::currentPlatform() const
+{
+    return tlsClocks().ordinal;
 }
 
 uint32_t
 Tracer::track(const std::string &name)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = trackIds.find(name);
+        if (it != trackIds.end())
+            return it->second;
+        if (tlsCapture == nullptr)
+            return trackLocked(name);
+    }
+    /* First use inside a capture: hand out a provisional id; the
+     * real id is assigned at splice time, in commit (= issue) order,
+     * so the first-use-order table matches a serial run's. */
+    Capture *cap = tlsCapture;
+    auto it = cap->provisionalIds.find(name);
+    if (it != cap->provisionalIds.end())
+        return it->second;
+    uint32_t id = kProvisionalTrack |
+                  static_cast<uint32_t>(cap->provisionalTracks.size());
+    cap->provisionalIds.emplace(name, id);
+    cap->provisionalTracks.push_back(name);
+    return id;
+}
+
+uint32_t
+Tracer::trackLocked(const std::string &name)
 {
     auto it = trackIds.find(name);
     if (it != trackIds.end())
@@ -125,14 +184,81 @@ Tracer::enclaveTrack(uint64_t eid, const std::string &device)
 void
 Tracer::record(TraceEvent ev)
 {
+    if (Capture *cap = tlsCapture) {
+        if (cap->events.size() >= kMaxExportEvents) {
+            ++cap->drops;
+            return;
+        }
+        cap->events.push_back(std::move(ev));
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    recordLocked(std::move(ev));
+}
+
+void
+Tracer::recordLocked(TraceEvent ev)
+{
     ring.push(ev);
-    if (traceMode != TraceMode::Full)
+    if (mode() != TraceMode::Full)
         return;
     if (events.size() >= kMaxExportEvents) {
         ++dropped;
         return;
     }
     events.push_back(std::move(ev));
+}
+
+Tracer::Capture *
+Tracer::beginCapture()
+{
+    if (!active())
+        return nullptr;
+    Capture *cap = new Capture;
+    cap->prev = tlsCapture;
+    tlsCapture = cap;
+    return cap;
+}
+
+void
+Tracer::endCapture(Capture *cap)
+{
+    if (cap == nullptr)
+        return;
+    tlsCapture = cap->prev;
+}
+
+void
+Tracer::spliceCapture(Capture *cap, SimTime true_start,
+                      SimTime frame_base)
+{
+    if (cap == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    /* The splicing (commit) thread's ordinal is the one a serial run
+     * would have stamped: the engine's commit loop runs on the thread
+     * that attached the platforms. */
+    const uint32_t plat = tlsClocks().ordinal;
+    std::vector<uint32_t> resolved(cap->provisionalTracks.size(), 0);
+    for (TraceEvent &ev : cap->events) {
+        ev.ts = ev.ts - frame_base + true_start;
+        if (ev.track & kProvisionalTrack) {
+            const uint32_t idx = ev.track & ~kProvisionalTrack;
+            if (resolved[idx] == 0)
+                resolved[idx] = trackLocked(cap->provisionalTracks[idx]);
+            ev.track = resolved[idx];
+        }
+        ev.platform = plat;
+        recordLocked(std::move(ev));
+    }
+    dropped += cap->drops;
+    delete cap;
+}
+
+void
+Tracer::dropCapture(Capture *cap)
+{
+    delete cap;
 }
 
 void
@@ -143,7 +269,7 @@ Tracer::instant(uint32_t track, const char *name, const char *cat,
         return;
     TraceEvent ev;
     ev.phase = 'i';
-    ev.platform = platformOrdinal;
+    ev.platform = tlsClocks().ordinal;
     ev.track = track;
     ev.ts = now();
     ev.name = name;
@@ -160,7 +286,7 @@ Tracer::complete(uint32_t track, const char *name, const char *cat,
         return;
     TraceEvent ev;
     ev.phase = 'X';
-    ev.platform = platformOrdinal;
+    ev.platform = tlsClocks().ordinal;
     ev.track = track;
     ev.ts = start;
     SimTime end = now();
@@ -171,9 +297,17 @@ Tracer::complete(uint32_t track, const char *name, const char *cat,
     record(std::move(ev));
 }
 
+void
+Tracer::clearFlight()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ring.clear();
+}
+
 JsonValue
 Tracer::flightJson() const
 {
+    std::lock_guard<std::mutex> lock(mu);
     JsonArray evs;
     for (const TraceEvent &ev : ring.snapshot())
         evs.push_back(eventJson(ev));
@@ -197,11 +331,18 @@ Tracer::dumpFlight(const std::string &reason)
 void
 Tracer::dumpFlight(const std::string &reason, const JsonValue &doc)
 {
-    if (dumps.size() >= kMaxRetainedDumps)
-        dumps.erase(dumps.begin());
-    dumps.push_back(FlightDump{reason, doc});
-    if (dumpSink) {
-        dumpSink(reason, doc);
+    DumpSink sink;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (dumps.size() >= kMaxRetainedDumps)
+            dumps.erase(dumps.begin());
+        dumps.push_back(FlightDump{reason, doc});
+        sink = dumpSink;
+    }
+    /* Run the sink outside the lock: it may call back into the
+     * tracer (e.g. to snapshot the ring). */
+    if (sink) {
+        sink(reason, doc);
         return;
     }
     uint64_t held = 0;
@@ -215,6 +356,7 @@ Tracer::dumpFlight(const std::string &reason, const JsonValue &doc)
 JsonValue
 Tracer::traceJson() const
 {
+    std::lock_guard<std::mutex> lock(mu);
     JsonArray evs;
     /* Metadata first: one process_name per platform ordinal seen,
      * one thread_name per (platform, track) pair seen. */
@@ -277,15 +419,34 @@ Tracer::writeTraceFile(const std::string &path) const
     return Status::ok();
 }
 
+uint64_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return events.size();
+}
+
+uint64_t
+Tracer::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return dropped;
+}
+
 void
 Tracer::clear()
 {
+    std::lock_guard<std::mutex> lock(mu);
     events.clear();
     dropped = 0;
     ring.clear();
     dumps.clear();
     trackIds.clear();
     trackNames.clear();
+    /* Restart platform numbering so a fresh simulated universe in
+     * the same process (tests run several back to back) stamps the
+     * same platform ids as a fresh process would. */
+    nextPlatformOrdinal.store(0);
 }
 
 } // namespace cronus::obs

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fuzz --jobs determinism: each seed owns its own simulated
+ * universe, so running a corpus on several host threads must
+ * produce exactly the per-seed verdicts of the sequential walk.
+ * This is the in-process version of the fuzz_runner --jobs CI
+ * byte-diff (which compares whole verdict files).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/parallel.hh"
+#include "fuzz/fuzz.hh"
+
+using namespace cronus;
+using namespace cronus::fuzz;
+
+namespace
+{
+
+struct Verdict
+{
+    uint64_t seed = 0;
+    bool ok = false;
+    std::set<std::string> oracles;
+
+    bool
+    operator==(const Verdict &o) const
+    {
+        return seed == o.seed && ok == o.ok && oracles == o.oracles;
+    }
+};
+
+Verdict
+verdictOf(uint64_t seed, const FuzzReport &rep)
+{
+    Verdict v;
+    v.seed = seed;
+    v.ok = rep.ok;
+    for (const FuzzFailure &f : rep.failures)
+        v.oracles.insert(f.oracle);
+    return v;
+}
+
+std::vector<Verdict>
+runCorpus(const std::vector<uint64_t> &seeds, unsigned jobs,
+          bool cluster)
+{
+    FuzzOptions opts;
+    opts.shrink = false;  // shrinking is slow and verdict-neutral
+    std::vector<FuzzReport> reports(seeds.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(seeds.size());
+    for (size_t i = 0; i < seeds.size(); ++i)
+        tasks.push_back([&, i] {
+            reports[i] =
+                cluster
+                    ? fuzzScenario(generateClusterScenario(seeds[i]),
+                                   opts)
+                    : fuzzSeed(seeds[i], opts);
+        });
+    runTasks(jobs, tasks);
+    std::vector<Verdict> out;
+    out.reserve(seeds.size());
+    for (size_t i = 0; i < seeds.size(); ++i)
+        out.push_back(verdictOf(seeds[i], reports[i]));
+    return out;
+}
+
+TEST(FuzzJobsTest, SingleNodeVerdictsMatchSerial)
+{
+    std::vector<uint64_t> seeds;
+    for (uint64_t s = 1; s <= 8; ++s)
+        seeds.push_back(s);
+    const auto serial = runCorpus(seeds, 1, false);
+    const auto parallel = runCorpus(seeds, 4, false);
+    EXPECT_EQ(parallel, serial);
+    for (const Verdict &v : serial)
+        EXPECT_TRUE(v.ok) << "seed=" << v.seed;
+}
+
+TEST(FuzzJobsTest, ClusterVerdictsMatchSerial)
+{
+    std::vector<uint64_t> seeds;
+    for (uint64_t s = 1; s <= 6; ++s)
+        seeds.push_back(s);
+    const auto serial = runCorpus(seeds, 1, true);
+    const auto parallel = runCorpus(seeds, 4, true);
+    EXPECT_EQ(parallel, serial);
+}
+
+} // namespace
